@@ -1,0 +1,111 @@
+// Extension experiment (paper conclusion): grid layouts of hypercubes with
+// the same collinear-channel machinery, measured against the Thompson lower
+// bound (N/2)^2, plus Benes permutation-routing throughput (the switch
+// substrate from the introduction).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <numeric>
+
+#include "core/bfly.hpp"
+#include "util/prng.hpp"
+
+namespace {
+
+using namespace bfly;
+
+void print_hypercube_table() {
+  std::printf("=== extension: hypercube grid layouts vs (N/2)^2 lower bound ===\n");
+  std::printf("%4s %8s %16s %14s %8s %12s %8s\n", "n", "grid", "area", "bound", "ratio",
+              "max wire", "legal");
+  for (const int n : {6, 8, 10, 12, 14}) {
+    const HypercubeLayoutPlan plan(n);
+    const LayoutMetrics m = plan.metrics();
+    const double bound = HypercubeLayoutPlan::area_lower_bound(n);
+    const char* legal = "-";
+    if (n <= 12) {
+      legal = check_multilayer(plan.materialize()).ok ? "yes" : "NO";
+    }
+    std::printf("%4d %3llux%-4llu %16lld %14.0f %8.3f %12lld %8s\n", n,
+                static_cast<unsigned long long>(plan.grid_rows()),
+                static_cast<unsigned long long>(plan.grid_cols()),
+                static_cast<long long>(m.area), bound, static_cast<double>(m.area) / bound,
+                static_cast<long long>(m.max_wire_length), legal);
+  }
+  std::printf("\n");
+}
+
+void print_hypercube_layers() {
+  std::printf("--- hypercube area vs layers (n = 12) ---\n");
+  std::printf("%4s %16s %12s\n", "L", "area", "max wire");
+  for (const int L : {2, 4, 6, 8}) {
+    HypercubeLayoutOptions opt;
+    opt.layers = L;
+    const HypercubeLayoutPlan plan(12, opt);
+    const LayoutMetrics m = plan.metrics();
+    std::printf("%4d %16lld %12lld\n", L, static_cast<long long>(m.area),
+                static_cast<long long>(m.max_wire_length));
+  }
+  std::printf("\n");
+}
+
+void print_benes_table() {
+  std::printf("=== extension: Benes permutation routing (looping algorithm) ===\n");
+  std::printf("%4s %8s %10s %14s\n", "n", "ports", "stages", "perms/sec est");
+  for (const int n : {4, 6, 8, 10}) {
+    const Benes b(n);
+    Xoshiro256 rng(1);
+    std::vector<u64> perm(b.rows());
+    std::iota(perm.begin(), perm.end(), 0);
+    for (u64 i = b.rows() - 1; i > 0; --i) std::swap(perm[i], perm[rng.below(i + 1)]);
+    const auto t0 = std::chrono::steady_clock::now();
+    int reps = 0;
+    while (std::chrono::steady_clock::now() - t0 < std::chrono::milliseconds(50)) {
+      const auto paths = b.route_permutation(perm);
+      benchmark::DoNotOptimize(paths.data());
+      ++reps;
+    }
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    std::printf("%4d %8llu %10d %14.0f\n", n, static_cast<unsigned long long>(b.rows()),
+                b.num_stages(), reps / secs);
+  }
+  std::printf("\n");
+}
+
+void BM_HypercubeMetrics(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const HypercubeLayoutPlan plan(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan.metrics().area);
+  }
+}
+BENCHMARK(BM_HypercubeMetrics)->Arg(8)->Arg(12)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_BenesRoute(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Benes b(n);
+  Xoshiro256 rng(2);
+  std::vector<u64> perm(b.rows());
+  std::iota(perm.begin(), perm.end(), 0);
+  for (u64 i = b.rows() - 1; i > 0; --i) std::swap(perm[i], perm[rng.below(i + 1)]);
+  for (auto _ : state) {
+    const auto paths = b.route_permutation(perm);
+    benchmark::DoNotOptimize(paths.data());
+  }
+  state.SetItemsProcessed(static_cast<benchmark::IterationCount>(state.iterations()) *
+                          static_cast<benchmark::IterationCount>(b.rows()));
+}
+BENCHMARK(BM_BenesRoute)->Arg(6)->Arg(10)->Arg(14);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_hypercube_table();
+  print_hypercube_layers();
+  print_benes_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

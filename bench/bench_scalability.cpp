@@ -1,0 +1,57 @@
+// Experiment E11 (Sec. 3/4 scalability): node-size sweep.  Any node side
+// W = o(sqrt(N)/(L log N)) leaves the leading constants of area and wire
+// length unchanged; larger nodes start to dominate.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/bfly.hpp"
+
+namespace {
+
+using namespace bfly;
+
+void print_node_size_sweep(int n, int L) {
+  std::printf("=== E11: node-size scalability of B_%d at L=%d ===\n", n, L);
+  std::printf("%6s %16s %12s %12s %12s\n", "W", "area", "area/W=4", "max wire", "wire/W=4");
+  ButterflyLayoutOptions base;
+  base.layers = L;
+  const LayoutMetrics m0 = ButterflyLayoutPlan(ButterflyLayoutPlan::choose_parameters(n), base)
+                               .metrics();
+  for (const i64 w : {4, 8, 16, 32, 64}) {
+    ButterflyLayoutOptions opt;
+    opt.layers = L;
+    opt.node_side = w;
+    const ButterflyLayoutPlan plan(ButterflyLayoutPlan::choose_parameters(n), opt);
+    const LayoutMetrics m = plan.metrics();
+    std::printf("%6lld %16lld %12.3f %12lld %12.3f\n", static_cast<long long>(w),
+                static_cast<long long>(m.area),
+                static_cast<double>(m.area) / static_cast<double>(m0.area),
+                static_cast<long long>(m.max_wire_length),
+                static_cast<double>(m.max_wire_length) /
+                    static_cast<double>(m0.max_wire_length));
+  }
+  std::printf("paper: for W = o(sqrt(N)/(L log N)) (here: W << 2^{n/3+...}) the area\n");
+  std::printf("       ratio stays near 1; once W 2^{k1} rivals the channel width the\n");
+  std::printf("       node grid dominates and area grows ~ W^2.\n\n");
+}
+
+void BM_MetricsVsNodeSide(benchmark::State& state) {
+  ButterflyLayoutOptions opt;
+  opt.node_side = state.range(0);
+  const ButterflyLayoutPlan plan({3, 3, 3}, opt);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan.metrics().area);
+  }
+}
+BENCHMARK(BM_MetricsVsNodeSide)->Arg(4)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_node_size_sweep(12, 2);
+  print_node_size_sweep(12, 4);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

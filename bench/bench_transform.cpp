@@ -1,0 +1,89 @@
+// Experiment E2 (Figs. 1-2, Sec. 2.2): ISN -> swap-butterfly transformation
+// and the explicit isomorphism onto B_n, across parameterizations and sizes.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/bfly.hpp"
+
+namespace {
+
+using namespace bfly;
+
+std::string shape_name(const std::vector<int>& k) {
+  std::string s = "(";
+  for (std::size_t i = 0; i < k.size(); ++i) {
+    if (i) s += ",";
+    s += std::to_string(k[i]);
+  }
+  return s + ")";
+}
+
+void print_transform_table() {
+  std::printf("=== E2: swap-butterfly automorphisms of B_n (Figs. 1-2) ===\n");
+  std::printf("%-14s %4s %10s %10s %12s %6s\n", "k", "n", "rows", "nodes", "links", "iso?");
+  const std::vector<std::vector<int>> shapes = {
+      {1, 1},       {1, 1, 1},    {2, 2},    {3, 3, 3},    {4, 3, 3},
+      {4, 4, 3},    {4, 4, 4},    {5, 5, 5}, {2, 2, 2, 2}, {4, 4, 4, 4},
+      {6, 6, 6},
+  };
+  for (const auto& k : shapes) {
+    const SwapButterfly sb(k);
+    const Butterfly target(sb.dimension());
+    std::string why;
+    const bool iso =
+        is_isomorphism(sb.graph(), target.graph(), sb.isomorphism_to_butterfly(), &why);
+    std::printf("%-14s %4d %10llu %10llu %12llu %6s\n", shape_name(k).c_str(), sb.dimension(),
+                static_cast<unsigned long long>(sb.rows()),
+                static_cast<unsigned long long>(sb.num_nodes()),
+                static_cast<unsigned long long>(sb.num_links()), iso ? "yes" : "NO");
+  }
+  std::printf("paper: every ISN(k_1..k_l) transforms into an automorphism of B_{n_l}.\n\n");
+}
+
+void BM_SwapButterflyBuild(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const SwapButterfly sb({k, k, k});
+    benchmark::DoNotOptimize(sb.dimension());
+  }
+}
+BENCHMARK(BM_SwapButterflyBuild)->Arg(2)->Arg(4)->Arg(6);
+
+void BM_IsomorphismVerification(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const SwapButterfly sb({k, k, k});
+  const Graph a = sb.graph();
+  const Graph b = Butterfly(sb.dimension()).graph();
+  const auto map = sb.isomorphism_to_butterfly();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(is_isomorphism(a, b, map));
+  }
+  state.SetItemsProcessed(static_cast<benchmark::IterationCount>(state.iterations()) *
+                          static_cast<benchmark::IterationCount>(a.num_edges()));
+}
+BENCHMARK(BM_IsomorphismVerification)->Arg(2)->Arg(3)->Arg(4)->Arg(5);
+
+void BM_GraphContraction(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const SwapButterfly sb({k, k, k});
+  const Graph g = sb.graph();
+  std::vector<u64> labels(g.num_nodes());
+  for (u64 id = 0; id < g.num_nodes(); ++id) labels[id] = sb.row_of(id) >> k;
+  for (auto _ : state) {
+    const Graph q = g.contract(labels, pow2(2 * k));
+    benchmark::DoNotOptimize(q.num_edges());
+  }
+}
+BENCHMARK(BM_GraphContraction)->Arg(2)->Arg(3)->Arg(4);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_transform_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

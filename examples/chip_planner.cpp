@@ -1,0 +1,77 @@
+// Chip planner: the Section 5 workflow as a command-line tool.
+//
+// Given a butterfly dimension and chip constraints (pin budget, chip side),
+// produce the two-level package: the ISN parameters, chips, chip grid, board
+// channel tracks, and board area for a range of wiring layer counts --
+// alongside the naive consecutive-row baseline.
+//
+// Run:  ./chip_planner [n] [pins] [chip_side]     (defaults: 9 64 20)
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/bfly.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bfly;
+  const int n = argc > 1 ? std::atoi(argv[1]) : 9;
+  const u64 pins = argc > 2 ? static_cast<u64>(std::atoll(argv[2])) : 64;
+  const i64 side = argc > 3 ? std::atoll(argv[3]) : 20;
+  if (n < 2 || n > 14) {
+    std::fprintf(stderr, "usage: %s [n in 2..14] [pins] [chip_side]\n", argv[0]);
+    return 1;
+  }
+
+  ChipConstraints constraints;
+  constraints.max_offchip_links = pins;
+  constraints.chip_side = side;
+
+  std::printf("planning a %d-dimensional butterfly (%llu nodes) onto chips with\n", n,
+              static_cast<unsigned long long>(pow2(n) * static_cast<u64>(n + 1)));
+  std::printf("<= %llu off-chip links and side %lld\n\n", static_cast<unsigned long long>(pins),
+              static_cast<long long>(side));
+
+  HierarchicalPlan plan;
+  try {
+    plan = plan_hierarchical(n, constraints);
+  } catch (const InvalidArgument& e) {
+    std::fprintf(stderr, "infeasible: %s\n", e.what());
+    return 2;
+  }
+
+  std::printf("ISN parameters       : (");
+  for (std::size_t i = 0; i < plan.k.size(); ++i) {
+    std::printf("%s%d", i ? "," : "", plan.k[i]);
+  }
+  std::printf(")\n");
+  std::printf("rows per chip        : %llu\n", static_cast<unsigned long long>(pow2(plan.rows_log2)));
+  std::printf("nodes per chip       : %llu\n", static_cast<unsigned long long>(plan.nodes_per_chip));
+  std::printf("chips                : %llu (grid %llu x %llu)\n",
+              static_cast<unsigned long long>(plan.num_chips),
+              static_cast<unsigned long long>(plan.grid_rows),
+              static_cast<unsigned long long>(plan.grid_cols));
+  std::printf("off-chip links/chip  : %llu\n",
+              static_cast<unsigned long long>(plan.offchip_links_per_chip));
+  std::printf("channel tracks       : %llu (after neighbor-link optimization)\n",
+              static_cast<unsigned long long>(plan.logical_tracks_per_channel));
+  std::printf("terminals per edge   : %llu\n",
+              static_cast<unsigned long long>(plan.terminals_per_edge));
+
+  std::printf("\nboard area vs wiring layers:\n");
+  std::printf("  %4s %12s %12s %12s\n", "L", "side", "area", "max wire");
+  for (const int L : {2, 4, 8, 16}) {
+    std::printf("  %4d %12lld %12lld %12lld\n", L, static_cast<long long>(plan.board_side(L)),
+                static_cast<long long>(plan.board_area(L)),
+                static_cast<long long>(plan.max_board_wire(L)));
+  }
+
+  std::printf("\nbaseline (consecutive rows of a plain butterfly):\n");
+  try {
+    std::printf("  exact counting : %llu chips\n",
+                static_cast<unsigned long long>(naive_chip_count(n, pins)));
+    std::printf("  paper estimate : %llu chips\n",
+                static_cast<unsigned long long>(naive_chip_count_paper_estimate(n, pins)));
+  } catch (const InvalidArgument&) {
+    std::printf("  infeasible under this pin budget\n");
+  }
+  return 0;
+}

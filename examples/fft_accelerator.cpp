@@ -1,0 +1,58 @@
+// FFT accelerator floorplanner: the PIM / smart-memory motivation from the
+// paper's introduction.
+//
+// Design a 2^n-point FFT engine whose dataflow *is* the butterfly network:
+// pick ISN parameters, verify the network computes the DFT exactly over its
+// own links, then report the VLSI floorplan (with large compute nodes --
+// node size scalability, Sec. 3) and the chip-level packaging.
+//
+// Run:  ./fft_accelerator [log2_points]     (default 9)
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/bfly.hpp"
+#include "util/prng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bfly;
+  const int n = argc > 1 ? std::atoi(argv[1]) : 9;
+  if (n < 3 || n > 14) {
+    std::fprintf(stderr, "usage: %s [log2_points in 3..14]\n", argv[0]);
+    return 1;
+  }
+  const std::vector<int> k = ButterflyLayoutPlan::choose_parameters(n);
+  const SwapButterfly sb(k);
+  std::printf("%llu-point FFT engine on a B_%d dataflow network\n",
+              static_cast<unsigned long long>(sb.rows()), n);
+
+  // --- functional verification over the network links -----------------------
+  Xoshiro256 rng(7);
+  std::vector<cplx> x(sb.rows());
+  for (auto& v : x) v = {rng.uniform() * 2 - 1, rng.uniform() * 2 - 1};
+  const double err = max_abs_error(fft_on_swap_butterfly(sb, x), fft_reference(x));
+  std::printf("network FFT vs reference FFT: max |error| = %.2e\n\n", err);
+
+  // --- floorplan with realistic compute-node sizes ---------------------------
+  std::printf("floorplan (each node = butterfly ALU + registers):\n");
+  std::printf("  %10s %16s %12s\n", "node side", "area", "max wire");
+  for (const i64 w : {4, 8, 16}) {
+    ButterflyLayoutOptions opt;
+    opt.node_side = w;
+    const ButterflyLayoutPlan plan(k, opt);
+    const LayoutMetrics m = plan.metrics();
+    std::printf("  %10lld %16lld %12lld\n", static_cast<long long>(w),
+                static_cast<long long>(m.area), static_cast<long long>(m.max_wire_length));
+  }
+
+  // --- multi-chip version -----------------------------------------------------
+  std::printf("\nmulti-chip packaging (Sec. 2.3 row-block scheme):\n");
+  const Partition part = row_block_partition(sb, k[0]);
+  const PartitionStats stats = evaluate_partition(sb.graph(), part);
+  std::printf("  %llu chips, %llu nodes each, avg %.3f off-chip links per node\n",
+              static_cast<unsigned long long>(stats.num_modules),
+              static_cast<unsigned long long>(stats.max_nodes_per_module),
+              stats.avg_offmodule_links_per_node);
+  std::printf("  (naive packing would need ~%.1f links per node)\n",
+              formulas::naive_offmodule_links_per_node());
+  return 0;
+}

@@ -1,0 +1,214 @@
+// layout_tool: the library's Swiss-army CLI.
+//
+//   layout_tool metrics <n> [L] [--fold] [--node-side W]
+//       measured layout metrics vs the paper's closed forms
+//   layout_tool verify <n> [L] [--fold]
+//       materialize the layout and run both legality checkers
+//   layout_tool render <n> <out.svg> [L]
+//       write an SVG of the layout (small n)
+//   layout_tool transform <k1> <k2> [...]
+//       build the swap-butterfly and verify the isomorphism onto B_n
+//   layout_tool plan <n> [pins] [chip_side]
+//       two-level chip/board package (Section 5 planner)
+//   layout_tool stack <n> [layers_per_copy]
+//       3-D stacked-layout volume sweep (Sec. 4.2 closing construction)
+//   layout_tool benes <n> [seed]
+//       route a random permutation through a Benes network
+//   layout_tool hypercube <n> [L]
+//       hypercube grid layout metrics vs the (N/2)^2 bound
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <numeric>
+#include <string>
+
+#include "core/bfly.hpp"
+#include "util/prng.hpp"
+
+namespace {
+
+using namespace bfly;
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <metrics|verify|render|transform|plan|stack|benes|hypercube> ...\n"
+               "run with no arguments after the subcommand for defaults; see the\n"
+               "header of examples/layout_tool.cpp for the full synopsis.\n",
+               argv0);
+  return 2;
+}
+
+ButterflyLayoutOptions parse_layout_options(int argc, char** argv, int first) {
+  ButterflyLayoutOptions opt;
+  for (int i = first; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fold") == 0) {
+      opt.fold_block_channels = true;
+    } else if (std::strcmp(argv[i], "--node-side") == 0 && i + 1 < argc) {
+      opt.node_side = std::atoll(argv[++i]);
+    } else if (argv[i][0] != '-') {
+      opt.layers = std::atoi(argv[i]);
+    }
+  }
+  return opt;
+}
+
+int cmd_metrics(int argc, char** argv) {
+  const int n = std::atoi(argv[2]);
+  const ButterflyLayoutOptions opt = parse_layout_options(argc, argv, 3);
+  const ButterflyLayoutPlan plan(ButterflyLayoutPlan::choose_parameters(n), opt);
+  const LayoutMetrics m = plan.metrics();
+  std::printf("B_%d, L=%d%s, node side %lld\n", n, opt.layers,
+              opt.fold_block_channels ? " (folded blocks)" : "",
+              static_cast<long long>(opt.node_side));
+  std::printf("  %-18s %lld x %lld\n", "dimensions", static_cast<long long>(m.width),
+              static_cast<long long>(m.height));
+  std::printf("  %-18s %lld (formula %.0f, ratio %.3f)\n", "area",
+              static_cast<long long>(m.area), formulas::multilayer_area(n, opt.layers),
+              static_cast<double>(m.area) / formulas::multilayer_area(n, opt.layers));
+  std::printf("  %-18s %lld (formula %.0f, ratio %.3f)\n", "max wire",
+              static_cast<long long>(m.max_wire_length),
+              formulas::multilayer_max_wire(n, opt.layers),
+              static_cast<double>(m.max_wire_length) /
+                  formulas::multilayer_max_wire(n, opt.layers));
+  std::printf("  %-18s %lld\n", "volume", static_cast<long long>(m.volume));
+  std::printf("  %-18s %llu wires, %llu nodes\n", "entities",
+              static_cast<unsigned long long>(m.num_wires),
+              static_cast<unsigned long long>(m.num_nodes));
+  return 0;
+}
+
+int cmd_verify(int argc, char** argv) {
+  const int n = std::atoi(argv[2]);
+  if (n > 12) {
+    std::fprintf(stderr, "verify materializes full geometry; use n <= 12\n");
+    return 1;
+  }
+  const ButterflyLayoutOptions opt = parse_layout_options(argc, argv, 3);
+  const ButterflyLayoutPlan plan(ButterflyLayoutPlan::choose_parameters(n), opt);
+  const Layout layout = plan.materialize();
+  const LegalityReport multi = check_multilayer(layout);
+  std::printf("multilayer: %s\n", multi.summary().c_str());
+  if (opt.layers == 2) {
+    const LegalityReport thompson = check_thompson(layout);
+    std::printf("thompson:   %s\n", thompson.summary().c_str());
+    return multi.ok && thompson.ok ? 0 : 1;
+  }
+  return multi.ok ? 0 : 1;
+}
+
+int cmd_render(int argc, char** argv) {
+  const int n = std::atoi(argv[2]);
+  if (n > 9) {
+    std::fprintf(stderr, "rendering is useful for n <= 9\n");
+    return 1;
+  }
+  const ButterflyLayoutOptions opt = parse_layout_options(argc, argv, 4);
+  const ButterflyLayoutPlan plan(ButterflyLayoutPlan::choose_parameters(n), opt);
+  std::ofstream out(argv[3]);
+  out << render_svg(plan.materialize(), {n <= 6 ? 4.0 : 1.0, true});
+  std::printf("wrote %s\n", argv[3]);
+  return 0;
+}
+
+int cmd_transform(int argc, char** argv) {
+  std::vector<int> k;
+  for (int i = 2; i < argc; ++i) k.push_back(std::atoi(argv[i]));
+  const SwapButterfly sb(k);
+  std::string why;
+  const bool ok = is_isomorphism(sb.graph(), Butterfly(sb.dimension()).graph(),
+                                 sb.isomorphism_to_butterfly(), &why);
+  std::printf("ISN -> swap-butterfly of dimension %d (%llu nodes): %s\n", sb.dimension(),
+              static_cast<unsigned long long>(sb.num_nodes()),
+              ok ? "isomorphic to the butterfly" : why.c_str());
+  return ok ? 0 : 1;
+}
+
+int cmd_plan(int argc, char** argv) {
+  const int n = std::atoi(argv[2]);
+  ChipConstraints c;
+  if (argc > 3) c.max_offchip_links = static_cast<u64>(std::atoll(argv[3]));
+  if (argc > 4) c.chip_side = std::atoll(argv[4]);
+  const HierarchicalPlan plan = plan_hierarchical(n, c);
+  std::printf("%llu chips of %llu nodes (grid %llux%llu), %llu off-chip links/chip\n",
+              static_cast<unsigned long long>(plan.num_chips),
+              static_cast<unsigned long long>(plan.nodes_per_chip),
+              static_cast<unsigned long long>(plan.grid_rows),
+              static_cast<unsigned long long>(plan.grid_cols),
+              static_cast<unsigned long long>(plan.offchip_links_per_chip));
+  for (const int L : {2, 4, 8}) {
+    std::printf("board area (L=%d): %lld\n", L, static_cast<long long>(plan.board_area(L)));
+  }
+  return 0;
+}
+
+int cmd_stack(int argc, char** argv) {
+  const int n = std::atoi(argv[2]);
+  Butterfly3DOptions opt;
+  if (argc > 3) opt.layers_per_copy = std::atoi(argv[3]);
+  std::printf("%4s %16s %14s %8s\n", "k4", "footprint", "volume", "layers");
+  for (const auto& [k4, volume] : volume_sweep(n, opt)) {
+    std::vector<int> k = ButterflyLayoutPlan::choose_parameters(n - k4);
+    k.push_back(k4);
+    const Butterfly3DPlan plan = plan_butterfly_3d(k, opt);
+    std::printf("%4d %16lld %14lld %8d\n", k4, static_cast<long long>(plan.footprint_area),
+                static_cast<long long>(volume), plan.total_layers);
+  }
+  return 0;
+}
+
+int cmd_benes(int argc, char** argv) {
+  const int n = std::atoi(argv[2]);
+  const u64 seed = argc > 3 ? static_cast<u64>(std::atoll(argv[3])) : 1;
+  const Benes b(n);
+  Xoshiro256 rng(seed);
+  std::vector<u64> perm(b.rows());
+  std::iota(perm.begin(), perm.end(), 0);
+  for (u64 i = b.rows() - 1; i > 0; --i) std::swap(perm[i], perm[rng.below(i + 1)]);
+  const auto paths = b.route_permutation(perm);
+  std::printf("routed a random permutation of %llu ports through %d stages\n",
+              static_cast<unsigned long long>(b.rows()), b.num_stages());
+  if (b.rows() <= 16) {
+    for (u64 s = 0; s < b.rows(); ++s) {
+      std::printf("  %2llu ->", static_cast<unsigned long long>(s));
+      for (const u64 row : paths[s]) std::printf(" %llu", static_cast<unsigned long long>(row));
+      std::printf("\n");
+    }
+  }
+  return 0;
+}
+
+int cmd_hypercube(int argc, char** argv) {
+  const int n = std::atoi(argv[2]);
+  HypercubeLayoutOptions opt;
+  if (argc > 3) opt.layers = std::atoi(argv[3]);
+  const HypercubeLayoutPlan plan(n, opt);
+  const LayoutMetrics m = plan.metrics();
+  std::printf("Q_%d as a %llux%llu grid: area %lld (bound %.0f, ratio %.3f), max wire %lld\n",
+              n, static_cast<unsigned long long>(plan.grid_rows()),
+              static_cast<unsigned long long>(plan.grid_cols()), static_cast<long long>(m.area),
+              HypercubeLayoutPlan::area_lower_bound(n),
+              static_cast<double>(m.area) / HypercubeLayoutPlan::area_lower_bound(n),
+              static_cast<long long>(m.max_wire_length));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage(argv[0]);
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "metrics") return cmd_metrics(argc, argv);
+    if (cmd == "verify") return cmd_verify(argc, argv);
+    if (cmd == "render" && argc >= 4) return cmd_render(argc, argv);
+    if (cmd == "transform") return cmd_transform(argc, argv);
+    if (cmd == "plan") return cmd_plan(argc, argv);
+    if (cmd == "stack") return cmd_stack(argc, argv);
+    if (cmd == "benes") return cmd_benes(argc, argv);
+    if (cmd == "hypercube") return cmd_hypercube(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage(argv[0]);
+}

@@ -1,0 +1,93 @@
+// Quickstart: the three things the library does, in ~80 lines.
+//
+//   1. Transform an indirect swap network into a butterfly (Sec. 2.2) and
+//      verify the isomorphism.
+//   2. Produce an optimal Thompson-model layout (Sec. 3), machine-check its
+//      legality, and measure area / max wire length against the paper's
+//      closed forms.
+//   3. Partition the network for packaging (Sec. 2.3) and count off-module
+//      links.
+//
+// Run:  ./quickstart [n]    (default n = 6)
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "core/bfly.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bfly;
+  const int n = argc > 1 ? std::atoi(argv[1]) : 6;
+  if (n < 3 || n > 15) {
+    std::fprintf(stderr, "usage: %s [n in 3..15]\n", argv[0]);
+    return 1;
+  }
+
+  // --- 1. ISN -> swap-butterfly -> butterfly -------------------------------
+  const std::vector<int> k = ButterflyLayoutPlan::choose_parameters(n);
+  const SwapButterfly sb(k);
+  std::printf("B_%d: %llu rows x %d stages = %llu nodes, %llu links\n", n,
+              static_cast<unsigned long long>(sb.rows()), sb.num_stages(),
+              static_cast<unsigned long long>(sb.num_nodes()),
+              static_cast<unsigned long long>(sb.num_links()));
+
+  std::string why;
+  const bool iso = is_isomorphism(sb.graph(), Butterfly(n).graph(),
+                                  sb.isomorphism_to_butterfly(), &why);
+  std::printf("swap-butterfly is an automorphism of B_%d: %s\n", n, iso ? "verified" : why.c_str());
+
+  // A Fig. 1/2-style diagram of the underlying ISN.
+  if (n <= 6) {
+    const IndirectSwapNetwork& isn = sb.isn();
+    std::ofstream diagram("isn_diagram.svg");
+    diagram << render_multistage_svg(
+        isn.rows(), isn.num_stages(), [&](const std::function<void(u64, int, u64)>& emit) {
+          for (int t = 1; t <= isn.num_steps(); ++t) {
+            for (u64 u = 0; u < isn.rows(); ++u) {
+              const auto out = isn.outgoing(u, t);
+              if (out.is_swap) {
+                emit(u, t - 1, out.swap);
+              } else {
+                emit(u, t - 1, out.straight);
+                emit(u, t - 1, out.cross);
+              }
+            }
+          }
+        });
+    std::printf("wrote isn_diagram.svg (Fig. 1/2 style)\n");
+  }
+
+  // --- 2. Optimal layout ----------------------------------------------------
+  const ButterflyLayoutPlan plan(k);
+  const LayoutMetrics m = plan.metrics();
+  std::printf("\nThompson-model layout (L = 2):\n");
+  std::printf("  %lld x %lld, area %lld (paper leading term %.0f, ratio %.3f)\n",
+              static_cast<long long>(m.width), static_cast<long long>(m.height),
+              static_cast<long long>(m.area), formulas::thompson_area(n),
+              static_cast<double>(m.area) / formulas::thompson_area(n));
+  std::printf("  max wire %lld (paper leading term %.0f, ratio %.3f)\n",
+              static_cast<long long>(m.max_wire_length), formulas::thompson_max_wire(n),
+              static_cast<double>(m.max_wire_length) / formulas::thompson_max_wire(n));
+
+  if (n <= 9) {
+    const Layout layout = plan.materialize();
+    const LegalityReport thompson = check_thompson(layout);
+    const LegalityReport multilayer = check_multilayer(layout);
+    std::printf("  legality: Thompson %s; multilayer %s\n", thompson.summary().c_str(),
+                multilayer.summary().c_str());
+    std::ofstream svg("butterfly_layout.svg");
+    svg << render_svg(layout, {n <= 6 ? 4.0 : 1.0, true});
+    std::printf("  wrote butterfly_layout.svg\n");
+  }
+
+  // --- 3. Packaging ---------------------------------------------------------
+  const Partition part = row_block_partition(sb, k[0]);
+  const PartitionStats stats = evaluate_partition(sb.graph(), part);
+  std::printf("\nPackaging (2^%d rows per module):\n", k[0]);
+  std::printf("  %llu modules of %llu nodes; avg off-module links/node %.4f (formula %.4f)\n",
+              static_cast<unsigned long long>(stats.num_modules),
+              static_cast<unsigned long long>(stats.max_nodes_per_module),
+              stats.avg_offmodule_links_per_node,
+              formulas::offmodule_links_per_node_general(k));
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Switch fabric designer: the "network switches and routers" motivation from
+// the paper's introduction.
+//
+// Given a port count, build the butterfly switching fabric that connects
+// them, lay it out under the multilayer grid model for several metal stack
+// heights, and simulate its saturation throughput under uniform random
+// traffic.
+//
+// Run:  ./switch_fabric [ports]     (default 256; rounded up to a power of 2)
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/bfly.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bfly;
+  u64 ports = argc > 1 ? static_cast<u64>(std::atoll(argv[1])) : 256;
+  if (ports < 8) ports = 8;
+  int n = ilog2(ports);
+  if (!is_pow2(ports)) ++n;
+  if (n > 12) {
+    std::fprintf(stderr, "at most 4096 ports in this demo\n");
+    return 1;
+  }
+  std::printf("switch fabric for %llu ports: butterfly B_%d (%llu x %llu, %llu switch nodes)\n\n",
+              static_cast<unsigned long long>(pow2(n)), n,
+              static_cast<unsigned long long>(pow2(n)),
+              static_cast<unsigned long long>(pow2(n)),
+              static_cast<unsigned long long>(pow2(n) * static_cast<u64>(n + 1)));
+
+  // --- silicon: multilayer layouts over a metal-stack sweep -----------------
+  std::printf("layout vs metal stack (multilayer 2-D grid model):\n");
+  std::printf("  %4s %14s %12s %12s\n", "L", "area", "max wire", "volume");
+  for (const int L : {2, 4, 6, 8}) {
+    ButterflyLayoutOptions opt;
+    opt.layers = L;
+    const ButterflyLayoutPlan plan(ButterflyLayoutPlan::choose_parameters(n), opt);
+    const LayoutMetrics m = plan.metrics();
+    std::printf("  %4d %14lld %12lld %14lld\n", L, static_cast<long long>(m.area),
+                static_cast<long long>(m.max_wire_length), static_cast<long long>(m.volume));
+  }
+
+  // --- traffic: saturation behaviour ----------------------------------------
+  std::printf("\nuniform random traffic (synchronous store-and-forward):\n");
+  std::printf("  %8s %12s %10s\n", "offered", "throughput", "latency");
+  for (const double load : {0.25, 0.5, 0.75, 1.0}) {
+    const SaturationPoint p = simulate_saturation(std::min(n, 9), load, 3000, 1, 300);
+    std::printf("  %8.2f %12.4f %10.2f\n", p.offered_load, p.throughput, p.avg_latency);
+  }
+
+  // --- worst-case traffic: why switches use Benes fabrics ---------------------
+  std::printf("\nworst-case (bit-reversal) permutation:\n");
+  const int bn = std::min(n, 10);
+  std::printf("  greedy butterfly congestion : %llu packets on one link\n",
+              static_cast<unsigned long long>(bit_reversal_congestion(bn)));
+  {
+    const Benes benes(bn);
+    std::vector<u64> perm(benes.rows());
+    for (u64 i = 0; i < perm.size(); ++i) perm[i] = bit_reverse(i, bn);
+    const auto paths = benes.route_permutation(perm);
+    std::printf("  Benes fabric (looping alg.) : congestion 1 over %zu node-disjoint paths\n",
+                paths.size());
+  }
+
+  // --- the same fabric as line cards -----------------------------------------
+  std::printf("\npartition onto line cards (64 off-card links each):\n");
+  try {
+    const HierarchicalPlan plan = plan_hierarchical(n, {});
+    std::printf("  %llu cards of %llu nodes, %llu off-card links each\n",
+                static_cast<unsigned long long>(plan.num_chips),
+                static_cast<unsigned long long>(plan.nodes_per_chip),
+                static_cast<unsigned long long>(plan.offchip_links_per_chip));
+  } catch (const InvalidArgument& e) {
+    std::printf("  %s\n", e.what());
+  }
+  return 0;
+}

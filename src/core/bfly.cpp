@@ -1,0 +1,7 @@
+#include "core/bfly.hpp"
+
+namespace bfly {
+
+const char* version() { return "1.0.0"; }
+
+}  // namespace bfly

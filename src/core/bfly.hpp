@@ -1,0 +1,40 @@
+// Umbrella header: the public API of the bflylayout library.
+//
+//   #include "core/bfly.hpp"
+//
+// pulls in the network topologies (butterflies, swap networks, ISNs and the
+// swap-butterfly transformation of Section 2), the layout engine and the
+// optimal butterfly layouts under the Thompson and multilayer grid models
+// (Sections 3-4), the partitioning/packaging schemes and the hierarchical
+// planner (Sections 2.3 and 5), the routing simulator behind the Theorem 2.1
+// lower bound, and the network FFT functional check.
+#pragma once
+
+#include "core/formulas.hpp"
+#include "fft/isn_fft.hpp"
+#include "layout/butterfly_3d.hpp"
+#include "layout/butterfly_layout.hpp"
+#include "layout/collinear.hpp"
+#include "layout/legality.hpp"
+#include "layout/render.hpp"
+#include "packaging/hierarchical.hpp"
+#include "packaging/partition.hpp"
+#include "routing/routing.hpp"
+#include "layout/hypercube_layout.hpp"
+#include "layout/product_layout.hpp"
+#include "topology/basic_graphs.hpp"
+#include "topology/benes.hpp"
+#include "topology/butterfly.hpp"
+#include "topology/complete_graph.hpp"
+#include "topology/generalized_hypercube.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/isomorphism.hpp"
+#include "topology/swap_butterfly.hpp"
+#include "topology/swap_network.hpp"
+
+namespace bfly {
+
+/// Library version.
+const char* version();
+
+}  // namespace bfly

@@ -1,0 +1,98 @@
+// The paper's closed forms, collected in one place so that every bench and
+// test compares measurements against the same expressions.
+//
+// Throughout, N = (n+1) 2^n is the node count of the n-dimensional
+// butterfly, so N / log2(N) ~ 2^n and the paper's N^2/log^2 N leading terms
+// reduce to powers of two in n.
+#pragma once
+
+#include <cmath>
+#include <span>
+
+#include "util/bits.hpp"
+
+namespace bfly::formulas {
+
+/// Number of nodes of B_n.
+inline double nodes(int n) {
+  return static_cast<double>(n + 1) * std::pow(2.0, n);
+}
+
+/// Thompson-model area leading term: N^2 / log2^2 N = 2^{2n}.
+inline double thompson_area(int n) {
+  return std::pow(2.0, 2 * n);
+}
+
+/// Thompson-model max wire length leading term: N / log2 N = 2^n.
+inline double thompson_max_wire(int n) {
+  return std::pow(2.0, n);
+}
+
+/// Theorem 4.1 area: 4 N^2 / (L^2 log2^2 N) for even L,
+/// 4 N^2 / ((L^2 - 1) log2^2 N) for odd L.
+inline double multilayer_area(int n, int L) {
+  const double denom = (L % 2 == 0) ? static_cast<double>(L) * L
+                                    : static_cast<double>(L) * L - 1.0;
+  return 4.0 * std::pow(2.0, 2 * n) / denom;
+}
+
+/// Multilayer max wire length: 2 N / (L log2 N) = 2^{n+1} / L.
+inline double multilayer_max_wire(int n, int L) {
+  return std::pow(2.0, n + 1) / L;
+}
+
+/// Multilayer volume: 4 N^2 / (L log2^2 N).
+inline double multilayer_volume(int n, int L) {
+  return 4.0 * std::pow(2.0, 2 * n) / L;
+}
+
+/// Section 2.3: average off-module links per node of the row-block scheme,
+/// as printed in the paper (assumes equal group sizes k_i = k_1).
+inline double offmodule_links_per_node(int l, int k1, int n) {
+  const double rows = std::pow(2.0, k1);
+  return 4.0 * (l - 1) * (rows - 1) / ((n + 1) * rows);
+}
+
+/// Generalization of the Section 2.3 average to unequal group sizes: a
+/// level-i swap link stays inside its module with probability 2^{-k_i}, so
+/// the average is (4/(n+1)) sum_{i=2..l} (1 - 2^{-k_i}).  Reduces to
+/// offmodule_links_per_node when all k_i are equal.
+inline double offmodule_links_per_node_general(std::span<const int> k) {
+  int n = 0;
+  for (const int ki : k) n += ki;
+  double sum = 0.0;
+  for (std::size_t i = 1; i < k.size(); ++i) {
+    sum += 1.0 - std::pow(2.0, -k[i]);
+  }
+  return 4.0 * sum / (n + 1);
+}
+
+/// The naive consecutive-row packing's asymptotic average (about 2).
+inline double naive_offmodule_links_per_node() {
+  return 2.0;
+}
+
+// ---------------------------------------------------------------------------
+// Prior-art leading constants for butterfly layout area, all as multiples of
+// N^2/log2^2 N (the paper's related-work comparison in the introduction).
+// ---------------------------------------------------------------------------
+
+/// Avior, Calamoneri, Even, Litman, Rosenberg [1]: upright rectangle, two
+/// wire layers -- the 1 + o(1) optimum our Section 3 layout matches.
+inline double avior_area_constant() { return 1.0; }
+
+/// Muthukrishnan, Paterson, Sahinalp, Suel [16]: knock-knee model (usually
+/// needs more than two layers to realize).
+inline double knock_knee_area_constant() { return 2.0 / 3.0; }
+
+/// Dinitz, Even, Kupershtok, Zapolotsky [10]: slanted encompassing rectangle
+/// (wires at 45 degrees).
+inline double dinitz_slanted_area_constant() { return 0.5; }
+
+/// This paper under the multilayer model: 4 / L^2 (even L).
+inline double multilayer_area_constant(int L) {
+  return L % 2 == 0 ? 4.0 / (static_cast<double>(L) * L)
+                    : 4.0 / (static_cast<double>(L) * L - 1.0);
+}
+
+}  // namespace bfly::formulas

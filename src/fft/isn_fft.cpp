@@ -1,0 +1,97 @@
+#include "fft/isn_fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace bfly {
+
+namespace {
+cplx twiddle(u64 numerator, u64 denominator) {
+  const double angle =
+      -2.0 * std::numbers::pi * static_cast<double>(numerator) / static_cast<double>(denominator);
+  return {std::cos(angle), std::sin(angle)};
+}
+}  // namespace
+
+std::vector<cplx> fft_on_swap_butterfly(const SwapButterfly& sb, std::span<const cplx> x) {
+  const int n = sb.dimension();
+  const u64 rows = sb.rows();
+  BFLY_REQUIRE(x.size() == rows, "input size must be 2^{n_l}");
+
+  // Stage 0 holds the bit-reversed input (decimation in time); rho_0 = id.
+  std::vector<cplx> val(rows);
+  for (u64 v = 0; v < rows; ++v) val[v] = x[bit_reverse(v, n)];
+
+  std::vector<cplx> next(rows);
+  for (int s = 0; s < n; ++s) {
+    const bool boundary = sb.is_swap_transition(s);
+    const int level = sb.level_of_transition(s);
+    const int j = s - sb.prefix(level - 1);
+    for (u64 w = 0; w < rows; ++w) {
+      // In-neighbors of (w, s+1): both values arrive over real network links.
+      const u64 u_straight = boundary ? sb.isn().sigma(level, w) : w;
+      const u64 u_cross = boundary ? sb.isn().sigma(level, w ^ 1) : (w ^ pow2(j));
+      BFLY_CHECK(sb.straight_target(u_straight, s) == w, "straight link must arrive at w");
+      BFLY_CHECK(sb.cross_target(u_cross, s) == w, "cross link must arrive at w");
+
+      const u64 r = sb.rho(s + 1, w);  // butterfly row of (w, s+1)
+      const u64 r0 = r & ~pow2(s);
+      const cplx W = twiddle(r0 & (pow2(s) - 1), pow2(s + 1));
+      if ((r >> s) & 1) {
+        // This node holds Y[r1] = X[r0] - W X[r1]: X[r0] arrives on the
+        // cross link, X[r1] on the straight link.
+        next[w] = val[u_cross] - W * val[u_straight];
+      } else {
+        next[w] = val[u_straight] + W * val[u_cross];
+      }
+    }
+    val.swap(next);
+  }
+
+  // Stage n: node (v, n) holds the DFT coefficient of butterfly row rho_n(v).
+  std::vector<cplx> out(rows);
+  for (u64 v = 0; v < rows; ++v) out[sb.rho(n, v)] = val[v];
+  return out;
+}
+
+std::vector<cplx> fft_reference(std::span<const cplx> x) {
+  const u64 n = x.size();
+  BFLY_REQUIRE(is_pow2(n), "FFT size must be a power of two");
+  const int lg = ilog2(n);
+  std::vector<cplx> a(n);
+  for (u64 i = 0; i < n; ++i) a[bit_reverse(i, lg)] = x[i];
+  for (int s = 0; s < lg; ++s) {
+    const u64 half = pow2(s);
+    const u64 m = half * 2;
+    for (u64 k = 0; k < n; k += m) {
+      for (u64 j = 0; j < half; ++j) {
+        const cplx w = twiddle(j, m);
+        const cplx t = w * a[k + j + half];
+        const cplx u = a[k + j];
+        a[k + j] = u + t;
+        a[k + j + half] = u - t;
+      }
+    }
+  }
+  return a;
+}
+
+std::vector<cplx> dft_naive(std::span<const cplx> x) {
+  const u64 n = x.size();
+  std::vector<cplx> out(n);
+  for (u64 k = 0; k < n; ++k) {
+    cplx sum = 0;
+    for (u64 j = 0; j < n; ++j) sum += x[j] * twiddle((j * k) % n, n);
+    out[k] = sum;
+  }
+  return out;
+}
+
+double max_abs_error(std::span<const cplx> a, std::span<const cplx> b) {
+  BFLY_REQUIRE(a.size() == b.size(), "size mismatch");
+  double err = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) err = std::max(err, std::abs(a[i] - b[i]));
+  return err;
+}
+
+}  // namespace bfly

@@ -1,0 +1,36 @@
+// FFT executed on the swap-butterfly flow graph (Sec. 2.2 / Appendix A.2).
+//
+// The paper's structural argument is that the ISN is the flow graph of an
+// ascend-style FFT on the swap network, so bypassing swap stages yields a
+// butterfly automorphism.  This module is the *functional* proof: it runs a
+// radix-2 decimation-in-time FFT where stage-s values live on swap-butterfly
+// nodes (v, s) -- i.e. every data movement follows an actual network link,
+// and the twiddle of a node is derived from its butterfly row rho_s(v).  The
+// result must equal the DFT bit-for-bit up to floating-point error, for
+// every ISN parameterization.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "topology/swap_butterfly.hpp"
+
+namespace bfly {
+
+using cplx = std::complex<double>;
+
+/// DFT (forward, e^{-2 pi i jk/N} convention) computed by propagating values
+/// along the swap-butterfly's links.  Input x has 2^{n_l} entries in natural
+/// order; output is the DFT in natural order.
+std::vector<cplx> fft_on_swap_butterfly(const SwapButterfly& sb, std::span<const cplx> x);
+
+/// Plain radix-2 FFT (in-place Cooley-Tukey) for cross-checking.
+std::vector<cplx> fft_reference(std::span<const cplx> x);
+
+/// Naive O(N^2) DFT, the independent ground truth.
+std::vector<cplx> dft_naive(std::span<const cplx> x);
+
+/// Largest elementwise magnitude difference.
+double max_abs_error(std::span<const cplx> a, std::span<const cplx> b);
+
+}  // namespace bfly

@@ -1,0 +1,81 @@
+#include "layout/butterfly_3d.hpp"
+
+#include <algorithm>
+
+#include "layout/collinear.hpp"
+
+namespace bfly {
+
+Butterfly3DPlan plan_butterfly_3d(const std::vector<int>& k, const Butterfly3DOptions& options) {
+  BFLY_REQUIRE(k.size() == 4, "the stacked layout is driven by a 4-level ISN");
+  validate_swap_parameters(k);
+  const int k4 = k[3];
+
+  Butterfly3DPlan plan;
+  plan.k = k;
+  plan.n = k[0] + k[1] + k[2] + k4;
+  plan.copies = pow2(k4);
+  plan.layers_per_copy = options.layers_per_copy;
+
+  // The per-copy 2-D layout: a {k1,k2,k3} butterfly layout.  Each copy also
+  // hosts its share of the level-4 exchange stages (a nucleus B_k4 per
+  // block); within a copy these appear as k4 extra stage columns of the same
+  // exchange-channel structure, which we account for by widening every block
+  // with k4 extra (node column + widest exchange channel) strips.
+  ButterflyLayoutOptions opt2d;
+  opt2d.layers = options.layers_per_copy;
+  opt2d.node_side = options.node_side;
+  opt2d.fold_block_channels = options.fold_block_channels;
+  const ButterflyLayoutPlan base({k[0], k[1], k[2]}, opt2d);
+
+  const i64 widest_exchange =
+      options.node_side + static_cast<i64>(pow2(k[0])) * options.node_side / 2 + 2;
+  const i64 extra_per_block = k4 * widest_exchange;
+  const u64 grid_cols = base.grid_cols();
+  plan.footprint_width = base.width() + static_cast<i64>(grid_cols) * extra_per_block;
+  plan.footprint_height = base.height();
+  plan.footprint_area = plan.footprint_width * plan.footprint_height;
+
+  // z accounting: each copy needs 1 active layer + layers_per_copy wiring
+  // layers; vertical level-4 links thread the stack at private (x, y)
+  // points, so they consume no extra layers -- but each block must host the
+  // feedthrough grid: 4 * 2^k1 endpoints per (block, copy boundary), doubled
+  // links, placed on the block's own footprint.
+  plan.total_layers = static_cast<int>(plan.copies) * (1 + options.layers_per_copy);
+  plan.volume = static_cast<i64>(plan.total_layers) * plan.footprint_area;
+
+  plan.feedthroughs_per_block = 4 * pow2(k[0]) * (plan.copies - 1);
+  const i64 block_area =
+      (base.block_width() + extra_per_block) * base.block_height();
+  plan.feedthroughs_fit =
+      static_cast<i64>(plan.feedthroughs_per_block) <= block_area / 2;
+
+  // Max wire: the longest intra-copy wire, or the tallest vertical run
+  // (collinear-in-z: the longest inter-copy link spans the full stack).
+  const LayoutMetrics m2d = base.metrics();
+  const i64 tallest_vertical = static_cast<i64>(plan.copies) * (1 + options.layers_per_copy);
+  plan.max_wire_length = std::max(m2d.max_wire_length + extra_per_block * 4, tallest_vertical);
+  return plan;
+}
+
+std::vector<std::pair<int, i64>> volume_sweep(int n, const Butterfly3DOptions& options) {
+  std::vector<std::pair<int, i64>> out;
+  for (int k4 = 1; k4 < n - 2; ++k4) {
+    const int rest = n - k4;
+    if (rest < 3) break;
+    std::vector<int> k = ButterflyLayoutPlan::choose_parameters(rest);
+    if (k4 > k[0] + k[1] + k[2] - k[2]) {
+      // k4 <= n_3 is required by the swap-network feasibility rule.
+    }
+    k.push_back(k4);
+    try {
+      const Butterfly3DPlan plan = plan_butterfly_3d(k, options);
+      if (plan.feedthroughs_fit) out.emplace_back(k4, plan.volume);
+    } catch (const InvalidArgument&) {
+      // infeasible split (k4 too large); skip
+    }
+  }
+  return out;
+}
+
+}  // namespace bfly

@@ -1,0 +1,55 @@
+// Multilayer 3-D grid layouts with multiple active layers (the Sec. 4.2
+// closing construction): a (k1+k2+k3+k4)-dimensional butterfly is built from
+// 2^k4 stacked copies of the 2-D multilayer layout of the (k1+k2+k3)-
+// dimensional butterfly (each block additionally hosting a nucleus B_k4
+// column), with the level-4 swap links running *vertically* between copies,
+// connected like a collinear layout of a 2^k4-node complete graph along z.
+//
+// The footprint is real, measured geometry (a ButterflyLayoutPlan); the
+// z-direction is accounted analytically: every inter-copy link occupies a
+// private (x, y) grid point through the layer stack (the per-block
+// feedthrough demand is checked against the measured block area), and the
+// z-channel between adjacent copies must fit the collinear K_{2^k4} track
+// count.  The paper's stated optimum L = Theta(sqrt(N)/log N) for volume is
+// exposed through a sweep helper.
+#pragma once
+
+#include "layout/butterfly_layout.hpp"
+
+namespace bfly {
+
+struct Butterfly3DOptions {
+  /// Wiring layers available inside each copy's 2-D layout.
+  int layers_per_copy = 2;
+  i64 node_side = 4;
+  bool fold_block_channels = true;
+};
+
+struct Butterfly3DPlan {
+  std::vector<int> k;  ///< {k1, k2, k3, k4}
+  int n = 0;           ///< total dimension
+  u64 copies = 0;      ///< 2^k4 active layers (L_A)
+  // Footprint (from the real 2-D plan of {k1,k2,k3}, widened by one extra
+  // stage column per copy for the B_k4 nucleus stages).
+  i64 footprint_width = 0;
+  i64 footprint_height = 0;
+  i64 footprint_area = 0;
+  // z accounting.
+  int layers_per_copy = 0;
+  int total_layers = 0;  ///< copies * (1 active + layers_per_copy wiring)
+  i64 volume = 0;        ///< total_layers * footprint_area
+  i64 max_wire_length = 0;  ///< max(intra-copy wire, tallest vertical link)
+  u64 feedthroughs_per_block = 0;  ///< vertical link endpoints per block
+  bool feedthroughs_fit = false;   ///< block area hosts the feedthrough grid
+};
+
+/// Plans the stacked layout; k must have exactly 4 groups with k4 >= 1 and
+/// the usual feasibility constraints.
+Butterfly3DPlan plan_butterfly_3d(const std::vector<int>& k,
+                                  const Butterfly3DOptions& options = {});
+
+/// Volume over a sweep of stack heights for an n-dimensional butterfly:
+/// returns (k4, volume) pairs for every feasible split with k1 = k2 = k3.
+std::vector<std::pair<int, i64>> volume_sweep(int n, const Butterfly3DOptions& options = {});
+
+}  // namespace bfly

@@ -1,0 +1,106 @@
+#include "layout/collinear.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace bfly {
+
+u64 collinear_track_count(u64 n, u64 multiplicity) {
+  return multiplicity * ((n * n) / 4);
+}
+
+u64 chen_agrawal_track_count(u64 n) {
+  BFLY_REQUIRE(is_pow2(n) && n >= 2, "Chen-Agrawal count defined for powers of two");
+  // 4 (4^{log2 n - 1} - 1) / 3
+  const int lg = ilog2(n);
+  const u64 p = pow2(2 * (lg - 1));  // 4^{lg-1}
+  return 4 * (p - 1) / 3;
+}
+
+u64 collinear_cut_lower_bound(u64 n, u64 multiplicity) {
+  u64 best = 0;
+  // Cut between positions c-1 and c: links (i, j) with i < c <= j.
+  for (u64 c = 1; c < n; ++c) {
+    const u64 crossing = c * (n - c);
+    best = std::max(best, crossing);
+  }
+  return best * multiplicity;
+}
+
+u64 CollinearLayout::track_index(u64 i, u64 j, u64 r) const {
+  BFLY_REQUIRE(i < j && j < num_nodes && r < multiplicity, "bad link coordinates");
+  // Flattened by canonical link order: for each i < j, link slot
+  // lin = i * num_nodes + j (sparse but simple).
+  return track_assignment[(i * num_nodes + j) * multiplicity + r];
+}
+
+CollinearLayout collinear_complete_graph(u64 n, const CollinearOptions& options) {
+  BFLY_REQUIRE(n >= 2, "collinear layout needs at least 2 nodes");
+  const u64 mult = options.multiplicity;
+  BFLY_REQUIRE(mult >= 1, "multiplicity must be positive");
+
+  CollinearLayout result;
+  result.num_nodes = n;
+  result.multiplicity = mult;
+  result.num_tracks = collinear_track_count(n, mult);
+
+  // Node squares: degree (n-1)*mult terminals on the top edge.
+  const i64 side = static_cast<i64>((n - 1) * mult);
+  result.node_side = side;
+  for (u64 i = 0; i < n; ++i) {
+    result.layout.add_node(i, Rect::square(static_cast<i64>(i) * side, 0, side));
+  }
+  const i64 node_top = side - 1;
+
+  // Terminal column on node i's top edge for the wire toward neighbor j,
+  // replica r: neighbors in ascending order, replicas within.
+  const auto term_x = [&](u64 i, u64 j, u64 r) -> i64 {
+    const u64 slot = (j < i ? j : j - 1) * mult + r;
+    return static_cast<i64>(i) * side + static_cast<i64>(slot);
+  };
+
+  // Track base offsets per type: type d occupies min(d, n-d) classes, each
+  // with `mult` replica tracks.
+  std::vector<u64> type_base(n, 0);
+  for (u64 d = 1; d + 1 < n; ++d) {
+    type_base[d + 1] = type_base[d] + std::min(d, n - d) * mult;
+  }
+  const u64 total_logical =
+      type_base[n - 1] + std::min<u64>(n - 1, n - (n - 1)) * mult;
+  BFLY_CHECK(total_logical == result.num_tracks, "track census must match floor(N^2/4)");
+
+  // Logical -> physical track order (optionally reversed so that the longest
+  // spans, which live in the highest types, get the lowest tracks).
+  const auto physical_track = [&](u64 logical) -> u64 {
+    return options.reverse_tracks ? (result.num_tracks - 1 - logical) : logical;
+  };
+
+  result.track_assignment.assign(n * n * mult, ~u64{0});
+
+  for (u64 i = 0; i < n; ++i) {
+    for (u64 j = i + 1; j < n; ++j) {
+      const u64 d = j - i;
+      // Track class within the type (paper, Appendix B).
+      const u64 cls = (d <= n - d) ? (i % d) : i;  // i in [0, n-d) for long types
+      for (u64 r = 0; r < mult; ++r) {
+        const u64 logical = type_base[d] + cls * mult + r;
+        const u64 track = physical_track(logical);
+        result.track_assignment[(i * n + j) * mult + r] = track;
+        const i64 track_y = node_top + 1 + static_cast<i64>(track);
+        const i64 xa = term_x(i, j, r);
+        const i64 xb = term_x(j, i, r);
+        Wire w = WireBuilder(Point{xa, node_top})
+                     .from(i)
+                     .to_y(track_y, 1)
+                     .to_x(xb, 2)
+                     .to_y(node_top, 1)
+                     .to(j)
+                     .build();
+        result.layout.add_wire(std::move(w));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace bfly

@@ -1,0 +1,61 @@
+// Strictly optimal collinear layouts of complete graphs (Appendix B).
+//
+// The N nodes of K_N are placed along a row; a link joining nodes whose
+// indices differ by i is "type i".  Type-i links are packed into
+// min(i, N-i) horizontal tracks (same residue class mod i shares a track for
+// i <= N/2; each link gets its own track for i > N/2), for a total of
+// floor(N^2/4) tracks -- exactly the bisection-width lower bound, and 25%
+// below the Chen-Agrawal layout [6] this improves on.
+//
+// Every wire of the multigraph variant (each link replicated `multiplicity`
+// times; Section 3 uses multiplicity 2^(2+k1-k2)) is routed explicitly:
+// vertical drops on layer 1, track runs on layer 2, with per-(node, neighbor,
+// replica) terminal columns so the construction is machine-checkably legal
+// under both the Thompson and the multilayer model.
+#pragma once
+
+#include <vector>
+
+#include "layout/layout.hpp"
+
+namespace bfly {
+
+struct CollinearOptions {
+  /// Parallel wires per link of K_N.
+  u64 multiplicity = 1;
+  /// Reorder tracks so that long-span types sit closest to the node row,
+  /// reducing the maximum wire length (paper: "we can reverse the order of
+  /// horizontal tracks so that the maximum wire length is reduced").
+  bool reverse_tracks = false;
+};
+
+struct CollinearLayout {
+  Layout layout;
+  u64 num_nodes = 0;
+  u64 multiplicity = 1;
+  u64 num_tracks = 0;
+  i64 node_side = 0;
+  /// track_of[(i, j, r)] for i < j: the track index used by replica r.
+  /// Flattened: see track_index().
+  std::vector<u64> track_assignment;
+
+  u64 track_index(u64 i, u64 j, u64 r) const;
+};
+
+/// Lays out K_N with the Appendix-B track assignment.  N >= 2.
+CollinearLayout collinear_complete_graph(u64 n, const CollinearOptions& options = {});
+
+/// floor(N^2/4) * multiplicity: the number of tracks the Appendix-B layout
+/// uses, equal to the bisection-width lower bound for collinear layouts.
+u64 collinear_track_count(u64 n, u64 multiplicity = 1);
+
+/// Track count of the prior collinear layout of [6, Theorem 1] (Chen &
+/// Agrawal's dBCube paper): 4(4^(log2 N - 1) - 1)/3 for N a power of two.
+u64 chen_agrawal_track_count(u64 n);
+
+/// Maximum cut congestion over all "scan line" cuts between adjacent node
+/// positions -- the lower bound argument: every link crossing the cut needs
+/// its own track there.  Equals floor(N^2/4) at the middle cut.
+u64 collinear_cut_lower_bound(u64 n, u64 multiplicity = 1);
+
+}  // namespace bfly

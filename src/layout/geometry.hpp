@@ -1,0 +1,75 @@
+// Integer rectilinear geometry primitives for VLSI grid layouts.
+//
+// Coordinates are 64-bit signed grid indices.  Following the Thompson model
+// convention, "width" of an x-interval [x0, x1] counts grid columns
+// (x1 - x0 + 1): a single track has width 1.  All geometry in the library is
+// exact; no floating point.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/bits.hpp"
+#include "util/check.hpp"
+
+namespace bfly {
+
+struct Point {
+  i64 x = 0;
+  i64 y = 0;
+  friend bool operator==(const Point&, const Point&) = default;
+  friend auto operator<=>(const Point&, const Point&) = default;
+};
+
+/// Closed axis-aligned rectangle [x0, x1] x [y0, y1] of grid points.
+struct Rect {
+  i64 x0 = 0;
+  i64 y0 = 0;
+  i64 x1 = -1;  // empty by default
+  i64 y1 = -1;
+
+  static Rect square(i64 x, i64 y, i64 side) {
+    BFLY_REQUIRE(side >= 1, "square side must be positive");
+    return Rect{x, y, x + side - 1, y + side - 1};
+  }
+
+  bool empty() const { return x1 < x0 || y1 < y0; }
+  i64 width() const { return empty() ? 0 : x1 - x0 + 1; }
+  i64 height() const { return empty() ? 0 : y1 - y0 + 1; }
+  i64 area() const { return width() * height(); }
+
+  bool contains(Point p) const {
+    return !empty() && p.x >= x0 && p.x <= x1 && p.y >= y0 && p.y <= y1;
+  }
+  bool intersects(const Rect& o) const {
+    return !empty() && !o.empty() && x0 <= o.x1 && o.x0 <= x1 && y0 <= o.y1 && o.y0 <= y1;
+  }
+  /// Smallest rectangle containing both.
+  Rect united(const Rect& o) const {
+    if (empty()) return o;
+    if (o.empty()) return *this;
+    return Rect{std::min(x0, o.x0), std::min(y0, o.y0), std::max(x1, o.x1), std::max(y1, o.y1)};
+  }
+  Rect united(Point p) const { return united(Rect{p.x, p.y, p.x, p.y}); }
+
+  friend bool operator==(const Rect&, const Rect&) = default;
+};
+
+enum class Orientation { kHorizontal, kVertical };
+
+/// Closed 1-D integer interval [lo, hi].
+struct Interval {
+  i64 lo = 0;
+  i64 hi = -1;
+  bool empty() const { return hi < lo; }
+  i64 length() const { return empty() ? 0 : hi - lo + 1; }
+  bool contains(i64 v) const { return v >= lo && v <= hi; }
+  bool overlaps(const Interval& o) const { return lo <= o.hi && o.lo <= hi; }
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+inline Interval make_interval(i64 a, i64 b) {
+  return a <= b ? Interval{a, b} : Interval{b, a};
+}
+
+}  // namespace bfly

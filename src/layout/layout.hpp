@@ -1,0 +1,57 @@
+// The Layout container: placed nodes + routed wires + measured metrics.
+//
+// Metrics are *measured from the constructed geometry* (bounding boxes and
+// polyline lengths), never recomputed from the paper's closed forms; the
+// benches compare these measurements against the closed forms.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "layout/geometry.hpp"
+#include "layout/wire.hpp"
+
+namespace bfly {
+
+struct PlacedNode {
+  u64 id = 0;
+  Rect rect;
+};
+
+struct LayoutMetrics {
+  i64 width = 0;            ///< grid columns of the bounding rectangle
+  i64 height = 0;           ///< grid rows of the bounding rectangle
+  i64 area = 0;             ///< width * height
+  i64 max_wire_length = 0;  ///< longest wire (grid edges, x-y only)
+  i64 total_wire_length = 0;
+  int num_layers = 0;  ///< highest wiring layer used
+  i64 volume = 0;      ///< num_layers * area (multilayer grid model)
+  u64 num_nodes = 0;
+  u64 num_wires = 0;
+};
+
+class Layout {
+ public:
+  Layout() = default;
+
+  /// Places a node; ids must be unique.
+  void add_node(u64 id, Rect rect);
+  /// Adds a routed wire (validated for rectilinearity on insertion).
+  void add_wire(Wire wire);
+
+  const std::vector<PlacedNode>& nodes() const { return nodes_; }
+  const std::vector<Wire>& wires() const { return wires_; }
+  bool has_node(u64 id) const { return node_index_.contains(id); }
+  const PlacedNode& node(u64 id) const;
+
+  Rect bounding_box() const;
+  LayoutMetrics metrics() const;
+
+ private:
+  std::vector<PlacedNode> nodes_;
+  std::vector<Wire> wires_;
+  std::unordered_map<u64, std::size_t> node_index_;
+};
+
+}  // namespace bfly

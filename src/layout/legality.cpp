@@ -1,0 +1,548 @@
+#include "layout/legality.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+namespace bfly {
+
+std::string LegalityReport::summary() const {
+  if (ok) {
+    std::ostringstream os;
+    os << "legal (" << segments_checked << " segments, " << vias_checked << " vias)";
+    return os.str();
+  }
+  std::ostringstream os;
+  os << violations.size() << "+ violations; first: " << (violations.empty() ? "?" : violations[0]);
+  return os.str();
+}
+
+namespace {
+
+struct CheckSeg {
+  u64 wire = 0;
+  u32 index = 0;  // segment index within the wire
+  int layer = 0;
+  Orientation orient = Orientation::kHorizontal;
+  i64 fixed = 0;   // y for horizontal, x for vertical
+  Interval range;  // x-range for horizontal, y-range for vertical
+
+  Point low_point() const {
+    return orient == Orientation::kHorizontal ? Point{range.lo, fixed} : Point{fixed, range.lo};
+  }
+  Point high_point() const {
+    return orient == Orientation::kHorizontal ? Point{range.hi, fixed} : Point{fixed, range.hi};
+  }
+  bool covers(Point p) const {
+    return orient == Orientation::kHorizontal ? (p.y == fixed && range.contains(p.x))
+                                              : (p.x == fixed && range.contains(p.y));
+  }
+};
+
+struct Via {
+  u64 wire = 0;
+  Point p;
+  int zlo = 0;
+  int zhi = 0;
+};
+
+class Reporter {
+ public:
+  Reporter(LegalityReport* report, std::size_t cap) : report_(report), cap_(cap) {}
+
+  bool full() const { return report_->violations.size() >= cap_; }
+
+  template <typename... Args>
+  void violation(Args&&... args) {
+    report_->ok = false;
+    if (full()) return;
+    std::ostringstream os;
+    (os << ... << args);
+    report_->violations.push_back(os.str());
+  }
+
+ private:
+  LegalityReport* report_;
+  std::size_t cap_;
+};
+
+std::string point_str(Point p) {
+  std::ostringstream os;
+  os << '(' << p.x << ',' << p.y << ')';
+  return os.str();
+}
+
+/// Decomposes all wires into canonical segments.
+std::vector<CheckSeg> extract_segments(const Layout& layout) {
+  std::vector<CheckSeg> segs;
+  for (std::size_t w = 0; w < layout.wires().size(); ++w) {
+    const Wire& wire = layout.wires()[w];
+    for (std::size_t i = 0; i + 1 < wire.points.size(); ++i) {
+      const Point a = wire.points[i];
+      const Point b = wire.points[i + 1];
+      CheckSeg s;
+      s.wire = static_cast<u64>(w);
+      s.index = static_cast<u32>(i);
+      s.layer = wire.layers[i];
+      if (a.y == b.y) {
+        s.orient = Orientation::kHorizontal;
+        s.fixed = a.y;
+        s.range = make_interval(a.x, b.x);
+      } else {
+        s.orient = Orientation::kVertical;
+        s.fixed = a.x;
+        s.range = make_interval(a.y, b.y);
+      }
+      segs.push_back(s);
+    }
+  }
+  return segs;
+}
+
+/// Vias implied by layer changes at bends and by terminal attachment.
+/// Terminal vias run from the node surface (layer 1) to the segment layer.
+std::vector<Via> extract_vias(const Layout& layout) {
+  std::vector<Via> vias;
+  for (std::size_t w = 0; w < layout.wires().size(); ++w) {
+    const Wire& wire = layout.wires()[w];
+    if (wire.from_node.has_value()) {
+      vias.push_back(Via{w, wire.points.front(), 1, wire.layers.front()});
+    }
+    if (wire.to_node.has_value()) {
+      vias.push_back(Via{w, wire.points.back(), 1, wire.layers.back()});
+    }
+    for (std::size_t i = 0; i + 1 < wire.layers.size(); ++i) {
+      if (wire.layers[i] != wire.layers[i + 1]) {
+        vias.push_back(Via{w, wire.points[i + 1], std::min(wire.layers[i], wire.layers[i + 1]),
+                           std::max(wire.layers[i], wire.layers[i + 1])});
+      }
+    }
+  }
+  return vias;
+}
+
+bool same_wire_adjacent(const CheckSeg& a, const CheckSeg& b) {
+  return a.wire == b.wire && (a.index + 1 == b.index || b.index + 1 == a.index);
+}
+
+/// Checks that segments of equal orientation in the same group (same implicit
+/// or explicit layer and same fixed coordinate) never share a point, except a
+/// wire's own consecutive segments touching at the junction.
+void check_collinear_overlaps(std::vector<CheckSeg>& segs, Reporter& rep,
+                              const char* model_name) {
+  std::sort(segs.begin(), segs.end(), [](const CheckSeg& a, const CheckSeg& b) {
+    return std::tie(a.layer, a.orient, a.fixed, a.range.lo, a.range.hi) <
+           std::tie(b.layer, b.orient, b.fixed, b.range.lo, b.range.hi);
+  });
+  // Within each (layer, orient, fixed) line, sorted by lo, any overlap must
+  // involve the running max-hi segment seen so far; carry it in O(1).
+  auto same_line = [](const CheckSeg& a, const CheckSeg& b) {
+    return a.layer == b.layer && a.orient == b.orient && a.fixed == b.fixed;
+  };
+  auto report_pair = [&](const CheckSeg& a, const CheckSeg& b) {
+    const bool touch_only = (b.range.lo == a.range.hi);
+    if (touch_only && same_wire_adjacent(a, b)) return;
+    if (rep.full()) return;
+    rep.violation(model_name, ": collinear overlap between wire ", a.wire, " seg ", a.index,
+                  " and wire ", b.wire, " seg ", b.index, " at ", point_str(b.low_point()));
+  };
+  std::size_t carry = 0;  // index of the running max-hi segment in this line
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    if (i == 0 || !same_line(segs[carry], segs[i])) {
+      carry = i;
+      continue;
+    }
+    if (segs[i].range.lo <= segs[carry].range.hi) report_pair(segs[carry], segs[i]);
+    if (i != carry + 1 && segs[i].range.lo <= segs[i - 1].range.hi) {
+      report_pair(segs[i - 1], segs[i]);
+    }
+    if (segs[i].range.hi > segs[carry].range.hi) carry = i;
+    if (rep.full()) return;
+  }
+}
+
+/// Orthogonal crossing discipline between horizontal set `hs` and vertical
+/// set `vs` (both already restricted to one class, e.g. one layer).
+/// `allow_proper`: proper (interior x interior) crossings are legal (Thompson
+/// model); improper contacts (a shared endpoint) are always illegal except a
+/// wire's own consecutive segments meeting at their bend.
+void check_crossings(std::vector<CheckSeg> hs, std::vector<CheckSeg> vs, bool allow_proper,
+                     Reporter& rep, const char* model_name) {
+  if (hs.empty() || vs.empty()) return;
+  // Sweep over x.  Events: horizontal segment activates at range.lo and
+  // deactivates after range.hi; vertical segments are queried at their x.
+  struct Event {
+    i64 x;
+    int kind;  // 0 = activate H, 1 = deactivate H, 2 = query V
+    std::size_t idx;
+  };
+  std::vector<Event> events;
+  events.reserve(hs.size() * 2 + vs.size());
+  for (std::size_t i = 0; i < hs.size(); ++i) {
+    events.push_back({hs[i].range.lo, 0, i});
+    events.push_back({hs[i].range.hi + 1, 1, i});
+  }
+  for (std::size_t i = 0; i < vs.size(); ++i) {
+    events.push_back({vs[i].fixed, 2, i});
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    return std::tie(a.x, a.kind) < std::tie(b.x, b.kind);
+  });
+  // Active horizontals keyed by y.
+  std::multimap<i64, std::size_t> active;
+  for (const Event& e : events) {
+    if (e.kind == 0) {
+      active.emplace(hs[e.idx].fixed, e.idx);
+    } else if (e.kind == 1) {
+      const auto [lo, hi] = active.equal_range(hs[e.idx].fixed);
+      for (auto it = lo; it != hi; ++it) {
+        if (it->second == e.idx) {
+          active.erase(it);
+          break;
+        }
+      }
+    } else {
+      const CheckSeg& v = vs[e.idx];
+      for (auto it = active.lower_bound(v.range.lo);
+           it != active.end() && it->first <= v.range.hi; ++it) {
+        const CheckSeg& h = hs[it->second];
+        const Point cross{v.fixed, h.fixed};
+        const bool h_interior = cross.x > h.range.lo && cross.x < h.range.hi;
+        const bool v_interior = cross.y > v.range.lo && cross.y < v.range.hi;
+        if (allow_proper && h_interior && v_interior) continue;
+        if (same_wire_adjacent(h, v)) continue;
+        if (rep.full()) return;
+        rep.violation(model_name, ": illegal contact between horizontal wire ", h.wire, " seg ",
+                      h.index, " and vertical wire ", v.wire, " seg ", v.index, " at ",
+                      point_str(cross));
+      }
+    }
+  }
+}
+
+/// Node clearance: `claims` are 1-D vertical ranges or points at a given x
+/// that must not touch any node rectangle, except that a wire may touch its
+/// own terminal node at exactly its endpoint.
+struct NodeClaim {
+  i64 x;
+  Interval y_range;
+  u64 wire;
+  // Endpoint exemptions: the wire's terminal points/nodes.
+};
+
+void check_node_clearance(const Layout& layout, const std::vector<NodeClaim>& claims,
+                          Reporter& rep, const char* model_name) {
+  if (layout.nodes().empty() || claims.empty()) return;
+  // Sweep over x with active node rectangles keyed by y0.  Node rects with
+  // overlapping x but overlapping y would themselves be illegal; checked in
+  // check_nodes_disjoint, so the active set has disjoint y-intervals.
+  struct Event {
+    i64 x;
+    int kind;  // 0 = node out, 1 = node in, 2 = claim
+    std::size_t idx;
+  };
+  std::vector<Event> events;
+  events.reserve(layout.nodes().size() * 2 + claims.size());
+  for (std::size_t i = 0; i < layout.nodes().size(); ++i) {
+    const Rect& r = layout.nodes()[i].rect;
+    events.push_back({r.x0, 1, i});
+    events.push_back({r.x1 + 1, 0, i});
+  }
+  for (std::size_t i = 0; i < claims.size(); ++i) events.push_back({claims[i].x, 2, i});
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    return std::tie(a.x, a.kind) < std::tie(b.x, b.kind);
+  });
+  std::map<i64, std::size_t> active;  // y0 -> node index
+  for (const Event& e : events) {
+    if (e.kind == 1) {
+      active.emplace(layout.nodes()[e.idx].rect.y0, e.idx);
+    } else if (e.kind == 0) {
+      active.erase(layout.nodes()[e.idx].rect.y0);
+    } else {
+      const NodeClaim& c = claims[e.idx];
+      // Find nodes whose [y0, y1] overlaps c.y_range.
+      auto it = active.upper_bound(c.y_range.hi);
+      while (it != active.begin()) {
+        --it;
+        const PlacedNode& node = layout.nodes()[it->second];
+        if (node.rect.y1 < c.y_range.lo) break;
+        // Overlap [lo, hi]:
+        const i64 lo = std::max(node.rect.y0, c.y_range.lo);
+        const i64 hi = std::min(node.rect.y1, c.y_range.hi);
+        // Exemption: single-point touch at the claiming wire's endpoint on
+        // its own terminal node.
+        const Wire& wire = layout.wires()[c.wire];
+        bool exempt = false;
+        if (lo == hi) {
+          const Point touch{c.x, lo};
+          if (wire.from_node.has_value() && wire.points.front() == touch &&
+              layout.node(*wire.from_node).rect.contains(touch)) {
+            exempt = true;
+          }
+          if (wire.to_node.has_value() && wire.points.back() == touch &&
+              layout.node(*wire.to_node).rect.contains(touch)) {
+            exempt = true;
+          }
+        }
+        if (!exempt) {
+          if (rep.full()) return;
+          rep.violation(model_name, ": wire ", c.wire, " intrudes into node ", node.id, " at x=",
+                        c.x, " y=[", lo, ",", hi, "]");
+        }
+      }
+    }
+  }
+}
+
+void check_nodes_disjoint(const Layout& layout, Reporter& rep) {
+  // Sweep over x; active rects must have disjoint y-intervals.  Out-events
+  // sort before in-events at the same x so that x-adjacent rects never
+  // appear simultaneously active.
+  struct Event {
+    i64 x;
+    int kind;  // 0 out, 1 in
+    std::size_t idx;
+  };
+  std::vector<Event> events;
+  events.reserve(layout.nodes().size() * 2);
+  for (std::size_t i = 0; i < layout.nodes().size(); ++i) {
+    events.push_back({layout.nodes()[i].rect.x0, 1, i});
+    events.push_back({layout.nodes()[i].rect.x1 + 1, 0, i});
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    return std::tie(a.x, a.kind) < std::tie(b.x, b.kind);
+  });
+  std::map<i64, std::size_t> active;  // y0 -> node index
+  for (const Event& e : events) {
+    const Rect& r = layout.nodes()[e.idx].rect;
+    if (e.kind == 0) {
+      auto it = active.find(r.y0);
+      if (it != active.end() && it->second == e.idx) active.erase(it);
+      continue;
+    }
+    // Check neighbors in y for overlap.
+    auto it = active.lower_bound(r.y0);
+    bool conflict = false;
+    if (it != active.end() && layout.nodes()[it->second].rect.y0 <= r.y1) conflict = true;
+    if (it != active.begin()) {
+      auto prev = std::prev(it);
+      if (layout.nodes()[prev->second].rect.y1 >= r.y0) conflict = true;
+    }
+    if (conflict) {
+      rep.violation("nodes: overlapping node rectangles involving node ",
+                    layout.nodes()[e.idx].id);
+      if (rep.full()) return;
+    }
+    active.emplace(r.y0, e.idx);
+  }
+}
+
+void check_wire_terminals(const Layout& layout, Reporter& rep) {
+  for (std::size_t w = 0; w < layout.wires().size(); ++w) {
+    const Wire& wire = layout.wires()[w];
+    if (wire.from_node.has_value()) {
+      if (!layout.has_node(*wire.from_node)) {
+        rep.violation("terminals: wire ", w, " references unknown from-node ", *wire.from_node);
+      } else if (!layout.node(*wire.from_node).rect.contains(wire.points.front())) {
+        rep.violation("terminals: wire ", w, " start ", point_str(wire.points.front()),
+                      " is not on node ", *wire.from_node);
+      }
+    }
+    if (wire.to_node.has_value()) {
+      if (!layout.has_node(*wire.to_node)) {
+        rep.violation("terminals: wire ", w, " references unknown to-node ", *wire.to_node);
+      } else if (!layout.node(*wire.to_node).rect.contains(wire.points.back())) {
+        rep.violation("terminals: wire ", w, " end ", point_str(wire.points.back()),
+                      " is not on node ", *wire.to_node);
+      }
+    }
+    if (rep.full()) return;
+  }
+}
+
+/// Point-coverage index over one (layer, orientation) class.
+class SegmentIndex {
+ public:
+  explicit SegmentIndex(const std::vector<CheckSeg>& segs) {
+    for (const CheckSeg& s : segs) by_fixed_[s.fixed].push_back(s);
+    for (auto& [fixed, list] : by_fixed_) {
+      std::sort(list.begin(), list.end(),
+                [](const CheckSeg& a, const CheckSeg& b) { return a.range.lo < b.range.lo; });
+    }
+  }
+
+  /// Returns a segment covering coordinate `along` at `fixed`, or nullptr.
+  /// (Assumes non-overlapping segments within a line, which the overlap check
+  /// enforces; with overlaps present, any one covering segment is returned.)
+  const CheckSeg* covering(i64 fixed, i64 along) const {
+    const auto it = by_fixed_.find(fixed);
+    if (it == by_fixed_.end()) return nullptr;
+    const auto& list = it->second;
+    auto pos = std::upper_bound(list.begin(), list.end(), along,
+                                [](i64 v, const CheckSeg& s) { return v < s.range.lo; });
+    // Segments within a legal line are disjoint except for single-point
+    // touches, so at most two candidates can cover `along`.
+    for (int back = 0; back < 2 && pos != list.begin(); ++back) {
+      --pos;
+      if (pos->range.hi >= along) return &*pos;
+    }
+    return nullptr;
+  }
+
+ private:
+  std::map<i64, std::vector<CheckSeg>> by_fixed_;
+};
+
+}  // namespace
+
+LegalityReport check_thompson(const Layout& layout, std::size_t max_violations) {
+  LegalityReport report;
+  Reporter rep(&report, max_violations);
+  check_nodes_disjoint(layout, rep);
+  check_wire_terminals(layout, rep);
+
+  std::vector<CheckSeg> segs = extract_segments(layout);
+  report.segments_checked = segs.size();
+  // Thompson: layers are implicit (H plane / V plane); normalize layer to 0.
+  std::vector<CheckSeg> hs;
+  std::vector<CheckSeg> vs;
+  for (CheckSeg s : segs) {
+    s.layer = 0;
+    (s.orient == Orientation::kHorizontal ? hs : vs).push_back(s);
+  }
+  {
+    std::vector<CheckSeg> all = hs;
+    all.insert(all.end(), vs.begin(), vs.end());
+    check_collinear_overlaps(all, rep, "thompson");
+  }
+  check_crossings(hs, vs, /*allow_proper=*/true, rep, "thompson");
+
+  // Node clearance for every segment: claims are vertical ranges per x; a
+  // horizontal segment contributes its two endpoints plus is handled by
+  // treating it as |range| point claims -- too expensive.  Instead, check
+  // horizontal segments with the transposed sweep: reuse claims with x/y
+  // swapped by building a transposed layout view.  For simplicity and
+  // exactness we emit claims for vertical segments directly and transpose
+  // horizontal ones.
+  std::vector<NodeClaim> v_claims;
+  for (const CheckSeg& s : vs) v_claims.push_back({s.fixed, s.range, s.wire});
+  check_node_clearance(layout, v_claims, rep, "thompson");
+
+  // Transposed check for horizontal segments.
+  Layout transposed;
+  for (const PlacedNode& n : layout.nodes()) {
+    transposed.add_node(n.id, Rect{n.rect.y0, n.rect.x0, n.rect.y1, n.rect.x1});
+  }
+  for (const Wire& w : layout.wires()) {
+    Wire t = w;
+    for (Point& p : t.points) std::swap(p.x, p.y);
+    transposed.add_wire(std::move(t));
+  }
+  std::vector<NodeClaim> h_claims;
+  for (const CheckSeg& s : hs) h_claims.push_back({s.fixed, s.range, s.wire});
+  check_node_clearance(transposed, h_claims, rep, "thompson(h)");
+
+  return report;
+}
+
+LegalityReport check_multilayer(const Layout& layout, std::size_t max_violations) {
+  LegalityReport report;
+  Reporter rep(&report, max_violations);
+  check_nodes_disjoint(layout, rep);
+  check_wire_terminals(layout, rep);
+
+  std::vector<CheckSeg> segs = extract_segments(layout);
+  report.segments_checked = segs.size();
+
+  // Same-layer collinear overlap.
+  {
+    std::vector<CheckSeg> all = segs;
+    check_collinear_overlaps(all, rep, "multilayer");
+  }
+
+  // Same-layer crossings: in the 3-D grid model paths must be node-disjoint,
+  // so even proper crossings are illegal within a layer.
+  int max_layer = 1;
+  for (const CheckSeg& s : segs) max_layer = std::max(max_layer, s.layer);
+  std::vector<std::vector<CheckSeg>> h_by_layer(static_cast<std::size_t>(max_layer) + 1);
+  std::vector<std::vector<CheckSeg>> v_by_layer(static_cast<std::size_t>(max_layer) + 1);
+  for (const CheckSeg& s : segs) {
+    auto& bucket = (s.orient == Orientation::kHorizontal ? h_by_layer : v_by_layer);
+    bucket[static_cast<std::size_t>(s.layer)].push_back(s);
+  }
+  for (int layer = 1; layer <= max_layer; ++layer) {
+    check_crossings(h_by_layer[static_cast<std::size_t>(layer)],
+                    v_by_layer[static_cast<std::size_t>(layer)],
+                    /*allow_proper=*/false, rep, "multilayer");
+  }
+
+  // Vias: block their (x, y) column across [zlo, zhi].
+  std::vector<Via> vias = extract_vias(layout);
+  report.vias_checked = vias.size();
+  std::sort(vias.begin(), vias.end(), [](const Via& a, const Via& b) {
+    return std::tie(a.p.x, a.p.y, a.zlo) < std::tie(b.p.x, b.p.y, b.zlo);
+  });
+  for (std::size_t i = 0; i + 1 < vias.size(); ++i) {
+    const Via& a = vias[i];
+    const Via& b = vias[i + 1];
+    if (a.p == b.p && b.zlo <= a.zhi) {
+      if (a.wire == b.wire) continue;  // same wire stacking at its own bend
+      if (rep.full()) break;
+      rep.violation("multilayer: via collision between wires ", a.wire, " and ", b.wire, " at ",
+                    point_str(a.p));
+    }
+  }
+  // Via vs same-(x,y) segments on intermediate layers.
+  std::vector<SegmentIndex> h_index;
+  std::vector<SegmentIndex> v_index;
+  h_index.reserve(static_cast<std::size_t>(max_layer) + 1);
+  v_index.reserve(static_cast<std::size_t>(max_layer) + 1);
+  for (int layer = 0; layer <= max_layer; ++layer) {
+    h_index.emplace_back(h_by_layer[static_cast<std::size_t>(layer)]);
+    v_index.emplace_back(v_by_layer[static_cast<std::size_t>(layer)]);
+  }
+  for (const Via& via : vias) {
+    for (int z = via.zlo; z <= via.zhi && !rep.full(); ++z) {
+      const CheckSeg* h = h_index[static_cast<std::size_t>(z)].covering(via.p.y, via.p.x);
+      const CheckSeg* v = v_index[static_cast<std::size_t>(z)].covering(via.p.x, via.p.y);
+      for (const CheckSeg* s : {h, v}) {
+        if (s == nullptr) continue;
+        if (s->wire == via.wire) continue;  // a wire may thread its own via
+        rep.violation("multilayer: via of wire ", via.wire, " at ", point_str(via.p),
+                      " collides with wire ", s->wire, " on layer ", z);
+      }
+    }
+    if (rep.full()) break;
+  }
+
+  // Node clearance on layer 1: vertical layer-1 segments, horizontal layer-1
+  // segments (via the transposed sweep), and via feet (z range includes 1).
+  std::vector<NodeClaim> v_claims;
+  for (const CheckSeg& s : v_by_layer[1]) v_claims.push_back({s.fixed, s.range, s.wire});
+  for (const Via& via : vias) {
+    if (via.zlo <= 1 && via.zhi >= 1) {
+      v_claims.push_back({via.p.x, Interval{via.p.y, via.p.y}, via.wire});
+    }
+  }
+  check_node_clearance(layout, v_claims, rep, "multilayer");
+
+  if (!h_by_layer[1].empty()) {
+    Layout transposed;
+    for (const PlacedNode& n : layout.nodes()) {
+      transposed.add_node(n.id, Rect{n.rect.y0, n.rect.x0, n.rect.y1, n.rect.x1});
+    }
+    for (const Wire& w : layout.wires()) {
+      Wire t = w;
+      for (Point& p : t.points) std::swap(p.x, p.y);
+      transposed.add_wire(std::move(t));
+    }
+    std::vector<NodeClaim> h_claims;
+    for (const CheckSeg& s : h_by_layer[1]) h_claims.push_back({s.fixed, s.range, s.wire});
+    check_node_clearance(transposed, h_claims, rep, "multilayer(h)");
+  }
+
+  return report;
+}
+
+}  // namespace bfly

@@ -1,0 +1,139 @@
+#include "layout/render.hpp"
+
+#include <algorithm>
+#include <array>
+#include <sstream>
+#include <vector>
+
+namespace bfly {
+
+namespace {
+constexpr std::array<const char*, 8> kLayerColors = {
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#17becf", "#e377c2"};
+}
+
+std::string render_svg(const Layout& layout, const RenderOptions& options) {
+  const Rect box = layout.bounding_box();
+  const double s = options.scale;
+  std::ostringstream svg;
+  const double w = static_cast<double>(box.width()) * s;
+  const double h = static_cast<double>(box.height()) * s;
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << w << "\" height=\"" << h
+      << "\" viewBox=\"0 0 " << w << ' ' << h << "\">\n";
+  svg << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  const auto tx = [&](i64 x) { return (static_cast<double>(x - box.x0) + 0.5) * s; };
+  // SVG y grows downward; flip so larger grid y is higher.
+  const auto ty = [&](i64 y) { return (static_cast<double>(box.y1 - y) + 0.5) * s; };
+
+  for (const PlacedNode& n : layout.nodes()) {
+    svg << "<rect x=\"" << tx(n.rect.x0) - 0.5 * s << "\" y=\"" << ty(n.rect.y1) - 0.5 * s
+        << "\" width=\"" << static_cast<double>(n.rect.width()) * s << "\" height=\""
+        << static_cast<double>(n.rect.height()) * s
+        << "\" fill=\"#dddddd\" stroke=\"#333333\" stroke-width=\"1\"/>\n";
+  }
+  for (const Wire& wire : layout.wires()) {
+    for (std::size_t i = 0; i + 1 < wire.points.size(); ++i) {
+      const char* color =
+          options.color_by_layer
+              ? kLayerColors[static_cast<std::size_t>(wire.layers[i]) % kLayerColors.size()]
+              : "#1f77b4";
+      svg << "<line x1=\"" << tx(wire.points[i].x) << "\" y1=\"" << ty(wire.points[i].y)
+          << "\" x2=\"" << tx(wire.points[i + 1].x) << "\" y2=\"" << ty(wire.points[i + 1].y)
+          << "\" stroke=\"" << color << "\" stroke-width=\"1\"/>\n";
+    }
+  }
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+std::string render_ascii(const Layout& layout, int cols, int rows) {
+  BFLY_REQUIRE(cols > 0 && rows > 0, "canvas must be positive");
+  const Rect box = layout.bounding_box();
+  if (box.empty()) return "(empty layout)\n";
+  std::vector<std::string> canvas(static_cast<std::size_t>(rows),
+                                  std::string(static_cast<std::size_t>(cols), ' '));
+  const auto cx = [&](i64 x) {
+    return static_cast<int>((x - box.x0) * (cols - 1) / std::max<i64>(1, box.width() - 1));
+  };
+  const auto cy = [&](i64 y) {
+    // Flip: higher grid y at the top of the canvas.
+    return rows - 1 -
+           static_cast<int>((y - box.y0) * (rows - 1) / std::max<i64>(1, box.height() - 1));
+  };
+  const auto plot = [&](int c, int r, char ch) {
+    if (c < 0 || c >= cols || r < 0 || r >= rows) return;
+    char& cell = canvas[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)];
+    if (cell == '#') return;  // nodes win
+    if (ch == '#') {
+      cell = '#';
+    } else if (cell == ' ') {
+      cell = ch;
+    } else if (cell != ch) {
+      cell = '+';
+    }
+  };
+
+  for (const Wire& wire : layout.wires()) {
+    for (std::size_t i = 0; i + 1 < wire.points.size(); ++i) {
+      const Point a = wire.points[i];
+      const Point b = wire.points[i + 1];
+      if (a.y == b.y) {
+        const int r = cy(a.y);
+        for (int c = std::min(cx(a.x), cx(b.x)); c <= std::max(cx(a.x), cx(b.x)); ++c) {
+          plot(c, r, '-');
+        }
+      } else {
+        const int c = cx(a.x);
+        for (int r = std::min(cy(a.y), cy(b.y)); r <= std::max(cy(a.y), cy(b.y)); ++r) {
+          plot(c, r, '|');
+        }
+      }
+    }
+  }
+  for (const PlacedNode& n : layout.nodes()) {
+    for (int c = cx(n.rect.x0); c <= cx(n.rect.x1); ++c) {
+      for (int r = cy(n.rect.y1); r <= cy(n.rect.y0); ++r) plot(c, r, '#');
+    }
+  }
+
+  std::string out;
+  for (const std::string& line : canvas) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string render_multistage_svg(
+    u64 rows, int stages,
+    const std::function<void(const std::function<void(u64, int, u64)>&)>& for_each_link) {
+  BFLY_REQUIRE(rows >= 1 && stages >= 2, "need at least one row and two stages");
+  const double dx = 80.0;
+  const double dy = 40.0;
+  const double margin = 30.0;
+  const double w = margin * 2 + dx * (stages - 1);
+  const double h = margin * 2 + dy * static_cast<double>(rows - 1);
+  const auto px = [&](int s) { return margin + dx * s; };
+  const auto py = [&](u64 r) { return margin + dy * static_cast<double>(r); };
+
+  std::ostringstream svg;
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << w << "\" height=\"" << h
+      << "\" viewBox=\"0 0 " << w << ' ' << h << "\">\n";
+  svg << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  for_each_link([&](u64 from_row, int from_stage, u64 to_row) {
+    const bool straight = from_row == to_row;
+    svg << "<line x1=\"" << px(from_stage) << "\" y1=\"" << py(from_row) << "\" x2=\""
+        << px(from_stage + 1) << "\" y2=\"" << py(to_row) << "\" stroke=\""
+        << (straight ? "#999999" : "#1f77b4") << "\" stroke-width=\"1\"/>\n";
+  });
+  for (int s = 0; s < stages; ++s) {
+    for (u64 r = 0; r < rows; ++r) {
+      svg << "<circle cx=\"" << px(s) << "\" cy=\"" << py(r)
+          << "\" r=\"4\" fill=\"#333333\"/>\n";
+    }
+  }
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+}  // namespace bfly

@@ -1,0 +1,34 @@
+// Rendering of layouts to SVG (for inspecting the Fig. 3 / Fig. 4 style
+// constructions) and to coarse ASCII art (for terminal-friendly smoke
+// output in examples).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "layout/layout.hpp"
+
+namespace bfly {
+
+struct RenderOptions {
+  /// Pixels per grid unit in the SVG output.
+  double scale = 4.0;
+  /// Color wires by layer (otherwise all wires are drawn alike).
+  bool color_by_layer = true;
+};
+
+/// Renders the layout as a standalone SVG document.
+std::string render_svg(const Layout& layout, const RenderOptions& options = {});
+
+/// Coarse ASCII rendering onto a `cols` x `rows` character canvas:
+/// '#' = node, '-' / '|' = wire, '+' = both orientations.
+std::string render_ascii(const Layout& layout, int cols = 100, int rows = 40);
+
+/// Figure 1/2-style multistage network diagram: stages left to right, rows
+/// top to bottom, one line per link.  Works for any multistage network
+/// presented as (rows, stages, link enumerator).
+std::string render_multistage_svg(
+    u64 rows, int stages,
+    const std::function<void(const std::function<void(u64, int, u64)>&)>& for_each_link);
+
+}  // namespace bfly

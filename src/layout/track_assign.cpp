@@ -1,0 +1,54 @@
+#include "layout/track_assign.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <tuple>
+
+namespace bfly {
+
+TrackAssignment assign_tracks_left_edge(std::span<const Interval> intervals) {
+  TrackAssignment result;
+  result.track.assign(intervals.size(), 0);
+  std::vector<std::size_t> order(intervals.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return std::tie(intervals[a].lo, intervals[a].hi) <
+           std::tie(intervals[b].lo, intervals[b].hi);
+  });
+  // Min-heap of (last hi, track id): reuse a track only when the previous
+  // interval ends strictly before the new one begins.
+  using Entry = std::pair<i64, u64>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> free_at;
+  for (const std::size_t i : order) {
+    BFLY_REQUIRE(!intervals[i].empty(), "track assignment requires non-empty intervals");
+    if (!free_at.empty() && free_at.top().first < intervals[i].lo) {
+      const auto [hi, track] = free_at.top();
+      free_at.pop();
+      result.track[i] = track;
+      free_at.emplace(intervals[i].hi, track);
+    } else {
+      result.track[i] = result.num_tracks++;
+      free_at.emplace(intervals[i].hi, result.track[i]);
+    }
+  }
+  return result;
+}
+
+u64 max_point_congestion(std::span<const Interval> intervals) {
+  std::vector<std::pair<i64, int>> events;
+  events.reserve(intervals.size() * 2);
+  for (const Interval& iv : intervals) {
+    events.emplace_back(iv.lo, +1);
+    events.emplace_back(iv.hi + 1, -1);
+  }
+  std::sort(events.begin(), events.end());
+  u64 best = 0;
+  i64 current = 0;
+  for (const auto& [pos, delta] : events) {
+    current += delta;
+    best = std::max(best, static_cast<u64>(std::max<i64>(current, 0)));
+  }
+  return best;
+}
+
+}  // namespace bfly

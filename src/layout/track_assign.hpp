@@ -1,0 +1,29 @@
+// Left-edge track assignment: pack 1-D intervals into the minimum number of
+// tracks such that intervals sharing a track are strictly disjoint (they may
+// not even touch at an endpoint, since a shared endpoint would be a shared
+// grid point between different wires).  Used by the intra-block channel
+// router of the butterfly layout.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "layout/geometry.hpp"
+
+namespace bfly {
+
+struct TrackAssignment {
+  /// track[i] = track index of intervals[i].
+  std::vector<u64> track;
+  u64 num_tracks = 0;
+};
+
+/// Greedy left-edge algorithm; optimal for interval graph coloring.
+TrackAssignment assign_tracks_left_edge(std::span<const Interval> intervals);
+
+/// The maximum number of intervals covering a single point (clique lower
+/// bound; the left-edge algorithm meets it for touching-free packings of
+/// intervals with pairwise-distinct endpoints).
+u64 max_point_congestion(std::span<const Interval> intervals);
+
+}  // namespace bfly

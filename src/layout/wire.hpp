@@ -1,0 +1,96 @@
+// Wires: rectilinear polylines with a wiring layer per segment.
+//
+// Layer 0 is the active layer (network nodes); wire segments run on layers
+// 1..L.  A wire's endpoints attach to nodes: the checker inserts implicit
+// vertical (z-direction) vias from the node surface (layer 0) up to the
+// first/last segment's layer, and between consecutive segments on different
+// layers.  Under the Thompson model the layers are interpreted as the
+// conventional two-layer H/V discipline.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "layout/geometry.hpp"
+
+namespace bfly {
+
+struct Wire {
+  /// Polyline vertices; size >= 2.  Consecutive points differ in exactly one
+  /// coordinate (axis-parallel segments of nonzero length).
+  std::vector<Point> points;
+  /// layers[i] is the wiring layer of segment points[i] -> points[i+1].
+  std::vector<int> layers;
+  /// Node ids the endpoints attach to (checked against node rects).
+  std::optional<u64> from_node;
+  std::optional<u64> to_node;
+
+  std::size_t num_segments() const { return layers.size(); }
+
+  /// Wire length in grid edges (x-y only; z vias are not counted, matching
+  /// the paper's wire-length accounting).
+  i64 length() const {
+    i64 total = 0;
+    for (std::size_t i = 0; i + 1 < points.size(); ++i) {
+      total += std::abs(points[i + 1].x - points[i].x) + std::abs(points[i + 1].y - points[i].y);
+    }
+    return total;
+  }
+
+  /// Bounding box of the polyline.
+  Rect bbox() const {
+    Rect r;
+    for (const Point& p : points) r = r.united(p);
+    return r;
+  }
+};
+
+/// Convenience builder for the common up-over-down channel route patterns.
+class WireBuilder {
+ public:
+  explicit WireBuilder(Point start) { points_.push_back(start); }
+
+  /// Extends the wire to (x, current y) on `layer`; no-op when already there.
+  WireBuilder& to_x(i64 x, int layer) {
+    if (x != points_.back().x) add({x, points_.back().y}, layer);
+    return *this;
+  }
+  /// Extends the wire to (current x, y) on `layer`; no-op when already there.
+  WireBuilder& to_y(i64 y, int layer) {
+    if (y != points_.back().y) add({points_.back().x, y}, layer);
+    return *this;
+  }
+
+  WireBuilder& from(u64 node) {
+    wire_from_ = node;
+    return *this;
+  }
+  WireBuilder& to(u64 node) {
+    wire_to_ = node;
+    return *this;
+  }
+
+  Wire build() {
+    BFLY_REQUIRE(points_.size() >= 2, "wire must have at least one segment");
+    Wire w;
+    w.points = std::move(points_);
+    w.layers = std::move(layers_);
+    w.from_node = wire_from_;
+    w.to_node = wire_to_;
+    return w;
+  }
+
+ private:
+  void add(Point p, int layer) {
+    BFLY_REQUIRE(layer >= 1, "wire segments must run on layers >= 1");
+    points_.push_back(p);
+    layers_.push_back(layer);
+  }
+
+  std::vector<Point> points_;
+  std::vector<int> layers_;
+  std::optional<u64> wire_from_;
+  std::optional<u64> wire_to_;
+};
+
+}  // namespace bfly

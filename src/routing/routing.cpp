@@ -1,0 +1,182 @@
+#include "routing/routing.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/parallel.hpp"
+#include "util/prng.hpp"
+
+namespace bfly {
+
+i64 butterfly_distance(int n, u64 r1, int s1, u64 r2, int s2) {
+  BFLY_REQUIRE(n >= 1 && s1 >= 0 && s1 <= n && s2 >= 0 && s2 <= n, "bad node coordinates");
+  const u64 diff = r1 ^ r2;
+  if (diff == 0) return std::abs(s1 - s2);
+  // Bit b is fixed by traversing transition b (between stages b and b+1).
+  int lo_bit = 63;
+  int hi_bit = 0;
+  for (int b = 0; b < n; ++b) {
+    if ((diff >> b) & 1) {
+      lo_bit = std::min(lo_bit, b);
+      hi_bit = std::max(hi_bit, b);
+    }
+  }
+  // The walk must cover the stage interval [lo_bit, hi_bit + 1]; the cheapest
+  // sweep goes to one end first, then across, then to s2.
+  const i64 a = std::min<i64>(lo_bit, std::min(s1, s2));
+  const i64 b = std::max<i64>(hi_bit + 1, std::max(s1, s2));
+  const i64 left_first = (s1 - a) + (b - a) + (b - s2);
+  const i64 right_first = (b - s1) + (b - a) + (s2 - a);
+  return std::min(left_first, right_first);
+}
+
+LoadCensus measure_link_loads(int n, u64 packets, u64 seed, std::size_t threads) {
+  const Butterfly bf(n);
+  const u64 rows = bf.rows();
+  const u64 links = static_cast<u64>(n) * rows * 2;
+  if (threads == 0) threads = default_thread_count();
+
+  std::vector<std::vector<u64>> partial(threads, std::vector<u64>(links, 0));
+  parallel_for_chunked(0, packets, threads,
+                       [&](std::size_t lo, std::size_t hi, std::size_t tid) {
+                         Xoshiro256 rng(seed ^ (0x9e3779b97f4a7c15ULL * (tid + 1)));
+                         std::vector<u64>& loads = partial[tid];
+                         for (std::size_t p = lo; p < hi; ++p) {
+                           u64 row = rng.below(rows);
+                           const u64 dst = rng.below(rows);
+                           for (int s = 0; s < n; ++s) {
+                             const bool cross = ((row ^ dst) >> s) & 1;
+                             ++loads[link_index(bf, row, s, cross)];
+                             if (cross) row ^= pow2(s);
+                           }
+                         }
+                       });
+
+  LoadCensus census;
+  census.packets = packets;
+  u64 total = 0;
+  for (u64 i = 0; i < links; ++i) {
+    u64 load = 0;
+    for (std::size_t t = 0; t < threads; ++t) load += partial[t][i];
+    census.max_link_load = std::max(census.max_link_load, load);
+    total += load;
+  }
+  census.avg_link_load = static_cast<double>(total) / static_cast<double>(links);
+  census.imbalance = census.avg_link_load > 0
+                         ? static_cast<double>(census.max_link_load) / census.avg_link_load
+                         : 0.0;
+  census.avg_distance =
+      packets > 0 ? static_cast<double>(total) / static_cast<double>(packets) : 0.0;
+  return census;
+}
+
+double average_node_distance(int n, u64 samples, u64 seed) {
+  const u64 rows = pow2(n);
+  Xoshiro256 rng(seed);
+  i64 total = 0;
+  for (u64 i = 0; i < samples; ++i) {
+    const u64 r1 = rng.below(rows);
+    const u64 r2 = rng.below(rows);
+    const int s1 = static_cast<int>(rng.below(static_cast<u64>(n) + 1));
+    const int s2 = static_cast<int>(rng.below(static_cast<u64>(n) + 1));
+    total += butterfly_distance(n, r1, s1, r2, s2);
+  }
+  return static_cast<double>(total) / static_cast<double>(samples);
+}
+
+u64 permutation_congestion(int n, std::span<const u64> perm) {
+  const Butterfly bf(n);
+  const u64 rows = bf.rows();
+  BFLY_REQUIRE(perm.size() == rows, "permutation must cover all rows");
+  std::vector<u64> load(static_cast<std::size_t>(n) * rows * 2, 0);
+  u64 worst = 0;
+  for (u64 src = 0; src < rows; ++src) {
+    u64 row = src;
+    const u64 dst = perm[src];
+    BFLY_REQUIRE(dst < rows, "permutation target out of range");
+    for (int s = 0; s < n; ++s) {
+      const bool cross = ((row ^ dst) >> s) & 1;
+      const u64 l = ++load[link_index(bf, row, s, cross)];
+      worst = std::max(worst, l);
+      if (cross) row ^= pow2(s);
+    }
+  }
+  return worst;
+}
+
+u64 bit_reversal_congestion(int n) {
+  const u64 rows = pow2(n);
+  std::vector<u64> perm(rows);
+  for (u64 r = 0; r < rows; ++r) perm[r] = bit_reverse(r, n);
+  return permutation_congestion(n, perm);
+}
+
+SaturationPoint simulate_saturation(int n, double offered_load, u64 cycles, u64 seed,
+                                    u64 warmup_cycles) {
+  BFLY_REQUIRE(offered_load >= 0.0 && offered_load <= 1.0, "offered load is a probability");
+  const Butterfly bf(n);
+  const u64 rows = bf.rows();
+
+  struct Packet {
+    u64 dst;
+    u64 injected_at;
+  };
+  // One FIFO per forward link.
+  std::vector<std::deque<Packet>> queues(static_cast<std::size_t>(n) * rows * 2);
+  Xoshiro256 rng(seed);
+
+  SaturationPoint result;
+  result.offered_load = offered_load;
+  u64 measured_injections = 0;
+  double total_latency = 0.0;
+
+  const auto enqueue = [&](u64 row, int stage, const Packet& pkt) {
+    const bool cross = ((row ^ pkt.dst) >> stage) & 1;
+    queues[link_index(bf, row, stage, cross)].push_back(pkt);
+  };
+
+  for (u64 cycle = 0; cycle < cycles; ++cycle) {
+    // Forward one packet per link, highest stage first so a packet moves at
+    // most one hop per cycle.
+    for (int s = n - 1; s >= 0; --s) {
+      for (u64 row = 0; row < rows; ++row) {
+        for (int c = 0; c < 2; ++c) {
+          auto& q = queues[link_index(bf, row, s, c == 1)];
+          if (q.empty()) continue;
+          const Packet pkt = q.front();
+          q.pop_front();
+          const u64 next_row = c == 1 ? (row ^ pow2(s)) : row;
+          if (s + 1 == n) {
+            if (cycle >= warmup_cycles) {
+              ++result.delivered;
+              total_latency += static_cast<double>(cycle + 1 - pkt.injected_at);
+            }
+          } else {
+            enqueue(next_row, s + 1, pkt);
+          }
+        }
+      }
+    }
+    // Inject.
+    for (u64 row = 0; row < rows; ++row) {
+      if (rng.uniform() < offered_load) {
+        enqueue(row, 0, Packet{rng.below(rows), cycle});
+        if (cycle >= warmup_cycles) ++measured_injections;
+      }
+    }
+  }
+
+  for (const auto& q : queues) {
+    result.max_queue = std::max(result.max_queue, static_cast<u64>(q.size()));
+  }
+  const double measured_cycles = static_cast<double>(cycles - warmup_cycles);
+  result.throughput =
+      static_cast<double>(result.delivered) / (measured_cycles * static_cast<double>(rows));
+  result.per_node_injection = result.throughput / static_cast<double>(n + 1);
+  result.avg_latency =
+      result.delivered > 0 ? total_latency / static_cast<double>(result.delivered) : 0.0;
+  (void)measured_injections;
+  return result;
+}
+
+}  // namespace bfly

@@ -1,0 +1,77 @@
+// Random routing on butterfly networks: the empirical side of Theorem 2.1's
+// lower bound.  The maximum injection rate of uniform random routing is
+// Theta(1/log R) per network node (average distance Theta(log R), balanced
+// link loads), so an M-node module needs Omega(M / log R) off-module links
+// to sustain it -- which the Section 2.3 partitions meet within a constant.
+//
+// Two instruments:
+//  * a Monte-Carlo link-load census over the stage-0 -> stage-n DAG
+//    (multithreaded, deterministic per seed), and
+//  * a synchronous queued simulation measuring delivered throughput and
+//    latency as the offered load approaches saturation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "topology/butterfly.hpp"
+#include "util/bits.hpp"
+
+namespace bfly {
+
+/// Dense id of the forward link (row, stage) -> stage+1 (cross or straight).
+inline u64 link_index(const Butterfly& bf, u64 row, int stage, bool cross) {
+  return (static_cast<u64>(stage) * bf.rows() + row) * 2 + (cross ? 1 : 0);
+}
+
+/// Shortest-path length between two arbitrary butterfly nodes (rows r1, r2 at
+/// stages s1, s2): the walk must sweep every stage transition whose bit
+/// differs, moving left/right along the stages.
+i64 butterfly_distance(int n, u64 r1, int s1, u64 r2, int s2);
+
+struct LoadCensus {
+  u64 packets = 0;
+  u64 max_link_load = 0;
+  double avg_link_load = 0.0;
+  double imbalance = 0.0;      ///< max / avg (1.0 = perfectly balanced)
+  double avg_distance = 0.0;   ///< hops per packet (= n for the DAG workload)
+};
+
+/// Routes `packets` uniform random (source row, destination row) pairs
+/// through the stage-0 -> stage-n DAG (bit-fixing: cross at stage s iff bit s
+/// differs) and censuses per-link loads.  Deterministic for a fixed seed and
+/// thread count.
+LoadCensus measure_link_loads(int n, u64 packets, u64 seed,
+                              std::size_t threads = 0 /* 0 = default */);
+
+/// Average shortest-path distance between uniformly random node pairs
+/// (arbitrary stages): the Theta(log R) quantity in Theorem 2.1.
+double average_node_distance(int n, u64 samples, u64 seed);
+
+struct SaturationPoint {
+  double offered_load = 0.0;     ///< injection probability per stage-0 row per cycle
+  double throughput = 0.0;       ///< delivered packets per stage-0 row per cycle
+  double avg_latency = 0.0;      ///< cycles from injection to delivery
+  double per_node_injection = 0.0;  ///< throughput * R / N = throughput / (n+1)
+  u64 delivered = 0;
+  u64 max_queue = 0;
+};
+
+/// Synchronous store-and-forward simulation: every link moves one packet per
+/// cycle; output queues are unbounded; packets are injected at stage-0 rows
+/// with probability `offered_load` per cycle and routed by bit-fixing.
+SaturationPoint simulate_saturation(int n, double offered_load, u64 cycles, u64 seed,
+                                    u64 warmup_cycles = 0);
+
+/// Maximum link congestion when routing the *permutation* perm (one packet
+/// per row) by bit-fixing through the DAG.  Uniform random permutations stay
+/// near O(log R / log log R); the bit-reversal permutation concentrates
+/// Theta(sqrt(R)) packets on single links -- the classic worst case that
+/// motivates rearrangeable fabrics (Benes) for switches.
+u64 permutation_congestion(int n, std::span<const u64> perm);
+
+/// Congestion of the bit-reversal permutation (exactly 2^{floor((n-1)/2)} on
+/// the middle-stage links).
+u64 bit_reversal_congestion(int n);
+
+}  // namespace bfly

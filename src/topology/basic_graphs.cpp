@@ -1,0 +1,42 @@
+#include "topology/basic_graphs.hpp"
+
+namespace bfly {
+
+Graph path_graph(u64 n) {
+  BFLY_REQUIRE(n >= 1, "path needs at least one node");
+  Graph g(n);
+  for (u64 i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1);
+  return g;
+}
+
+Graph cycle_graph(u64 n) {
+  BFLY_REQUIRE(n >= 3, "cycle needs at least three nodes");
+  Graph g(n);
+  for (u64 i = 0; i < n; ++i) g.add_edge(i, (i + 1) % n);
+  return g;
+}
+
+Graph torus_graph(u64 k, int d) {
+  BFLY_REQUIRE(k >= 2 && d >= 1, "torus needs radix >= 2 and dimension >= 1");
+  u64 nodes = 1;
+  for (int i = 0; i < d; ++i) nodes *= k;
+  Graph g(nodes);
+  for (u64 v = 0; v < nodes; ++v) {
+    u64 stride = 1;
+    for (int digit = 0; digit < d; ++digit) {
+      const u64 x = (v / stride) % k;
+      // +1 neighbor only (each undirected link added once); for k == 2 the
+      // +1 and -1 neighbors coincide, giving the hypercube link.
+      const u64 w = v - x * stride + ((x + 1) % k) * stride;
+      if (k == 2) {
+        if (v < w) g.add_edge(v, w);
+      } else {
+        g.add_edge(v, w);
+      }
+      stride *= k;
+    }
+  }
+  return g;
+}
+
+}  // namespace bfly

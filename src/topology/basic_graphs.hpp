@@ -1,0 +1,21 @@
+// Small graph factories used by the product-network layouts (paths, cycles,
+// k-ary n-cube tori).
+#pragma once
+
+#include <span>
+
+#include "topology/graph.hpp"
+
+namespace bfly {
+
+/// Path P_n: 0 - 1 - ... - n-1.
+Graph path_graph(u64 n);
+
+/// Cycle C_n (n >= 3).
+Graph cycle_graph(u64 n);
+
+/// k-ary d-cube torus: k^d nodes, +-1 (mod k) links along each digit.
+/// For k == 2 the double link degenerates to a single hypercube link.
+Graph torus_graph(u64 k, int d);
+
+}  // namespace bfly

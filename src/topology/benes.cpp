@@ -1,0 +1,122 @@
+#include "topology/benes.hpp"
+
+namespace bfly {
+
+Benes::Benes(int n) : n_(n) {
+  BFLY_REQUIRE(n >= 1 && n <= 20, "Benes dimension must be in [1, 20]");
+}
+
+Graph Benes::graph() const {
+  Graph g(num_nodes());
+  g.reserve_edges(num_links());
+  const u64 r = rows();
+  for (int t = 0; t < num_transitions(); ++t) {
+    const int d = transition_dim(t);
+    for (u64 u = 0; u < r; ++u) {
+      g.add_edge(node_id(u, t), node_id(u, t + 1));
+      g.add_edge(node_id(u, t), node_id(u ^ pow2(d), t + 1));
+    }
+  }
+  return g;
+}
+
+namespace {
+
+/// One recursion level of the looping algorithm: choose, for every source of
+/// the (sub)permutation, which half (bit value after the outer transition)
+/// its packet takes, such that source pairs and destination pairs split.
+/// perm has even size M; out_half[src] in {0, 1}.
+void color_halves(std::span<const u64> perm, std::vector<int>* out_half) {
+  const u64 m = perm.size();
+  std::vector<u64> inverse(m);
+  for (u64 s = 0; s < m; ++s) inverse[perm[s]] = s;
+  out_half->assign(m, -1);
+  for (u64 seed = 0; seed < m; ++seed) {
+    if ((*out_half)[seed] != -1) continue;
+    // Alternate: fix seed to half 0, then follow the constraint cycle:
+    // source-pair partner takes the other half; the source mapping to the
+    // destination-pair partner of our destination must also take the other
+    // half, and so on until the loop closes.
+    u64 src = seed;
+    int half = 0;
+    while ((*out_half)[src] == -1) {
+      (*out_half)[src] = half;
+      const u64 partner = src ^ 1;          // source pair constraint
+      (*out_half)[partner] = 1 - half;
+      const u64 dst_partner = perm[partner] ^ 1;  // destination pair constraint
+      src = inverse[dst_partner];
+      half = 1 - (*out_half)[partner];  // equals `half`; kept for clarity
+    }
+  }
+}
+
+/// Recursive path construction.  `perm` is the permutation over the reduced
+/// index space (size M = 2^{n-j}); `paths[i]` receives the reduced row after
+/// each of the 2(n-j) transitions of the sub-network.
+void route_rec(std::span<const u64> perm, std::vector<std::vector<u64>>* paths) {
+  const u64 m = perm.size();
+  if (m == 1) {
+    (*paths)[0].clear();
+    return;
+  }
+  std::vector<int> half;
+  color_halves(perm, &half);
+
+  // Sub-permutations over M/2 indices (the reduced row >> 1), one per half.
+  std::vector<u64> sub_perm[2] = {std::vector<u64>(m / 2), std::vector<u64>(m / 2)};
+  std::vector<u64> sub_src[2] = {std::vector<u64>(m / 2), std::vector<u64>(m / 2)};
+  for (u64 s = 0; s < m; ++s) {
+    const int b = half[s];
+    sub_perm[b][s >> 1] = perm[s] >> 1;
+    sub_src[b][s >> 1] = s;
+  }
+
+  std::vector<std::vector<u64>> sub_paths[2];
+  for (int b = 0; b < 2; ++b) {
+    sub_paths[b].assign(m / 2, {});
+    route_rec(sub_perm[b], &sub_paths[b]);
+  }
+
+  // Assemble: src --(outer in, set bit0 = half)--> sub-network on bits >= 1
+  // --(outer out, set bit0 = dst bit0)--> dst.
+  for (u64 s = 0; s < m; ++s) {
+    const int b = half[s];
+    const u64 entry = ((s >> 1) << 1) | static_cast<u64>(b);
+    std::vector<u64>& path = (*paths)[s];
+    path.clear();
+    path.push_back(entry);
+    for (const u64 sub_row : sub_paths[b][s >> 1]) {
+      path.push_back((sub_row << 1) | static_cast<u64>(b));
+    }
+    path.push_back(perm[s]);
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<u64>> Benes::route_permutation(std::span<const u64> perm) const {
+  const u64 r = rows();
+  BFLY_REQUIRE(perm.size() == r, "permutation must cover all rows");
+  std::vector<bool> seen(r, false);
+  for (const u64 d : perm) {
+    BFLY_REQUIRE(d < r, "permutation target out of range");
+    BFLY_REQUIRE(!seen[d], "permutation must be a bijection");
+    seen[d] = true;
+  }
+
+  std::vector<std::vector<u64>> inner(r);
+  route_rec(perm, &inner);
+
+  // Prepend the source stage-0 rows.
+  std::vector<std::vector<u64>> paths(r);
+  for (u64 s = 0; s < r; ++s) {
+    paths[s].reserve(static_cast<std::size_t>(num_stages()));
+    paths[s].push_back(s);
+    for (const u64 row : inner[s]) paths[s].push_back(row);
+    BFLY_CHECK(paths[s].size() == static_cast<std::size_t>(num_stages()),
+               "path must visit every stage exactly once");
+  }
+  return paths;
+}
+
+}  // namespace bfly

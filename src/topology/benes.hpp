@@ -1,0 +1,56 @@
+// Benes networks: the rearrangeable non-blocking fabric the paper's
+// introduction cites alongside butterflies ("many network switches/routers
+// are based on butterfly, Benes, or related interconnection topologies").
+//
+// We realize the Benes network as two back-to-back butterflies sharing the
+// middle stage: 2n+1 stages of 2^n rows, where transition t flips bit t for
+// t < n (ascend) and bit 2n-1-t for t >= n (descend).  Its layout is two
+// mirrored copies of the Section 3 butterfly layout; its defining property
+// -- any permutation of the 2^n inputs routes along node-disjoint paths --
+// is implemented by the classic looping (2-coloring) algorithm and verified
+// by tests on every path.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "topology/graph.hpp"
+#include "util/bits.hpp"
+
+namespace bfly {
+
+class Benes {
+ public:
+  explicit Benes(int n);
+
+  int dimension() const { return n_; }
+  u64 rows() const { return pow2(n_); }
+  int num_stages() const { return 2 * n_ + 1; }
+  int num_transitions() const { return 2 * n_; }
+  u64 num_nodes() const { return rows() * static_cast<u64>(num_stages()); }
+  u64 num_links() const { return rows() * 2 * static_cast<u64>(num_transitions()); }
+
+  /// The bit flipped by transition t (0-based): ascend then descend.
+  int transition_dim(int t) const {
+    BFLY_REQUIRE(t >= 0 && t < num_transitions(), "transition out of range");
+    return t < n_ ? t : 2 * n_ - 1 - t;
+  }
+
+  u64 node_id(u64 row, int stage) const {
+    BFLY_REQUIRE(row < rows() && stage >= 0 && stage < num_stages(), "node out of range");
+    return static_cast<u64>(stage) * rows() + row;
+  }
+
+  Graph graph() const;
+
+  /// Routes the permutation `perm` (perm[src] = dst, a bijection on rows)
+  /// with the looping algorithm.  Returns one path per source: the row
+  /// occupied at each of the 2n+1 stages.  The paths are node-disjoint per
+  /// stage (hence link-disjoint), which the tests verify.
+  std::vector<std::vector<u64>> route_permutation(std::span<const u64> perm) const;
+
+ private:
+  int n_;
+};
+
+}  // namespace bfly

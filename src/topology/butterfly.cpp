@@ -1,0 +1,22 @@
+#include "topology/butterfly.hpp"
+
+namespace bfly {
+
+Butterfly::Butterfly(int n) : n_(n), rows_(0) {
+  BFLY_REQUIRE(n >= 1 && n <= 30, "butterfly dimension must be in [1, 30]");
+  rows_ = pow2(n_);
+}
+
+Graph Butterfly::graph() const {
+  Graph g(num_nodes());
+  g.reserve_edges(num_links());
+  for (int s = 0; s < n_; ++s) {
+    for (u64 u = 0; u < rows_; ++u) {
+      g.add_edge(node_id(u, s), node_id(straight_target(u, s), s + 1));
+      g.add_edge(node_id(u, s), node_id(cross_target(u, s), s + 1));
+    }
+  }
+  return g;
+}
+
+}  // namespace bfly

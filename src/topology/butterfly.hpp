@@ -1,0 +1,55 @@
+// The n-dimensional butterfly network B_n.
+//
+// Nodes are pairs (row, stage) with row in [0, 2^n) and stage in [0, n].
+// Between stage s and s+1 every row u has a *straight* link to (u, s+1) and a
+// *cross* link to (u XOR 2^s, s+1) -- the LSB-first "ascend" convention used
+// by the paper's FFT argument (Sec. 2.2).  B_n has (n+1)*2^n nodes and
+// n*2^(n+1) links.
+#pragma once
+
+#include <vector>
+
+#include "topology/graph.hpp"
+#include "util/bits.hpp"
+
+namespace bfly {
+
+class Butterfly {
+ public:
+  /// Requires 1 <= n <= 30 (node ids must fit comfortably in u64).
+  explicit Butterfly(int n);
+
+  int dimension() const { return n_; }
+  u64 rows() const { return rows_; }
+  int num_stages() const { return n_ + 1; }
+  u64 num_nodes() const { return rows_ * static_cast<u64>(n_ + 1); }
+  u64 num_links() const { return static_cast<u64>(n_) * rows_ * 2; }
+
+  /// Dense node id; stage-major so each stage is a contiguous block.
+  u64 node_id(u64 row, int stage) const {
+    BFLY_REQUIRE(row < rows_ && stage >= 0 && stage <= n_, "butterfly node out of range");
+    return static_cast<u64>(stage) * rows_ + row;
+  }
+  u64 row_of(u64 id) const { return id % rows_; }
+  int stage_of(u64 id) const { return static_cast<int>(id / rows_); }
+
+  /// Endpoints of the two links leaving (row, stage) toward stage+1.
+  u64 straight_target(u64 row, int stage) const {
+    BFLY_REQUIRE(stage < n_, "no links beyond last stage");
+    (void)stage;
+    return row;
+  }
+  u64 cross_target(u64 row, int stage) const {
+    BFLY_REQUIRE(stage < n_, "no links beyond last stage");
+    return row ^ pow2(stage);
+  }
+
+  /// Materializes the full graph (stage-major node ids).
+  Graph graph() const;
+
+ private:
+  int n_;
+  u64 rows_;
+};
+
+}  // namespace bfly

@@ -1,0 +1,21 @@
+#include "topology/complete_graph.hpp"
+
+namespace bfly {
+
+CompleteGraph::CompleteGraph(u64 n, u64 multiplicity) : n_(n), multiplicity_(multiplicity) {
+  BFLY_REQUIRE(n >= 1, "complete graph needs at least one node");
+  BFLY_REQUIRE(multiplicity >= 1, "multiplicity must be positive");
+}
+
+Graph CompleteGraph::graph() const {
+  Graph g(n_);
+  g.reserve_edges(num_links());
+  for (u64 u = 0; u < n_; ++u) {
+    for (u64 v = u + 1; v < n_; ++v) {
+      for (u64 r = 0; r < multiplicity_; ++r) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+}  // namespace bfly

@@ -1,0 +1,32 @@
+// Complete graphs K_N and complete multigraphs (every pair joined by a fixed
+// number of parallel links).  The collinear layout of Appendix B lays these
+// out; the inter-block wiring of Section 3 is a complete multigraph with
+// multiplicity 2^(2+k1-k2).
+#pragma once
+
+#include "topology/graph.hpp"
+#include "util/bits.hpp"
+
+namespace bfly {
+
+class CompleteGraph {
+ public:
+  /// N nodes, `multiplicity` parallel links per unordered pair (default 1).
+  explicit CompleteGraph(u64 n, u64 multiplicity = 1);
+
+  u64 num_nodes() const { return n_; }
+  u64 multiplicity() const { return multiplicity_; }
+  u64 num_links() const { return multiplicity_ * n_ * (n_ - 1) / 2; }
+
+  /// Bisection width of K_N (paper, Appendix B): floor(N^2/4) links cross any
+  /// balanced cut, times the multiplicity.
+  u64 bisection_width() const { return multiplicity_ * ((n_ * n_) / 4); }
+
+  Graph graph() const;
+
+ private:
+  u64 n_;
+  u64 multiplicity_;
+};
+
+}  // namespace bfly

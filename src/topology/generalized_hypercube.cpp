@@ -1,0 +1,63 @@
+#include "topology/generalized_hypercube.hpp"
+
+namespace bfly {
+
+GeneralizedHypercube::GeneralizedHypercube(std::vector<u64> radices, u64 multiplicity)
+    : radices_(std::move(radices)), num_nodes_(1), multiplicity_(multiplicity) {
+  BFLY_REQUIRE(!radices_.empty(), "generalized hypercube needs at least one digit");
+  BFLY_REQUIRE(multiplicity >= 1, "multiplicity must be positive");
+  for (const u64 r : radices_) {
+    BFLY_REQUIRE(r >= 1, "radix must be positive");
+    num_nodes_ *= r;
+  }
+}
+
+u64 GeneralizedHypercube::num_links() const {
+  // Each node has (radix_i - 1) neighbors along digit i.
+  u64 degree_sum = 0;
+  for (const u64 r : radices_) degree_sum += r - 1;
+  return multiplicity_ * num_nodes_ * degree_sum / 2;
+}
+
+std::vector<u64> GeneralizedHypercube::digits(u64 id) const {
+  BFLY_REQUIRE(id < num_nodes_, "node id out of range");
+  std::vector<u64> out(radices_.size());
+  for (std::size_t i = 0; i < radices_.size(); ++i) {
+    out[i] = id % radices_[i];
+    id /= radices_[i];
+  }
+  return out;
+}
+
+u64 GeneralizedHypercube::encode(std::span<const u64> digits) const {
+  BFLY_REQUIRE(digits.size() == radices_.size(), "digit count mismatch");
+  u64 id = 0;
+  for (std::size_t i = radices_.size(); i-- > 0;) {
+    BFLY_REQUIRE(digits[i] < radices_[i], "digit out of range");
+    id = id * radices_[i] + digits[i];
+  }
+  return id;
+}
+
+Graph GeneralizedHypercube::graph() const {
+  Graph g(num_nodes_);
+  g.reserve_edges(num_links());
+  for (u64 v = 0; v < num_nodes_; ++v) {
+    u64 stride = 1;
+    u64 rest = v;
+    for (const u64 radix : radices_) {
+      const u64 digit = rest % radix;
+      rest /= radix;
+      // Connect to every strictly larger digit value in this position; the
+      // smaller side adds the edge so each pair is added exactly once.
+      for (u64 other = digit + 1; other < radix; ++other) {
+        const u64 w = v + (other - digit) * stride;
+        for (u64 r = 0; r < multiplicity_; ++r) g.add_edge(v, w);
+      }
+      stride *= radix;
+    }
+  }
+  return g;
+}
+
+}  // namespace bfly

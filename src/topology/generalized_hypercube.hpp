@@ -1,0 +1,38 @@
+// Generalized hypercube of Bhuyan & Agrawal [4]: nodes are mixed-radix
+// tuples (d_{r-1}, ..., d_0) with d_i in [0, radix_i); two nodes are adjacent
+// iff they differ in exactly one digit.  Section 3 of the paper shows that
+// contracting each block of the swap-butterfly yields a 2-dimensional
+// radix-2^(n/3) generalized hypercube (with link multiplicity 4), which is
+// what licenses the per-row / per-column collinear channel wiring.
+#pragma once
+
+#include <vector>
+
+#include "topology/graph.hpp"
+#include "util/bits.hpp"
+
+namespace bfly {
+
+class GeneralizedHypercube {
+ public:
+  /// radices[i] is the radix of digit i (least significant digit first).
+  explicit GeneralizedHypercube(std::vector<u64> radices, u64 multiplicity = 1);
+
+  u64 num_nodes() const { return num_nodes_; }
+  u64 num_digits() const { return static_cast<u64>(radices_.size()); }
+  u64 multiplicity() const { return multiplicity_; }
+  u64 num_links() const;
+
+  /// Mixed-radix decode of node id (least significant digit first).
+  std::vector<u64> digits(u64 id) const;
+  u64 encode(std::span<const u64> digits) const;
+
+  Graph graph() const;
+
+ private:
+  std::vector<u64> radices_;
+  u64 num_nodes_;
+  u64 multiplicity_;
+};
+
+}  // namespace bfly

@@ -1,0 +1,113 @@
+#include "topology/graph.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace bfly {
+
+void Graph::add_edge(u64 u, u64 v) {
+  BFLY_REQUIRE(u < num_nodes_ && v < num_nodes_, "add_edge: endpoint out of range");
+  if (u > v) std::swap(u, v);
+  edges_.emplace_back(u, v);
+  finalized_ = false;
+}
+
+void Graph::finalize() const {
+  if (finalized_) return;
+  offsets_.assign(num_nodes_ + 1, 0);
+  for (const auto& [u, v] : edges_) {
+    ++offsets_[u + 1];
+    ++offsets_[v + 1];
+  }
+  std::partial_sum(offsets_.begin(), offsets_.end(), offsets_.begin());
+  targets_.assign(offsets_.back(), 0);
+  std::vector<u64> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const auto& [u, v] : edges_) {
+    targets_[cursor[u]++] = v;
+    targets_[cursor[v]++] = u;
+  }
+  for (u64 v = 0; v < num_nodes_; ++v) {
+    std::sort(targets_.begin() + static_cast<std::ptrdiff_t>(offsets_[v]),
+              targets_.begin() + static_cast<std::ptrdiff_t>(offsets_[v + 1]));
+  }
+  finalized_ = true;
+}
+
+u64 Graph::degree(u64 v) const {
+  BFLY_REQUIRE(v < num_nodes_, "degree: node out of range");
+  finalize();
+  return offsets_[v + 1] - offsets_[v];
+}
+
+std::span<const u64> Graph::neighbors(u64 v) const {
+  BFLY_REQUIRE(v < num_nodes_, "neighbors: node out of range");
+  finalize();
+  return {targets_.data() + offsets_[v], targets_.data() + offsets_[v + 1]};
+}
+
+u64 Graph::multiplicity(u64 u, u64 v) const {
+  const auto nb = neighbors(u);
+  const auto [lo, hi] = std::equal_range(nb.begin(), nb.end(), v);
+  return static_cast<u64>(hi - lo);
+}
+
+std::vector<u64> Graph::degree_histogram() const {
+  finalize();
+  std::vector<u64> histogram;
+  for (u64 v = 0; v < num_nodes_; ++v) {
+    const u64 d = degree(v);
+    if (d >= histogram.size()) histogram.resize(d + 1, 0);
+    ++histogram[d];
+  }
+  return histogram;
+}
+
+u64 Graph::connected_components() const {
+  finalize();
+  std::vector<u64> component(num_nodes_, ~u64{0});
+  std::vector<u64> stack;
+  u64 count = 0;
+  for (u64 start = 0; start < num_nodes_; ++start) {
+    if (component[start] != ~u64{0}) continue;
+    ++count;
+    component[start] = count;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      const u64 v = stack.back();
+      stack.pop_back();
+      for (const u64 w : neighbors(v)) {
+        if (component[w] == ~u64{0}) {
+          component[w] = count;
+          stack.push_back(w);
+        }
+      }
+    }
+  }
+  return count;
+}
+
+Graph Graph::contract(std::span<const u64> labels, u64 num_clusters,
+                      bool keep_self_loops) const {
+  BFLY_REQUIRE(labels.size() == num_nodes_, "contract: one label per node required");
+  Graph quotient(num_clusters);
+  quotient.reserve_edges(num_edges());
+  for (const auto& [u, v] : edges_) {
+    const u64 cu = labels[u];
+    const u64 cv = labels[v];
+    BFLY_REQUIRE(cu < num_clusters && cv < num_clusters, "contract: label out of range");
+    if (cu == cv && !keep_self_loops) continue;
+    quotient.add_edge(cu, cv);
+  }
+  return quotient;
+}
+
+bool Graph::same_as(const Graph& other) const {
+  if (num_nodes_ != other.num_nodes_ || edges_.size() != other.edges_.size()) return false;
+  auto mine = edges_;
+  auto theirs = other.edges_;
+  std::sort(mine.begin(), mine.end());
+  std::sort(theirs.begin(), theirs.end());
+  return mine == theirs;
+}
+
+}  // namespace bfly

@@ -1,0 +1,77 @@
+// Static undirected (multi)graph with CSR adjacency.
+//
+// All network topologies in the library materialize into this representation
+// for structural verification (degree profiles, isomorphism checks, and
+// contraction into supernode quotient graphs).  Node ids are dense [0, n).
+// Parallel edges are first-class: the paper's constructions (swap-link
+// doubling, replicated collinear wires) are genuinely multigraphs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "util/bits.hpp"
+#include "util/check.hpp"
+
+namespace bfly {
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(u64 num_nodes) : num_nodes_(num_nodes) {}
+
+  u64 num_nodes() const { return num_nodes_; }
+  u64 num_edges() const { return static_cast<u64>(edges_.size()); }
+
+  /// Adds an undirected edge {u, v}. Self-loops and parallel edges allowed.
+  void add_edge(u64 u, u64 v);
+
+  /// Reserve capacity for `m` edges.
+  void reserve_edges(u64 m) { edges_.reserve(m); }
+
+  /// The raw edge list in insertion order (endpoints canonicalized u <= v).
+  std::span<const std::pair<u64, u64>> edges() const { return edges_; }
+
+  /// Builds the CSR adjacency (idempotent; invalidated by add_edge).
+  void finalize() const;
+
+  /// Degree of node v (self-loops count twice). Finalizes if needed.
+  u64 degree(u64 v) const;
+
+  /// Neighbors of v, sorted ascending (with multiplicity). Finalizes if needed.
+  std::span<const u64> neighbors(u64 v) const;
+
+  /// Number of parallel edges between u and v.
+  u64 multiplicity(u64 u, u64 v) const;
+
+  /// True iff {u, v} is an edge (any multiplicity).
+  bool has_edge(u64 u, u64 v) const { return multiplicity(u, v) > 0; }
+
+  /// Degree histogram: result[d] = number of nodes with degree d.
+  std::vector<u64> degree_histogram() const;
+
+  /// Number of connected components (isolated nodes count).
+  u64 connected_components() const;
+
+  /// Quotient multigraph: contract node i into cluster labels[i].
+  /// Edges inside a cluster become self-loops and are dropped unless
+  /// `keep_self_loops` is set.  Parallel inter-cluster edges are preserved.
+  Graph contract(std::span<const u64> labels, u64 num_clusters,
+                 bool keep_self_loops = false) const;
+
+  /// Structural equality as labeled multigraphs (same node count and same
+  /// multiset of edges).
+  bool same_as(const Graph& other) const;
+
+ private:
+  u64 num_nodes_ = 0;
+  std::vector<std::pair<u64, u64>> edges_;
+  // CSR cache (mutable: finalize() is logically const).
+  mutable bool finalized_ = false;
+  mutable std::vector<u64> offsets_;
+  mutable std::vector<u64> targets_;
+};
+
+}  // namespace bfly

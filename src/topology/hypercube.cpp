@@ -1,0 +1,22 @@
+#include "topology/hypercube.hpp"
+
+namespace bfly {
+
+Hypercube::Hypercube(int k) : k_(k) {
+  BFLY_REQUIRE(k >= 1 && k <= 30, "hypercube dimension must be in [1, 30]");
+}
+
+Graph Hypercube::graph() const {
+  const u64 n = num_nodes();
+  Graph g(n);
+  g.reserve_edges(num_links());
+  for (u64 v = 0; v < n; ++v) {
+    for (int d = 0; d < k_; ++d) {
+      const u64 w = neighbor(v, d);
+      if (v < w) g.add_edge(v, w);
+    }
+  }
+  return g;
+}
+
+}  // namespace bfly

@@ -1,0 +1,30 @@
+// The binary hypercube Q_k: 2^k nodes, edges between addresses at Hamming
+// distance one.  Serves as the nucleus of swap networks (Appendix A.1).
+#pragma once
+
+#include "topology/graph.hpp"
+#include "util/bits.hpp"
+
+namespace bfly {
+
+class Hypercube {
+ public:
+  explicit Hypercube(int k);
+
+  int dimension() const { return k_; }
+  u64 num_nodes() const { return pow2(k_); }
+  u64 num_links() const { return static_cast<u64>(k_) * pow2(k_ - 1); }
+
+  /// Neighbor across dimension d.
+  u64 neighbor(u64 v, int d) const {
+    BFLY_REQUIRE(d >= 0 && d < k_, "hypercube dimension out of range");
+    return v ^ pow2(d);
+  }
+
+  Graph graph() const;
+
+ private:
+  int k_;
+};
+
+}  // namespace bfly

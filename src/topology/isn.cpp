@@ -1,0 +1,64 @@
+#include "topology/isn.hpp"
+
+namespace bfly {
+
+IndirectSwapNetwork::IndirectSwapNetwork(std::vector<int> k)
+    : k_(k), sn_(std::move(k)), n_(sn_.dimension()) {
+  // Level 1: exchange over nucleus dims 0..k_1-1.
+  for (int j = 0; j < k_[0]; ++j) {
+    steps_.push_back({IsnStep::Kind::kExchange, j});
+  }
+  // Levels 2..l: swap forwarding, then exchanges over dims 0..k_i-1.
+  for (int i = 2; i <= levels(); ++i) {
+    steps_.push_back({IsnStep::Kind::kSwap, i});
+    for (int j = 0; j < k_[static_cast<std::size_t>(i - 1)]; ++j) {
+      steps_.push_back({IsnStep::Kind::kExchange, j});
+    }
+  }
+  BFLY_CHECK(static_cast<int>(steps_.size()) == n_ + levels() - 1,
+             "ISN must have n_l + l - 1 steps");
+}
+
+IndirectSwapNetwork::Outgoing IndirectSwapNetwork::outgoing(u64 row, int step) const {
+  BFLY_REQUIRE(step >= 1 && step <= num_steps(), "ISN step out of range");
+  BFLY_REQUIRE(row < rows(), "ISN row out of range");
+  const IsnStep& st = steps_[static_cast<std::size_t>(step - 1)];
+  Outgoing out;
+  if (st.kind == IsnStep::Kind::kExchange) {
+    out.straight = row;
+    out.cross = row ^ pow2(st.param);
+  } else {
+    out.is_swap = true;
+    out.swap = sigma(st.param, row);
+  }
+  return out;
+}
+
+Graph IndirectSwapNetwork::graph() const {
+  Graph g(num_nodes());
+  g.reserve_edges(num_links());
+  const u64 r = rows();
+  for (int t = 1; t <= num_steps(); ++t) {
+    for (u64 u = 0; u < r; ++u) {
+      const Outgoing out = outgoing(u, t);
+      const u64 from = node_id(u, t - 1);
+      if (out.is_swap) {
+        g.add_edge(from, node_id(out.swap, t));
+      } else {
+        g.add_edge(from, node_id(out.straight, t));
+        g.add_edge(from, node_id(out.cross, t));
+      }
+    }
+  }
+  return g;
+}
+
+u64 IndirectSwapNetwork::num_links() const {
+  u64 links = 0;
+  for (const IsnStep& st : steps_) {
+    links += (st.kind == IsnStep::Kind::kExchange) ? 2 * rows() : rows();
+  }
+  return links;
+}
+
+}  // namespace bfly

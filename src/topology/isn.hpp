@@ -1,0 +1,82 @@
+// Indirect swap networks (Appendix A.2).
+//
+// The ISN derived from SN(l, Q_k1) is the flow graph of the bottom-up FFT
+// algorithm on the swap network:
+//
+//   level 1:             k_1 exchange steps over nucleus dims 0..k_1-1
+//   for i = 2..l:        1 swap step (level-i inter-cluster forwarding)
+//                        followed by k_i exchange steps over dims 0..k_i-1
+//
+// giving m = n_l + (l-1) steps and m+1 stages of R = 2^{n_l} nodes each.
+// An exchange step over dim j contributes, for every row u, a straight link
+// (u,t-1)--(u,t) and a cross link (u,t-1)--(u xor 2^j, t).  A level-i swap
+// step contributes the perfect matching (u,t-1)--(sigma_i(u), t).
+#pragma once
+
+#include <vector>
+
+#include "topology/graph.hpp"
+#include "topology/swap_network.hpp"
+#include "util/bits.hpp"
+
+namespace bfly {
+
+enum class LinkKind { kStraight, kCross, kSwap };
+
+/// One pipeline step of the ISN (between stage t-1 and stage t).
+struct IsnStep {
+  enum class Kind { kExchange, kSwap };
+  Kind kind;
+  /// Exchange: local dimension j. Swap: level i (>= 2).
+  int param;
+};
+
+class IndirectSwapNetwork {
+ public:
+  /// k[i-1] = k_i; same feasibility constraints as SwapNetwork.
+  explicit IndirectSwapNetwork(std::vector<int> k);
+
+  int levels() const { return static_cast<int>(k_.size()); }
+  int dimension() const { return n_; }
+  u64 rows() const { return pow2(n_); }
+  int num_steps() const { return static_cast<int>(steps_.size()); }
+  int num_stages() const { return num_steps() + 1; }
+  u64 num_nodes() const { return rows() * static_cast<u64>(num_stages()); }
+  const std::vector<int>& group_sizes() const { return k_; }
+  const std::vector<IsnStep>& steps() const { return steps_; }
+  int prefix(int i) const { return sn_.prefix(i); }
+
+  u64 node_id(u64 row, int stage) const {
+    BFLY_REQUIRE(row < rows() && stage >= 0 && stage < num_stages(), "ISN node out of range");
+    return static_cast<u64>(stage) * rows() + row;
+  }
+  u64 row_of(u64 id) const { return id % rows(); }
+  int stage_of(u64 id) const { return static_cast<int>(id / rows()); }
+
+  /// sigma_i of the underlying swap network.
+  u64 sigma(int level, u64 row) const { return sn_.sigma(level, row); }
+
+  /// Targets in stage t of the links leaving (row, t-1); step index t in
+  /// [1, num_steps()].  Exchange steps have a straight and a cross target;
+  /// swap steps have a single swap target.
+  struct Outgoing {
+    u64 straight = ~u64{0};  ///< valid for exchange steps
+    u64 cross = ~u64{0};     ///< valid for exchange steps
+    u64 swap = ~u64{0};      ///< valid for swap steps
+    bool is_swap = false;
+  };
+  Outgoing outgoing(u64 row, int step) const;
+
+  Graph graph() const;
+
+  /// Total number of links.
+  u64 num_links() const;
+
+ private:
+  std::vector<int> k_;
+  SwapNetwork sn_;
+  std::vector<IsnStep> steps_;
+  int n_;
+};
+
+}  // namespace bfly

@@ -1,0 +1,72 @@
+#include "topology/isomorphism.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace bfly {
+
+namespace {
+void explain(std::string* why, const std::string& message) {
+  if (why != nullptr) *why = message;
+}
+}  // namespace
+
+bool is_isomorphism(const Graph& a, const Graph& b, std::span<const u64> map, std::string* why) {
+  if (a.num_nodes() != b.num_nodes()) {
+    explain(why, "node counts differ");
+    return false;
+  }
+  if (a.num_edges() != b.num_edges()) {
+    explain(why, "edge counts differ");
+    return false;
+  }
+  if (map.size() != a.num_nodes()) {
+    explain(why, "mapping size does not match node count");
+    return false;
+  }
+
+  std::vector<bool> hit(b.num_nodes(), false);
+  for (std::size_t v = 0; v < map.size(); ++v) {
+    if (map[v] >= b.num_nodes()) {
+      explain(why, "mapping target out of range");
+      return false;
+    }
+    if (hit[map[v]]) {
+      std::ostringstream os;
+      os << "mapping is not injective at target " << map[v];
+      explain(why, os.str());
+      return false;
+    }
+    hit[map[v]] = true;
+  }
+
+  std::vector<std::pair<u64, u64>> mapped;
+  mapped.reserve(a.num_edges());
+  for (const auto& [u, v] : a.edges()) {
+    u64 mu = map[u];
+    u64 mv = map[v];
+    if (mu > mv) std::swap(mu, mv);
+    mapped.emplace_back(mu, mv);
+  }
+  std::vector<std::pair<u64, u64>> expected(b.edges().begin(), b.edges().end());
+  std::sort(mapped.begin(), mapped.end());
+  std::sort(expected.begin(), expected.end());
+  if (mapped != expected) {
+    // Locate the first discrepancy for diagnostics.
+    for (std::size_t i = 0; i < mapped.size(); ++i) {
+      if (mapped[i] != expected[i]) {
+        std::ostringstream os;
+        os << "edge multiset mismatch at sorted position " << i << ": mapped ("
+           << mapped[i].first << "," << mapped[i].second << ") vs expected ("
+           << expected[i].first << "," << expected[i].second << ")";
+        explain(why, os.str());
+        break;
+      }
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace bfly

@@ -1,0 +1,21 @@
+// Multigraph isomorphism *verification* (not search): given an explicit node
+// mapping, check that it is a bijection carrying the edge multiset of `a`
+// exactly onto the edge multiset of `b`.  The paper's Section 2.2 claim --
+// the swap-butterfly is an automorphism of B_n -- reduces to this check with
+// the constructive mapping rho.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "topology/graph.hpp"
+
+namespace bfly {
+
+/// Returns true iff `map` (node of `a` -> node of `b`) is an isomorphism of
+/// labeled multigraphs.  On failure, *why (if non-null) describes the first
+/// violation found.
+bool is_isomorphism(const Graph& a, const Graph& b, std::span<const u64> map,
+                    std::string* why = nullptr);
+
+}  // namespace bfly

@@ -1,0 +1,45 @@
+#include "topology/swap_network.hpp"
+
+#include <numeric>
+
+namespace bfly {
+
+int validate_swap_parameters(std::span<const int> k) {
+  BFLY_REQUIRE(!k.empty(), "swap network needs at least one level");
+  BFLY_REQUIRE(k[0] >= 1, "k_1 must be at least 1");
+  int n = k[0];
+  for (std::size_t i = 1; i < k.size(); ++i) {
+    BFLY_REQUIRE(k[i] >= 1, "all k_i must be at least 1");
+    BFLY_REQUIRE(k[i] <= n, "k_i must not exceed n_{i-1} (swapped bit ranges must be disjoint)");
+    n += k[i];
+  }
+  BFLY_REQUIRE(n <= 30, "total dimension n_l must be at most 30");
+  return n;
+}
+
+SwapNetwork::SwapNetwork(std::vector<int> k) : k_(std::move(k)), n_(0) {
+  n_ = validate_swap_parameters(k_);
+  prefix_.resize(k_.size() + 1, 0);
+  for (std::size_t i = 0; i < k_.size(); ++i) prefix_[i + 1] = prefix_[i] + k_[i];
+}
+
+Graph SwapNetwork::graph() const {
+  const u64 nodes = num_nodes();
+  Graph g(nodes);
+  const int k1 = k_[0];
+  for (u64 v = 0; v < nodes; ++v) {
+    // Nucleus (group 1) hypercube links.
+    for (int d = 0; d < k1; ++d) {
+      const u64 w = v ^ pow2(d);
+      if (v < w) g.add_edge(v, w);
+    }
+    // Level-i inter-cluster links.
+    for (int i = 2; i <= levels(); ++i) {
+      const u64 w = sigma(i, v);
+      if (v < w) g.add_edge(v, w);
+    }
+  }
+  return g;
+}
+
+}  // namespace bfly

@@ -1,0 +1,55 @@
+// Swap networks SN(l, Q_k1) and hierarchical swap networks (Appendix A.1).
+//
+// A node address has n_l = k_1 + ... + k_l bits, partitioned into groups; the
+// i-th group (from the right, 1-based) holds k_i bits at positions
+// [n_{i-1}, n_i).  Links:
+//   (a) nucleus links: addresses differing in exactly one bit of group 1;
+//   (b) level-i inter-cluster links (i >= 2): u -- sigma_i(u), where sigma_i
+//       swaps group i with the rightmost k_i bits.  sigma_i is an involution;
+//       fixed points (group i equal to the low k_i bits) yield no link.
+// Validity requires k_i <= n_{i-1} for all i >= 2 so the swapped ranges are
+// disjoint.  HSN(l, Q_k) is the special case k_1 = ... = k_l.
+#pragma once
+
+#include <vector>
+
+#include "topology/graph.hpp"
+#include "util/bits.hpp"
+
+namespace bfly {
+
+/// Validates a swap-network / ISN parameter vector (k_1, ..., k_l).
+/// Throws InvalidArgument when infeasible; returns total bits n_l otherwise.
+int validate_swap_parameters(std::span<const int> k);
+
+class SwapNetwork {
+ public:
+  /// k[i-1] = k_i.  Requires l >= 1, k_1 >= 1, and k_i <= n_{i-1} for i >= 2.
+  explicit SwapNetwork(std::vector<int> k);
+
+  int levels() const { return static_cast<int>(k_.size()); }
+  int dimension() const { return n_; }
+  u64 num_nodes() const { return pow2(n_); }
+  const std::vector<int>& group_sizes() const { return k_; }
+
+  /// n_i = k_1 + ... + k_i (prefix[0] = 0 = n_0).
+  int prefix(int i) const {
+    BFLY_REQUIRE(i >= 0 && i <= levels(), "prefix level out of range");
+    return prefix_[static_cast<std::size_t>(i)];
+  }
+
+  /// The level-i inter-cluster permutation (i in [2, l]).
+  u64 sigma(int level, u64 node) const {
+    BFLY_REQUIRE(level >= 2 && level <= levels(), "sigma level out of range");
+    return swap_bit_groups(node, prefix(level - 1), k_[static_cast<std::size_t>(level - 1)]);
+  }
+
+  Graph graph() const;
+
+ private:
+  std::vector<int> k_;
+  std::vector<int> prefix_;
+  int n_;
+};
+
+}  // namespace bfly

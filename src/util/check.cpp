@@ -1,0 +1,26 @@
+#include "util/check.hpp"
+
+#include <sstream>
+
+namespace bfly::detail {
+
+namespace {
+std::string format(const char* kind, const char* expr, const char* file, int line,
+                   const std::string& msg) {
+  std::ostringstream os;
+  os << kind << ": " << msg << " [" << expr << " at " << file << ':' << line << ']';
+  return os.str();
+}
+}  // namespace
+
+void throw_invalid_argument(const char* expr, const char* file, int line,
+                            const std::string& msg) {
+  throw InvalidArgument(format("invalid argument", expr, file, line, msg));
+}
+
+void throw_internal_error(const char* expr, const char* file, int line,
+                          const std::string& msg) {
+  throw InternalError(format("internal error", expr, file, line, msg));
+}
+
+}  // namespace bfly::detail

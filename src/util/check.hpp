@@ -1,0 +1,48 @@
+// Lightweight precondition / invariant checking for the bfly library.
+//
+// BFLY_REQUIRE is for *user-facing* argument validation: it always fires and
+// throws bfly::InvalidArgument so callers can recover.
+// BFLY_CHECK is for *internal* invariants: it always fires (the library is
+// about producing provably-legal artifacts, so we never compile checks out)
+// and throws bfly::InternalError.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace bfly {
+
+/// Thrown when a public API precondition is violated.
+class InvalidArgument : public std::invalid_argument {
+ public:
+  explicit InvalidArgument(const std::string& what) : std::invalid_argument(what) {}
+};
+
+/// Thrown when an internal invariant fails (a bug in the library).
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_invalid_argument(const char* expr, const char* file, int line,
+                                         const std::string& msg);
+[[noreturn]] void throw_internal_error(const char* expr, const char* file, int line,
+                                       const std::string& msg);
+}  // namespace detail
+
+}  // namespace bfly
+
+#define BFLY_REQUIRE(cond, msg)                                                  \
+  do {                                                                           \
+    if (!(cond)) {                                                               \
+      ::bfly::detail::throw_invalid_argument(#cond, __FILE__, __LINE__, (msg));  \
+    }                                                                            \
+  } while (false)
+
+#define BFLY_CHECK(cond, msg)                                                    \
+  do {                                                                           \
+    if (!(cond)) {                                                               \
+      ::bfly::detail::throw_internal_error(#cond, __FILE__, __LINE__, (msg));    \
+    }                                                                            \
+  } while (false)

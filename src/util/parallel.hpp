@@ -1,0 +1,30 @@
+// Minimal fork-join parallelism for the routing simulator and bulk verifiers.
+//
+// We deliberately avoid a global thread pool singleton: callers create a
+// ThreadTeam where they need one (C++ Core Guidelines I.3) and its lifetime
+// scopes the workers.  parallel_for is a convenience over a one-shot team.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace bfly {
+
+/// Number of worker threads to use by default (at least 1).
+std::size_t default_thread_count();
+
+/// Statically partitions [begin, end) into `threads` contiguous chunks and
+/// runs `body(chunk_begin, chunk_end, thread_index)` on each in parallel.
+/// Exceptions thrown by any chunk are rethrown (first one wins).
+void parallel_for_chunked(std::size_t begin, std::size_t end, std::size_t threads,
+                          const std::function<void(std::size_t, std::size_t, std::size_t)>& body);
+
+/// Element-wise parallel for with default thread count.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace bfly

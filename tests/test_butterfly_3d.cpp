@@ -1,0 +1,62 @@
+// Stacked (multiple active layer) butterfly layouts -- Sec. 4.2's closing
+// construction, grounded in the measured 2-D geometry.
+#include <gtest/gtest.h>
+
+#include "layout/butterfly_3d.hpp"
+
+namespace bfly {
+namespace {
+
+TEST(Butterfly3D, BasicPlanShape) {
+  const Butterfly3DPlan plan = plan_butterfly_3d({3, 3, 3, 2});
+  EXPECT_EQ(plan.n, 11);
+  EXPECT_EQ(plan.copies, 4u);
+  EXPECT_EQ(plan.total_layers, 4 * 3);  // 4 copies x (1 active + 2 wiring)
+  EXPECT_GT(plan.footprint_area, 0);
+  EXPECT_EQ(plan.volume, plan.footprint_area * plan.total_layers);
+  EXPECT_TRUE(plan.feedthroughs_fit);
+}
+
+TEST(Butterfly3D, StackingShrinksFootprint) {
+  // Same total dimension, taller stack => smaller footprint.
+  const Butterfly3DPlan flat = plan_butterfly_3d({4, 3, 3, 1});
+  const Butterfly3DPlan tall = plan_butterfly_3d({3, 3, 2, 3});
+  EXPECT_EQ(flat.n, tall.n);
+  EXPECT_LT(tall.footprint_area, flat.footprint_area);
+}
+
+TEST(Butterfly3D, VolumeSweepHasInteriorOptimum) {
+  // The paper: volume is minimized at an interior stack height (neither flat
+  // nor maximally tall), trending toward L = Theta(sqrt(N)/log N).
+  const auto sweep = volume_sweep(14);
+  ASSERT_GE(sweep.size(), 3u);
+  i64 best = sweep[0].second;
+  int best_k4 = sweep[0].first;
+  for (const auto& [k4, volume] : sweep) {
+    if (volume < best) {
+      best = volume;
+      best_k4 = k4;
+    }
+  }
+  EXPECT_GT(best_k4, sweep.front().first);
+  EXPECT_LE(best, sweep.front().second);
+}
+
+TEST(Butterfly3D, MoreWiringLayersShrinkVolumeAtFixedStack) {
+  Butterfly3DOptions l2;
+  Butterfly3DOptions l4;
+  l4.layers_per_copy = 4;
+  const Butterfly3DPlan a = plan_butterfly_3d({3, 3, 3, 2}, l2);
+  const Butterfly3DPlan b = plan_butterfly_3d({3, 3, 3, 2}, l4);
+  // 4 wiring layers shrink the footprint by ~4x while adding only ~1.7x in
+  // height: net volume reduction.
+  EXPECT_LT(b.volume, a.volume);
+}
+
+TEST(Butterfly3D, RejectsBadShapes) {
+  EXPECT_THROW(plan_butterfly_3d({3, 3, 3}), InvalidArgument);
+  EXPECT_THROW(plan_butterfly_3d({2, 2, 2, 9}), InvalidArgument);  // k4 > n_3
+}
+
+}  // namespace
+}  // namespace bfly

@@ -1,0 +1,136 @@
+// Appendix B: the strictly optimal collinear layout of K_N.
+#include <gtest/gtest.h>
+
+#include "layout/collinear.hpp"
+#include "topology/complete_graph.hpp"
+#include "layout/legality.hpp"
+
+namespace bfly {
+namespace {
+
+TEST(Collinear, TrackCountIsFloorNSquaredOver4) {
+  EXPECT_EQ(collinear_track_count(2), 1u);
+  EXPECT_EQ(collinear_track_count(3), 2u);
+  EXPECT_EQ(collinear_track_count(4), 4u);
+  EXPECT_EQ(collinear_track_count(8), 16u);
+  EXPECT_EQ(collinear_track_count(9), 20u);  // Fig. 4: K_9 in 20 tracks
+  EXPECT_EQ(collinear_track_count(16), 64u);
+  EXPECT_EQ(collinear_track_count(9, 4), 80u);
+}
+
+TEST(Collinear, MatchesBisectionLowerBound) {
+  // The paper: the layout is strictly optimal because floor(N^2/4) equals
+  // the bisection width of K_N.
+  for (u64 n = 2; n <= 40; ++n) {
+    EXPECT_EQ(collinear_track_count(n), CompleteGraph(n).bisection_width()) << n;
+    EXPECT_EQ(collinear_track_count(n), collinear_cut_lower_bound(n)) << n;
+  }
+}
+
+TEST(Collinear, ChenAgrawalIsLarger) {
+  // [6, Theorem 1] uses ~N^2/3 tracks; ours is 25% smaller asymptotically.
+  EXPECT_EQ(chen_agrawal_track_count(4), 4u);
+  EXPECT_EQ(chen_agrawal_track_count(8), 20u);
+  EXPECT_EQ(chen_agrawal_track_count(16), 84u);
+  for (int lg = 3; lg <= 10; ++lg) {
+    const u64 n = pow2(lg);
+    EXPECT_GT(chen_agrawal_track_count(n), collinear_track_count(n)) << n;
+  }
+  // Asymptotic ratio -> 3/4.
+  const double ratio = static_cast<double>(collinear_track_count(1024)) /
+                       static_cast<double>(chen_agrawal_track_count(1024));
+  EXPECT_NEAR(ratio, 0.75, 0.01);
+}
+
+TEST(Collinear, K9UsesExactly20Tracks) {
+  const CollinearLayout cl = collinear_complete_graph(9);
+  EXPECT_EQ(cl.num_tracks, 20u);
+  // Geometry: 20 distinct horizontal track lines above the node row.
+  i64 max_y = 0;
+  for (const Wire& w : cl.layout.wires()) {
+    max_y = std::max(max_y, w.bbox().y1);
+  }
+  EXPECT_EQ(max_y, cl.node_side - 1 + 1 + 19);  // node top + topmost track
+}
+
+class CollinearLegality : public ::testing::TestWithParam<std::tuple<u64, u64, bool>> {};
+
+TEST_P(CollinearLegality, LegalUnderBothModels) {
+  const auto [n, mult, reverse] = GetParam();
+  const CollinearLayout cl = collinear_complete_graph(n, {mult, reverse});
+  EXPECT_EQ(cl.layout.wires().size(), mult * n * (n - 1) / 2);
+  const LegalityReport thompson = check_thompson(cl.layout);
+  EXPECT_TRUE(thompson.ok) << thompson.summary();
+  const LegalityReport multi = check_multilayer(cl.layout);
+  EXPECT_TRUE(multi.ok) << multi.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CollinearLegality,
+    ::testing::Values(std::make_tuple(2, 1, false), std::make_tuple(3, 1, false),
+                      std::make_tuple(4, 1, false), std::make_tuple(5, 2, false),
+                      std::make_tuple(8, 1, false), std::make_tuple(8, 4, false),
+                      std::make_tuple(9, 1, false), std::make_tuple(9, 1, true),
+                      std::make_tuple(16, 1, false), std::make_tuple(16, 2, true),
+                      std::make_tuple(32, 1, false)),
+    [](const ::testing::TestParamInfo<std::tuple<u64, u64, bool>>& pinfo) {
+      return "n" + std::to_string(std::get<0>(pinfo.param)) + "_m" +
+             std::to_string(std::get<1>(pinfo.param)) +
+             (std::get<2>(pinfo.param) ? "_rev" : "");
+    });
+
+TEST(Collinear, TrackAssignmentRespectsTypeClasses) {
+  const CollinearLayout cl = collinear_complete_graph(9);
+  // Type-1 links all share one track.
+  const u64 t01 = cl.track_index(0, 1, 0);
+  for (u64 i = 1; i + 1 < 9; ++i) {
+    EXPECT_EQ(cl.track_index(i, i + 1, 0), t01);
+  }
+  // Type-2 links split by parity into two tracks.
+  EXPECT_EQ(cl.track_index(0, 2, 0), cl.track_index(2, 4, 0));
+  EXPECT_EQ(cl.track_index(1, 3, 0), cl.track_index(3, 5, 0));
+  EXPECT_NE(cl.track_index(0, 2, 0), cl.track_index(1, 3, 0));
+  // Long types (d > N/2) get one track per link.
+  EXPECT_NE(cl.track_index(0, 7, 0), cl.track_index(1, 8, 0));
+}
+
+TEST(Collinear, ReversalReducesMaxWireLength) {
+  const CollinearLayout plain = collinear_complete_graph(16);
+  const CollinearLayout reversed = collinear_complete_graph(16, {1, true});
+  EXPECT_LT(reversed.layout.metrics().max_wire_length, plain.layout.metrics().max_wire_length);
+}
+
+TEST(Collinear, MultiplicityScalesTracksLinearly) {
+  const CollinearLayout m1 = collinear_complete_graph(8, {1, false});
+  const CollinearLayout m4 = collinear_complete_graph(8, {4, false});
+  EXPECT_EQ(m4.num_tracks, 4 * m1.num_tracks);
+  // Four parallel wires between each pair.
+  EXPECT_EQ(m4.layout.wires().size(), 4 * m1.layout.wires().size());
+}
+
+class CollinearEveryN : public ::testing::TestWithParam<u64> {};
+
+TEST_P(CollinearEveryN, TrackOptimalAndLegal) {
+  // Property sweep over every N: the constructed layout uses exactly
+  // floor(N^2/4) tracks (= bisection = max cut congestion) and is legal.
+  const u64 n = GetParam();
+  const CollinearLayout cl = collinear_complete_graph(n);
+  EXPECT_EQ(cl.num_tracks, collinear_track_count(n));
+  EXPECT_EQ(cl.num_tracks, collinear_cut_lower_bound(n));
+  const LegalityReport r = check_multilayer(cl.layout);
+  EXPECT_TRUE(r.ok) << r.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllN, CollinearEveryN, ::testing::Range<u64>(2, 37),
+                         [](const ::testing::TestParamInfo<u64>& pinfo) {
+                           return "N" + std::to_string(pinfo.param);
+                         });
+
+TEST(Collinear, RejectsDegenerateInputs) {
+  EXPECT_THROW(collinear_complete_graph(1), InvalidArgument);
+  EXPECT_THROW(collinear_complete_graph(4, {0, false}), InvalidArgument);
+  EXPECT_THROW(chen_agrawal_track_count(9), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace bfly

@@ -1,0 +1,178 @@
+// Umbrella header, version, closed forms, and the renderers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "core/bfly.hpp"
+#include "util/prng.hpp"
+
+namespace bfly {
+namespace {
+
+TEST(Core, VersionIsSemver) {
+  const std::string v = version();
+  EXPECT_EQ(std::count(v.begin(), v.end(), '.'), 2);
+}
+
+TEST(Formulas, NodeCount) {
+  EXPECT_DOUBLE_EQ(formulas::nodes(3), 32.0);
+  EXPECT_DOUBLE_EQ(formulas::nodes(9), 5120.0);
+}
+
+TEST(Formulas, ThompsonLeadingTerms) {
+  EXPECT_DOUBLE_EQ(formulas::thompson_area(9), 262144.0);
+  EXPECT_DOUBLE_EQ(formulas::thompson_max_wire(9), 512.0);
+}
+
+TEST(Formulas, MultilayerReducesToThompsonAtL2) {
+  for (const int n : {6, 9, 12}) {
+    EXPECT_DOUBLE_EQ(formulas::multilayer_area(n, 2), formulas::thompson_area(n));
+    EXPECT_DOUBLE_EQ(formulas::multilayer_max_wire(n, 2), formulas::thompson_max_wire(n));
+  }
+}
+
+TEST(Formulas, OddLayerAreaUsesLSquaredMinusOne) {
+  EXPECT_DOUBLE_EQ(formulas::multilayer_area(9, 3),
+                   4.0 * formulas::thompson_area(9) / 8.0);
+}
+
+TEST(Formulas, VolumeScalesAsOneOverL) {
+  EXPECT_DOUBLE_EQ(formulas::multilayer_volume(9, 8),
+                   formulas::multilayer_volume(9, 4) / 2.0);
+}
+
+TEST(Formulas, PriorArtOrdering) {
+  // slanted < knock-knee < upright two-layer; multilayer beats all for L>=3.
+  EXPECT_LT(formulas::dinitz_slanted_area_constant(), formulas::knock_knee_area_constant());
+  EXPECT_LT(formulas::knock_knee_area_constant(), formulas::avior_area_constant());
+  EXPECT_DOUBLE_EQ(formulas::multilayer_area_constant(3),
+                   formulas::dinitz_slanted_area_constant());  // L=3 ties the slanted model
+  EXPECT_LT(formulas::multilayer_area_constant(4), formulas::dinitz_slanted_area_constant());
+  EXPECT_DOUBLE_EQ(formulas::multilayer_area_constant(2), 1.0);
+}
+
+TEST(Render, SvgContainsNodesAndWires) {
+  const CollinearLayout cl = collinear_complete_graph(5);
+  const std::string svg = render_svg(cl.layout);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // 5 node rects (+1 background) and 10 wires x >= 3 segments.
+  EXPECT_GE(static_cast<int>(std::count(svg.begin(), svg.end(), '\n')), 5 + 30);
+  EXPECT_NE(svg.find("<rect"), std::string::npos);
+  EXPECT_NE(svg.find("<line"), std::string::npos);
+}
+
+TEST(Render, AsciiHasNodesAndBothOrientations) {
+  const CollinearLayout cl = collinear_complete_graph(6);
+  const std::string art = render_ascii(cl.layout, 60, 20);
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_NE(art.find('-'), std::string::npos);
+  EXPECT_NE(art.find('|'), std::string::npos);
+}
+
+TEST(Render, EmptyLayout) {
+  EXPECT_EQ(render_ascii(Layout{}), "(empty layout)\n");
+}
+
+TEST(Routing, BitReversalCongestionIsSqrtR) {
+  // The classic lower-bound permutation: bit-fixing concentrates
+  // 2^{floor((n-1)/2)} ~ sqrt(R/2) packets on a middle-stage link.
+  EXPECT_EQ(bit_reversal_congestion(4), 2u);
+  EXPECT_EQ(bit_reversal_congestion(6), 4u);
+  EXPECT_EQ(bit_reversal_congestion(8), 8u);
+  EXPECT_EQ(bit_reversal_congestion(10), 16u);
+  EXPECT_EQ(bit_reversal_congestion(12), 32u);
+}
+
+TEST(Routing, RandomPermutationCongestionIsSmall) {
+  // Random permutations stay near O(log R / log log R) -- far below
+  // bit-reversal's sqrt(R).
+  Xoshiro256 rng(5);
+  const int n = 10;
+  std::vector<u64> perm(pow2(n));
+  for (u64 i = 0; i < perm.size(); ++i) perm[i] = i;
+  for (u64 i = perm.size() - 1; i > 0; --i) std::swap(perm[i], perm[rng.below(i + 1)]);
+  const u64 random_congestion = permutation_congestion(n, perm);
+  EXPECT_LT(random_congestion, bit_reversal_congestion(n) / 2);
+  EXPECT_GE(random_congestion, 2u);
+}
+
+TEST(Routing, IdentityPermutationHasUnitCongestion) {
+  std::vector<u64> perm(pow2(6));
+  for (u64 i = 0; i < perm.size(); ++i) perm[i] = i;
+  EXPECT_EQ(permutation_congestion(6, perm), 1u);
+}
+
+TEST(Routing, BenesAvoidsBitReversalHotspot) {
+  // The same worst-case permutation routes with congestion 1 on a Benes
+  // fabric -- the architectural payoff of rearrangeability.
+  const int n = 8;
+  const Benes b(n);
+  std::vector<u64> perm(pow2(n));
+  for (u64 i = 0; i < perm.size(); ++i) perm[i] = bit_reverse(i, n);
+  const auto paths = b.route_permutation(perm);
+  // Node-disjoint per stage (checked in test_benes) implies link congestion 1.
+  EXPECT_EQ(paths.size(), pow2(n));
+  EXPECT_GT(bit_reversal_congestion(n), 1u);
+}
+
+TEST(Render, MultistageDiagramOfFig1) {
+  // The Fig. 1 ISN: 4 rows x 4 stages with 2 exchange steps (8 links each)
+  // and 1 swap step (4 links).
+  const IndirectSwapNetwork isn({1, 1});
+  const std::string svg = render_multistage_svg(
+      isn.rows(), isn.num_stages(), [&](const std::function<void(u64, int, u64)>& emit) {
+        for (int t = 1; t <= isn.num_steps(); ++t) {
+          for (u64 u = 0; u < isn.rows(); ++u) {
+            const auto out = isn.outgoing(u, t);
+            if (out.is_swap) {
+              emit(u, t - 1, out.swap);
+            } else {
+              emit(u, t - 1, out.straight);
+              emit(u, t - 1, out.cross);
+            }
+          }
+        }
+      });
+  // One <line> per link: 8 + 8 exchange links and 4 swap links.
+  std::size_t lines = 0;
+  for (std::size_t pos = svg.find("<line"); pos != std::string::npos;
+       pos = svg.find("<line", pos + 1)) {
+    ++lines;
+  }
+  EXPECT_EQ(lines, 20u);
+  // One circle per node.
+  std::size_t circles = 0;
+  for (std::size_t pos = svg.find("<circle"); pos != std::string::npos;
+       pos = svg.find("<circle", pos + 1)) {
+    ++circles;
+  }
+  EXPECT_EQ(circles, 16u);
+}
+
+TEST(Hierarchical, TwoLevelSplitUsesSingleGridRow) {
+  // When the split degenerates to l = 2 (no k3), the board is a single row
+  // of chips and column channels vanish.
+  ChipConstraints c;
+  c.max_offchip_links = 512;
+  c.chip_side = 40;
+  const HierarchicalPlan plan = plan_hierarchical(4, c);
+  if (plan.k.size() == 2) {
+    EXPECT_EQ(plan.grid_rows, 1u);
+    EXPECT_GT(plan.board_area(2), 0);
+  }
+}
+
+TEST(Collinear, ReversalPreservesTracksAndArea) {
+  for (const u64 n : {6u, 9u, 12u}) {
+    const CollinearLayout plain = collinear_complete_graph(n);
+    const CollinearLayout reversed = collinear_complete_graph(n, {1, true});
+    EXPECT_EQ(plain.num_tracks, reversed.num_tracks);
+    EXPECT_EQ(plain.layout.metrics().area, reversed.layout.metrics().area);
+    EXPECT_EQ(plain.layout.metrics().num_wires, reversed.layout.metrics().num_wires);
+  }
+}
+
+}  // namespace
+}  // namespace bfly

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "topology/graph.hpp"
+
+namespace bfly {
+namespace {
+
+Graph triangle() {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  return g;
+}
+
+TEST(Graph, BasicCounts) {
+  const Graph g = triangle();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.degree(2), 2u);
+}
+
+TEST(Graph, NeighborsSortedWithMultiplicity) {
+  Graph g(4);
+  g.add_edge(2, 0);
+  g.add_edge(0, 3);
+  g.add_edge(0, 3);  // parallel edge
+  const auto nb = g.neighbors(0);
+  ASSERT_EQ(nb.size(), 3u);
+  EXPECT_EQ(nb[0], 2u);
+  EXPECT_EQ(nb[1], 3u);
+  EXPECT_EQ(nb[2], 3u);
+  EXPECT_EQ(g.multiplicity(0, 3), 2u);
+  EXPECT_EQ(g.multiplicity(3, 0), 2u);
+  EXPECT_EQ(g.multiplicity(0, 2), 1u);
+  EXPECT_EQ(g.multiplicity(1, 2), 0u);
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(1, 3));
+}
+
+TEST(Graph, SelfLoopCountsTwiceInDegree) {
+  Graph g(2);
+  g.add_edge(0, 0);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 0u);
+}
+
+TEST(Graph, EdgesCanonicalized) {
+  Graph g(5);
+  g.add_edge(4, 1);
+  const auto e = g.edges();
+  ASSERT_EQ(e.size(), 1u);
+  EXPECT_EQ(e[0].first, 1u);
+  EXPECT_EQ(e[0].second, 4u);
+}
+
+TEST(Graph, AddEdgeOutOfRangeThrows) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(0, 2), InvalidArgument);
+}
+
+TEST(Graph, DegreeHistogram) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(1, 3);
+  const auto h = g.degree_histogram();
+  ASSERT_EQ(h.size(), 4u);
+  EXPECT_EQ(h[0], 0u);
+  EXPECT_EQ(h[1], 3u);  // nodes 0, 2, 3
+  EXPECT_EQ(h[2], 0u);
+  EXPECT_EQ(h[3], 1u);  // node 1
+}
+
+TEST(Graph, ConnectedComponents) {
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  // node 5 isolated
+  EXPECT_EQ(g.connected_components(), 3u);
+}
+
+TEST(Graph, ContractDropsInternalEdges) {
+  // Two clusters {0,1} and {2,3}; one internal edge each, two cross edges.
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  const std::vector<u64> labels{0, 0, 1, 1};
+  const Graph q = g.contract(labels, 2);
+  EXPECT_EQ(q.num_nodes(), 2u);
+  EXPECT_EQ(q.num_edges(), 2u);
+  EXPECT_EQ(q.multiplicity(0, 1), 2u);
+}
+
+TEST(Graph, ContractKeepsSelfLoopsOnRequest) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  const std::vector<u64> labels{0, 0};
+  EXPECT_EQ(g.contract(labels, 1).num_edges(), 0u);
+  EXPECT_EQ(g.contract(labels, 1, /*keep_self_loops=*/true).num_edges(), 1u);
+}
+
+TEST(Graph, SameAsIsOrderInsensitive) {
+  Graph a(3);
+  a.add_edge(0, 1);
+  a.add_edge(1, 2);
+  Graph b(3);
+  b.add_edge(2, 1);
+  b.add_edge(1, 0);
+  EXPECT_TRUE(a.same_as(b));
+  b.add_edge(0, 2);
+  EXPECT_FALSE(a.same_as(b));
+}
+
+TEST(Graph, FinalizeIsIdempotentAcrossMutation) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_EQ(g.degree(0), 1u);
+  g.add_edge(0, 2);  // invalidates CSR
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.neighbors(0).size(), 2u);
+}
+
+}  // namespace
+}  // namespace bfly

@@ -1,0 +1,207 @@
+// The legality checkers must accept the textbook-legal patterns and reject
+// every class of violation they claim to detect.  These tests construct
+// small layouts by hand for both rule sets.
+#include <gtest/gtest.h>
+
+#include "layout/legality.hpp"
+
+namespace bfly {
+namespace {
+
+Layout two_nodes() {
+  Layout layout;
+  layout.add_node(0, Rect::square(0, 0, 4));    // [0..3] x [0..3]
+  layout.add_node(1, Rect::square(20, 0, 4));   // [20..23] x [0..3]
+  return layout;
+}
+
+Wire channel_wire(Point from, i64 track_y, i64 to_x, i64 to_y, u64 from_node, u64 to_node) {
+  return WireBuilder(from).from(from_node).to_y(track_y, 1).to_x(to_x, 2).to_y(to_y, 1).to(
+      to_node).build();
+}
+
+TEST(Thompson, AcceptsSimpleChannelRoute) {
+  Layout layout = two_nodes();
+  layout.add_wire(channel_wire({1, 3}, 8, 21, 3, 0, 1));
+  const LegalityReport r = check_thompson(layout);
+  EXPECT_TRUE(r.ok) << r.summary();
+  EXPECT_EQ(r.segments_checked, 3u);
+}
+
+TEST(Thompson, AcceptsProperCrossing) {
+  Layout layout = two_nodes();
+  layout.add_node(2, Rect::square(0, 20, 4));  // [0..3] x [20..23]
+  // Wire A: horizontal run at y=10 between x in [2, 22].
+  layout.add_wire(channel_wire({2, 3}, 10, 22, 3, 0, 1));
+  // Wire B: vertical run at x=12 crossing y=10 properly, ending on node 1's
+  // left edge at exactly its endpoint.
+  layout.add_wire(WireBuilder(Point{3, 21})
+                      .from(2)
+                      .to_x(12, 2)
+                      .to_y(3, 1)
+                      .to_x(20, 2)
+                      .to(1)
+                      .build());
+  const LegalityReport r = check_thompson(layout);
+  EXPECT_TRUE(r.ok) << r.summary();
+}
+
+TEST(Thompson, RejectsHorizontalOverlap) {
+  Layout layout = two_nodes();
+  layout.add_wire(channel_wire({1, 3}, 8, 21, 3, 0, 1));
+  layout.add_wire(channel_wire({2, 3}, 8, 22, 3, 0, 1));  // same track y=8, overlapping x
+  const LegalityReport r = check_thompson(layout);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.violations[0].find("collinear overlap"), std::string::npos);
+}
+
+TEST(Thompson, RejectsVerticalOverlap) {
+  Layout layout = two_nodes();
+  layout.add_wire(WireBuilder(Point{3, 1}).from(0).to_x(10, 2).to_y(30, 1).to_x(21, 2).build());
+  layout.add_wire(WireBuilder(Point{3, 2}).from(0).to_x(10, 2).to_y(25, 1).to_x(22, 2).build());
+  const LegalityReport r = check_thompson(layout);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Thompson, RejectsKnockKnee) {
+  // Two (free-floating) wires bending at the same grid point (10, 8).
+  Layout layout;
+  layout.add_wire(WireBuilder(Point{1, 3}).to_y(8, 1).to_x(10, 2).to_y(20, 1).build());
+  layout.add_wire(WireBuilder(Point{10, 3}).to_y(8, 1).to_x(21, 2).build());
+  const LegalityReport r = check_thompson(layout);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Thompson, RejectsEndpointTouchOnStraightRun) {
+  Layout layout = two_nodes();
+  // Wire A: horizontal at y=8 from 1 to 21.
+  layout.add_wire(channel_wire({1, 3}, 8, 21, 3, 0, 1));
+  // Wire B: vertical at x=15 ENDING exactly on A's straight run (improper
+  // contact, would need a via on top of A's wire).
+  layout.add_node(2, Rect::square(12, 20, 4));
+  layout.add_wire(WireBuilder(Point{15, 20}).from(2).to_y(8, 1).build());
+  const LegalityReport r = check_thompson(layout);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Thompson, RejectsWireThroughNode) {
+  Layout layout = two_nodes();
+  layout.add_node(2, Rect::square(8, 0, 4));  // node in the middle at y 0..3
+  layout.add_wire(WireBuilder(Point{3, 3}).from(0).to_x(20, 2).to(1).build());
+  const LegalityReport r = check_thompson(layout);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Thompson, AcceptsEdgeHuggingTerminals) {
+  // The same shape as RejectsWireThroughNode but with the middle node out of
+  // the way: a single horizontal wire ending exactly on node 1's edge point.
+  Layout layout = two_nodes();
+  Wire w = WireBuilder(Point{3, 3}).from(0).to_x(20, 2).to(1).build();
+  layout.add_wire(std::move(w));
+  const LegalityReport r = check_thompson(layout);
+  EXPECT_TRUE(r.ok) << r.summary();
+}
+
+TEST(Thompson, RejectsOverlappingNodes) {
+  Layout layout;
+  layout.add_node(0, Rect::square(0, 0, 4));
+  layout.add_node(1, Rect::square(3, 3, 4));
+  const LegalityReport r = check_thompson(layout);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Thompson, RejectsDetachedTerminal) {
+  Layout layout = two_nodes();
+  layout.add_wire(WireBuilder(Point{6, 6}).from(0).to_x(21, 2).to_y(3, 1).to(1).build());
+  const LegalityReport r = check_thompson(layout);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Multilayer, AcceptsLayeredCrossing) {
+  Layout layout = two_nodes();
+  layout.add_node(2, Rect::square(0, 20, 4));
+  layout.add_wire(channel_wire({1, 3}, 10, 21, 3, 0, 1));
+  // Vertical (layer 1) of this wire crosses the first wire's horizontal
+  // (layer 2) at (12, 10): fine in 3-D.
+  layout.add_wire(
+      WireBuilder(Point{3, 21}).from(2).to_x(12, 2).to_y(3, 1).to_x(20, 2).to(1).build());
+  const LegalityReport r = check_multilayer(layout);
+  EXPECT_TRUE(r.ok) << r.summary();
+  EXPECT_GT(r.vias_checked, 0u);
+}
+
+TEST(Multilayer, RejectsSameLayerCrossing) {
+  Layout layout = two_nodes();
+  layout.add_node(2, Rect::square(8, 20, 4));
+  // Horizontal on layer 1 at y=10 and a layer-1 vertical crossing it: the
+  // 3-D grid model forbids same-layer crossings (paths must be node-disjoint).
+  layout.add_wire(WireBuilder(Point{1, 3}).from(0).to_y(10, 1).to_x(21, 1).to_y(3, 1).to(1).build());
+  layout.add_wire(WireBuilder(Point{10, 20}).from(2).to_y(5, 1).build());
+  const LegalityReport r = check_multilayer(layout);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Multilayer, RejectsViaCollisionAndTouch) {
+  Layout layout = two_nodes();
+  layout.add_node(2, Rect::square(8, 20, 4));
+  // Wire 1 bends at (10,10) from layer 2 to 3; wire 2 bends there from 3 to
+  // 4: the via z-ranges share layer 3 (and the layer-3 segments touch).
+  layout.add_wire(
+      WireBuilder(Point{1, 3}).from(0).to_y(10, 1).to_x(10, 2).to_y(21, 3).to(2).build());
+  layout.add_wire(WireBuilder(Point{10, 3}).to_y(10, 3).to_x(21, 4).build());
+  const LegalityReport r = check_multilayer(layout);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Multilayer, RejectsViaThroughForeignSegment) {
+  Layout layout = two_nodes();
+  layout.add_node(2, Rect::square(10, 20, 4));  // [10..13] x [20..23]
+  layout.add_node(3, Rect::square(20, 20, 4));
+  // Wire A: horizontal on layer 2 at y=10 through x=[2,21].
+  layout.add_wire(WireBuilder(Point{2, 3}).from(0).to_y(10, 1).to_x(21, 2).to_y(3, 1).to(1).build());
+  // Wire B's via at (12, 10) spans layers 1..3 and punches through A.
+  layout.add_wire(
+      WireBuilder(Point{12, 21}).from(2).to_y(10, 1).to_x(22, 3).to_y(21, 1).to(3).build());
+  const LegalityReport r = check_multilayer(layout);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Multilayer, RejectsLayer1IntrusionIntoNode) {
+  Layout layout = two_nodes();
+  layout.add_node(2, Rect::square(8, 0, 4));
+  layout.add_node(3, Rect::square(8, 20, 4));
+  // Vertical layer-1 segment descending straight through node 2.
+  layout.add_wire(WireBuilder(Point{10, 20}).from(3).to_y(1, 1).build());
+  const LegalityReport r = check_multilayer(layout);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Multilayer, AcceptsHighLayerOverNode) {
+  Layout layout = two_nodes();
+  layout.add_node(2, Rect::square(8, 0, 4));
+  // Horizontal on layer 2 passes OVER node 2: legal (nodes occupy layer 1).
+  layout.add_wire(WireBuilder(Point{3, 3}).from(0).to_x(20, 2).to(1).build());
+  const LegalityReport r = check_multilayer(layout);
+  EXPECT_TRUE(r.ok) << r.summary();
+}
+
+TEST(Multilayer, CountsSegmentsAndVias) {
+  Layout layout = two_nodes();
+  layout.add_wire(channel_wire({1, 3}, 8, 21, 3, 0, 1));
+  const LegalityReport r = check_multilayer(layout);
+  EXPECT_TRUE(r.ok) << r.summary();
+  EXPECT_EQ(r.segments_checked, 3u);
+  EXPECT_EQ(r.vias_checked, 4u);  // 2 terminal + 2 bend vias
+}
+
+TEST(Legality, ReportSummaryMentionsFirstViolation) {
+  Layout layout = two_nodes();
+  layout.add_wire(channel_wire({1, 3}, 8, 21, 3, 0, 1));
+  layout.add_wire(channel_wire({2, 3}, 8, 22, 3, 0, 1));
+  const LegalityReport r = check_thompson(layout);
+  EXPECT_FALSE(static_cast<bool>(r));
+  EXPECT_NE(r.summary().find("violations"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bfly

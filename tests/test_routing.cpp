@@ -1,0 +1,146 @@
+// Random routing: the empirical Theta(1/log R) injection bound of
+// Theorem 2.1's lower-bound argument.
+#include <gtest/gtest.h>
+
+#include "routing/routing.hpp"
+
+namespace bfly {
+namespace {
+
+TEST(Distance, SameRow) {
+  EXPECT_EQ(butterfly_distance(4, 5, 1, 5, 3), 2);
+  EXPECT_EQ(butterfly_distance(4, 5, 3, 5, 3), 0);
+}
+
+TEST(Distance, SingleBitAdjacent) {
+  // Rows differing in bit 0: nodes at stages 0 and 1 are directly linked.
+  EXPECT_EQ(butterfly_distance(3, 0, 0, 1, 1), 1);
+  // Same rows-differ-in-bit-0 but both at stage 0: down and back.
+  EXPECT_EQ(butterfly_distance(3, 0, 0, 1, 0), 2);
+}
+
+TEST(Distance, FullSweep) {
+  // Opposite corners: all n bits differ; from stage 0 to stage n the walk is
+  // exactly n hops.
+  for (int n = 2; n <= 8; ++n) {
+    EXPECT_EQ(butterfly_distance(n, 0, 0, pow2(n) - 1, n), n);
+  }
+}
+
+TEST(Distance, SymmetricInEndpoints) {
+  for (u64 r1 = 0; r1 < 8; ++r1) {
+    for (u64 r2 = 0; r2 < 8; ++r2) {
+      for (int s1 = 0; s1 <= 3; ++s1) {
+        for (int s2 = 0; s2 <= 3; ++s2) {
+          EXPECT_EQ(butterfly_distance(3, r1, s1, r2, s2),
+                    butterfly_distance(3, r2, s2, r1, s1));
+        }
+      }
+    }
+  }
+}
+
+TEST(Distance, MatchesBfsGroundTruth) {
+  // The closed-form sweep distance must equal true shortest paths on the
+  // butterfly graph; verified exhaustively for n = 3 and 4.
+  for (const int n : {3, 4}) {
+    const Butterfly bf(n);
+    const Graph g = bf.graph();
+    const u64 nodes = g.num_nodes();
+    for (u64 src = 0; src < nodes; ++src) {
+      // BFS from src.
+      std::vector<i64> dist(nodes, -1);
+      std::vector<u64> queue{src};
+      dist[src] = 0;
+      for (std::size_t head = 0; head < queue.size(); ++head) {
+        const u64 v = queue[head];
+        for (const u64 w : g.neighbors(v)) {
+          if (dist[w] == -1) {
+            dist[w] = dist[v] + 1;
+            queue.push_back(w);
+          }
+        }
+      }
+      for (u64 dst = 0; dst < nodes; ++dst) {
+        const i64 formula = butterfly_distance(n, bf.row_of(src), bf.stage_of(src),
+                                               bf.row_of(dst), bf.stage_of(dst));
+        EXPECT_EQ(formula, dist[dst])
+            << "n=" << n << " src=(" << bf.row_of(src) << "," << bf.stage_of(src) << ") dst=("
+            << bf.row_of(dst) << "," << bf.stage_of(dst) << ")";
+      }
+    }
+  }
+}
+
+TEST(Distance, AverageIsThetaLogR) {
+  // Average distance between random nodes grows linearly in n (Theta(log R)).
+  const double d6 = average_node_distance(6, 20000, 1);
+  const double d12 = average_node_distance(12, 20000, 1);
+  EXPECT_GT(d6, 0.5 * 6);
+  EXPECT_LT(d6, 2.5 * 6);
+  EXPECT_NEAR(d12 / d6, 2.0, 0.4);
+}
+
+TEST(LoadCensus, DeterministicAndBalanced) {
+  const LoadCensus a = measure_link_loads(6, 200000, 42, 4);
+  const LoadCensus b = measure_link_loads(6, 200000, 42, 4);
+  EXPECT_EQ(a.max_link_load, b.max_link_load);
+  EXPECT_DOUBLE_EQ(a.avg_link_load, b.avg_link_load);
+  // Uniform traffic balances within a small constant.
+  EXPECT_LT(a.imbalance, 1.5);
+  // Each packet traverses exactly n links in the DAG.
+  EXPECT_DOUBLE_EQ(a.avg_distance, 6.0);
+}
+
+TEST(LoadCensus, AverageLoadMatchesFlowConservation) {
+  // packets * n traversals spread over 2 n R links: avg = packets / (2R).
+  const int n = 5;
+  const u64 packets = 64000;
+  const LoadCensus c = measure_link_loads(n, packets, 7, 2);
+  EXPECT_DOUBLE_EQ(c.avg_link_load, static_cast<double>(packets) / (2.0 * pow2(n)));
+}
+
+TEST(LoadCensus, ThreadCountDoesNotChangeTotals) {
+  const LoadCensus one = measure_link_loads(5, 50000, 3, 1);
+  const LoadCensus four = measure_link_loads(5, 50000, 3, 4);
+  // Different thread seeds give different streams, but aggregate statistics
+  // must agree closely.
+  EXPECT_DOUBLE_EQ(one.avg_link_load, four.avg_link_load);
+  EXPECT_NEAR(static_cast<double>(one.max_link_load),
+              static_cast<double>(four.max_link_load),
+              0.2 * static_cast<double>(one.max_link_load));
+}
+
+TEST(Saturation, LowLoadDeliversEverything) {
+  const SaturationPoint p = simulate_saturation(5, 0.2, 2000, 9, 200);
+  EXPECT_NEAR(p.throughput, 0.2, 0.02);
+  // Latency close to the n-cycle pipeline depth.
+  EXPECT_LT(p.avg_latency, 10.0);
+  EXPECT_LT(p.max_queue, 20u);
+}
+
+TEST(Saturation, HighLoadSaturates) {
+  const SaturationPoint low = simulate_saturation(5, 0.3, 2000, 9, 200);
+  const SaturationPoint high = simulate_saturation(5, 0.95, 2000, 9, 200);
+  EXPECT_GT(high.avg_latency, low.avg_latency);
+  // Per-node injection at saturation is Theta(1/log R): bounded by
+  // 1/(n+1) and not hugely below it.
+  EXPECT_LE(high.per_node_injection, 1.0 / 6.0 + 1e-9);
+  EXPECT_GT(high.per_node_injection, 0.5 / 6.0);
+}
+
+TEST(Saturation, ThroughputMonotoneInOfferedLoadBelowCapacity) {
+  double prev = -1.0;
+  for (const double load : {0.1, 0.3, 0.5}) {
+    const SaturationPoint p = simulate_saturation(4, load, 3000, 11, 300);
+    EXPECT_GT(p.throughput, prev);
+    prev = p.throughput;
+  }
+}
+
+TEST(Saturation, RejectsBadLoad) {
+  EXPECT_THROW(simulate_saturation(4, 1.5, 100, 1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace bfly

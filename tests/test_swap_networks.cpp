@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "topology/complete_graph.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/isn.hpp"
+#include "topology/swap_network.hpp"
+
+namespace bfly {
+namespace {
+
+TEST(SwapNetworkParams, Validation) {
+  EXPECT_EQ(validate_swap_parameters(std::vector<int>{3}), 3);
+  EXPECT_EQ(validate_swap_parameters(std::vector<int>{3, 3, 3}), 9);
+  EXPECT_EQ(validate_swap_parameters(std::vector<int>{2, 2, 3}), 7);  // k_3 <= n_2 = 4
+  EXPECT_THROW(validate_swap_parameters(std::vector<int>{}), InvalidArgument);
+  EXPECT_THROW(validate_swap_parameters(std::vector<int>{0}), InvalidArgument);
+  EXPECT_THROW(validate_swap_parameters(std::vector<int>{2, 3}), InvalidArgument);  // k_2 > k_1
+  EXPECT_THROW(validate_swap_parameters(std::vector<int>{1, 1, 3}), InvalidArgument);
+}
+
+TEST(SwapNetwork, PrefixSums) {
+  const SwapNetwork sn({3, 2, 4});
+  EXPECT_EQ(sn.prefix(0), 0);
+  EXPECT_EQ(sn.prefix(1), 3);
+  EXPECT_EQ(sn.prefix(2), 5);
+  EXPECT_EQ(sn.prefix(3), 9);
+  EXPECT_EQ(sn.dimension(), 9);
+  EXPECT_EQ(sn.num_nodes(), 512u);
+}
+
+TEST(SwapNetwork, SigmaIsInvolution) {
+  const SwapNetwork sn({3, 3, 3});
+  for (int level = 2; level <= 3; ++level) {
+    for (u64 v = 0; v < sn.num_nodes(); ++v) {
+      EXPECT_EQ(sn.sigma(level, sn.sigma(level, v)), v);
+    }
+  }
+}
+
+TEST(SwapNetwork, SigmaSwapsCorrectGroups) {
+  const SwapNetwork sn({2, 2, 2});
+  // sigma_2 swaps bits [2,4) with [0,2); sigma_3 swaps [4,6) with [0,2).
+  EXPECT_EQ(sn.sigma(2, 0b00'01'10), 0b00'10'01u);
+  EXPECT_EQ(sn.sigma(3, 0b11'01'10), 0b10'01'11u);
+}
+
+TEST(SwapNetwork, SingleLevelIsHypercube) {
+  const SwapNetwork sn({4});
+  EXPECT_TRUE(sn.graph().same_as(Hypercube(4).graph()));
+}
+
+TEST(SwapNetwork, NodeDegrees) {
+  // Degree = k_1 + (#levels whose sigma moves the node).
+  const SwapNetwork sn({2, 2});
+  const Graph g = sn.graph();
+  for (u64 v = 0; v < sn.num_nodes(); ++v) {
+    const int moved = sn.sigma(2, v) != v ? 1 : 0;
+    EXPECT_EQ(g.degree(v), 2u + static_cast<u64>(moved));
+  }
+}
+
+TEST(SwapNetwork, ContractNucleiGivesCompleteGraph) {
+  // SN(2, Q_k): contracting each nucleus Q_k yields K_{2^k} (one inter-
+  // cluster link between every pair of nuclei).
+  for (int k = 2; k <= 4; ++k) {
+    const SwapNetwork sn({k, k});
+    const Graph g = sn.graph();
+    std::vector<u64> labels(sn.num_nodes());
+    for (u64 v = 0; v < sn.num_nodes(); ++v) labels[v] = v >> k;
+    const Graph q = g.contract(labels, pow2(k));
+    EXPECT_TRUE(q.same_as(CompleteGraph(pow2(k)).graph())) << "k=" << k;
+  }
+}
+
+TEST(SwapNetwork, Connected) {
+  EXPECT_EQ(SwapNetwork({2, 2}).graph().connected_components(), 1u);
+  EXPECT_EQ(SwapNetwork({3, 2, 2}).graph().connected_components(), 1u);
+}
+
+TEST(Isn, StepScheduleShape) {
+  const IndirectSwapNetwork isn({3, 2, 2});
+  // k1 exchanges, swap, k2 exchanges, swap, k3 exchanges.
+  EXPECT_EQ(isn.num_steps(), 7 + 2);
+  EXPECT_EQ(isn.num_stages(), 10);
+  const auto& steps = isn.steps();
+  for (int t = 0; t < isn.num_steps(); ++t) {
+    const bool is_swap = (t == 3) || (t == 6);
+    EXPECT_EQ(steps[static_cast<std::size_t>(t)].kind == IsnStep::Kind::kSwap, is_swap) << t;
+  }
+  EXPECT_EQ(steps[3].param, 2);  // level 2 swap
+  EXPECT_EQ(steps[6].param, 3);  // level 3 swap
+  // Exchange dims restart at 0 after each swap.
+  EXPECT_EQ(steps[0].param, 0);
+  EXPECT_EQ(steps[1].param, 1);
+  EXPECT_EQ(steps[2].param, 2);
+  EXPECT_EQ(steps[4].param, 0);
+  EXPECT_EQ(steps[5].param, 1);
+  EXPECT_EQ(steps[7].param, 0);
+  EXPECT_EQ(steps[8].param, 1);
+}
+
+TEST(Isn, Fig1FourByFour) {
+  // Figure 1: the 4x4 ISN with k_1 = k_2 = 1: 4 rows, 4 stages.
+  const IndirectSwapNetwork isn({1, 1});
+  EXPECT_EQ(isn.rows(), 4u);
+  EXPECT_EQ(isn.num_stages(), 4);
+  EXPECT_EQ(isn.num_nodes(), 16u);
+  // Steps: exchange dim 0, swap level 2, exchange dim 0.
+  EXPECT_EQ(isn.steps()[0].kind, IsnStep::Kind::kExchange);
+  EXPECT_EQ(isn.steps()[1].kind, IsnStep::Kind::kSwap);
+  EXPECT_EQ(isn.steps()[2].kind, IsnStep::Kind::kExchange);
+  // The swap step for k=[1,1] exchanges bit 1 and bit 0.
+  const auto out = isn.outgoing(0b01, 2);
+  EXPECT_TRUE(out.is_swap);
+  EXPECT_EQ(out.swap, 0b10u);
+}
+
+TEST(Isn, LinkAndNodeCounts) {
+  const IndirectSwapNetwork isn({2, 2, 2});
+  EXPECT_EQ(isn.rows(), 64u);
+  EXPECT_EQ(isn.num_stages(), 9);  // 6 + 3 - 1 + 1
+  const Graph g = isn.graph();
+  EXPECT_EQ(g.num_nodes(), isn.num_nodes());
+  EXPECT_EQ(g.num_edges(), isn.num_links());
+  // 6 exchange steps x 2R links + 2 swap steps x R links.
+  EXPECT_EQ(isn.num_links(), 6u * 128 + 2u * 64);
+}
+
+TEST(Isn, DegreeProfile) {
+  const IndirectSwapNetwork isn({2, 2});
+  const Graph g = isn.graph();
+  const u64 r = isn.rows();
+  // Stage 0: 2 outgoing (exchange).  Stage boundary around the swap step:
+  // stage 2 has 2 in + 1 swap out = 3; stage 3 has 1 swap in + 2 out = 3.
+  for (u64 u = 0; u < r; ++u) {
+    EXPECT_EQ(g.degree(isn.node_id(u, 0)), 2u);
+    EXPECT_EQ(g.degree(isn.node_id(u, 1)), 4u);
+    EXPECT_EQ(g.degree(isn.node_id(u, 2)), 3u);
+    EXPECT_EQ(g.degree(isn.node_id(u, 3)), 3u);
+    EXPECT_EQ(g.degree(isn.node_id(u, 4)), 4u);
+    EXPECT_EQ(g.degree(isn.node_id(u, 5)), 2u);
+  }
+}
+
+TEST(Isn, SwapStepIsPerfectMatching) {
+  const IndirectSwapNetwork isn({3, 2});
+  // Step 4 (1-based) is the level-2 swap.
+  std::vector<int> indeg(static_cast<std::size_t>(isn.rows()), 0);
+  for (u64 u = 0; u < isn.rows(); ++u) {
+    const auto out = isn.outgoing(u, 4);
+    ASSERT_TRUE(out.is_swap);
+    ++indeg[static_cast<std::size_t>(out.swap)];
+  }
+  for (const int d : indeg) EXPECT_EQ(d, 1);
+}
+
+TEST(Isn, Connected) {
+  EXPECT_EQ(IndirectSwapNetwork({2, 2}).graph().connected_components(), 1u);
+  EXPECT_EQ(IndirectSwapNetwork({3, 3, 3}).graph().connected_components(), 1u);
+}
+
+}  // namespace
+}  // namespace bfly

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "topology/butterfly.hpp"
+#include "topology/complete_graph.hpp"
+#include "topology/generalized_hypercube.hpp"
+#include "topology/hypercube.hpp"
+
+namespace bfly {
+namespace {
+
+TEST(Butterfly, Counts) {
+  for (int n = 1; n <= 8; ++n) {
+    const Butterfly b(n);
+    EXPECT_EQ(b.rows(), pow2(n));
+    EXPECT_EQ(b.num_stages(), n + 1);
+    EXPECT_EQ(b.num_nodes(), pow2(n) * static_cast<u64>(n + 1));
+    EXPECT_EQ(b.num_links(), static_cast<u64>(n) * pow2(n + 1));
+    const Graph g = b.graph();
+    EXPECT_EQ(g.num_nodes(), b.num_nodes());
+    EXPECT_EQ(g.num_edges(), b.num_links());
+  }
+}
+
+TEST(Butterfly, DegreeProfile) {
+  const Butterfly b(4);
+  const Graph g = b.graph();
+  // First and last stage: degree 2; interior stages: degree 4.
+  for (u64 u = 0; u < b.rows(); ++u) {
+    EXPECT_EQ(g.degree(b.node_id(u, 0)), 2u);
+    EXPECT_EQ(g.degree(b.node_id(u, 4)), 2u);
+    for (int s = 1; s < 4; ++s) EXPECT_EQ(g.degree(b.node_id(u, s)), 4u);
+  }
+}
+
+TEST(Butterfly, CrossLinksFlipStageBit) {
+  const Butterfly b(5);
+  for (int s = 0; s < 5; ++s) {
+    EXPECT_EQ(b.cross_target(0b10101, s), 0b10101u ^ pow2(s));
+    EXPECT_EQ(b.straight_target(0b10101, s), 0b10101u);
+  }
+}
+
+TEST(Butterfly, Connected) {
+  EXPECT_EQ(Butterfly(3).graph().connected_components(), 1u);
+  EXPECT_EQ(Butterfly(6).graph().connected_components(), 1u);
+}
+
+TEST(Butterfly, NodeIdRoundTrip) {
+  const Butterfly b(3);
+  for (int s = 0; s <= 3; ++s) {
+    for (u64 u = 0; u < b.rows(); ++u) {
+      const u64 id = b.node_id(u, s);
+      EXPECT_EQ(b.row_of(id), u);
+      EXPECT_EQ(b.stage_of(id), s);
+    }
+  }
+}
+
+TEST(Butterfly, RejectsBadDimension) {
+  EXPECT_THROW(Butterfly(0), InvalidArgument);
+  EXPECT_THROW(Butterfly(31), InvalidArgument);
+}
+
+TEST(Hypercube, CountsAndRegularity) {
+  for (int k = 1; k <= 8; ++k) {
+    const Hypercube q(k);
+    const Graph g = q.graph();
+    EXPECT_EQ(g.num_nodes(), pow2(k));
+    EXPECT_EQ(g.num_edges(), q.num_links());
+    const auto h = g.degree_histogram();
+    ASSERT_EQ(h.size(), static_cast<std::size_t>(k) + 1);
+    EXPECT_EQ(h[static_cast<std::size_t>(k)], pow2(k));  // k-regular
+    EXPECT_EQ(g.connected_components(), 1u);
+  }
+}
+
+TEST(Hypercube, NeighborsDifferInOneBit) {
+  const Hypercube q(4);
+  for (u64 v = 0; v < 16; ++v) {
+    for (int d = 0; d < 4; ++d) {
+      EXPECT_EQ(q.neighbor(v, d) ^ v, pow2(d));
+    }
+  }
+}
+
+TEST(CompleteGraph, CountsAndBisection) {
+  const CompleteGraph k9(9);
+  EXPECT_EQ(k9.num_links(), 36u);
+  EXPECT_EQ(k9.bisection_width(), 20u);  // floor(81/4), paper Appendix B
+  const CompleteGraph k8(8);
+  EXPECT_EQ(k8.bisection_width(), 16u);  // N even: N^2/4
+
+  const Graph g = k9.graph();
+  EXPECT_EQ(g.num_edges(), 36u);
+  const auto h = g.degree_histogram();
+  EXPECT_EQ(h[8], 9u);  // (N-1)-regular
+}
+
+TEST(CompleteGraph, Multigraph) {
+  const CompleteGraph k4(4, /*multiplicity=*/4);
+  const Graph g = k4.graph();
+  EXPECT_EQ(g.num_edges(), 4u * 6u);
+  EXPECT_EQ(g.multiplicity(0, 3), 4u);
+  EXPECT_EQ(g.degree(0), 12u);
+}
+
+TEST(GeneralizedHypercube, DigitsRoundTrip) {
+  const GeneralizedHypercube ghc({4, 3, 2});
+  EXPECT_EQ(ghc.num_nodes(), 24u);
+  for (u64 id = 0; id < 24; ++id) {
+    const auto d = ghc.digits(id);
+    EXPECT_EQ(ghc.encode(d), id);
+  }
+}
+
+TEST(GeneralizedHypercube, SingleDigitIsCompleteGraph) {
+  const GeneralizedHypercube ghc({7});
+  EXPECT_TRUE(ghc.graph().same_as(CompleteGraph(7).graph()));
+}
+
+TEST(GeneralizedHypercube, TwoDimensionalStructure) {
+  // 2-D radix-r GHC: nodes adjacent iff same row or same column (as an r x r
+  // grid).  This is the block-level quotient structure of Section 3.
+  const u64 r = 4;
+  const GeneralizedHypercube ghc({r, r});
+  const Graph g = ghc.graph();
+  EXPECT_EQ(g.num_nodes(), r * r);
+  EXPECT_EQ(g.num_edges(), ghc.num_links());
+  for (u64 a = 0; a < r * r; ++a) {
+    for (u64 b = a + 1; b < r * r; ++b) {
+      const bool same_row = (a / r) == (b / r);
+      const bool same_col = (a % r) == (b % r);
+      EXPECT_EQ(g.has_edge(a, b), same_row || same_col) << a << " " << b;
+    }
+  }
+}
+
+TEST(GeneralizedHypercube, DegreeIsSumOfRadixMinusOne) {
+  const GeneralizedHypercube ghc({5, 3});
+  const Graph g = ghc.graph();
+  const auto h = g.degree_histogram();
+  ASSERT_EQ(h.size(), 7u);
+  EXPECT_EQ(h[6], 15u);  // (5-1) + (3-1) = 6, all nodes
+}
+
+TEST(GeneralizedHypercube, MultiplicityFour) {
+  // The contracted swap-butterfly block graph has 4 parallel links per pair.
+  const GeneralizedHypercube ghc({3, 3}, 4);
+  const Graph g = ghc.graph();
+  EXPECT_EQ(g.multiplicity(0, 1), 4u);
+  EXPECT_EQ(g.multiplicity(0, 3), 4u);
+  EXPECT_EQ(g.multiplicity(0, 4), 0u);  // different row and column
+}
+
+}  // namespace
+}  // namespace bfly

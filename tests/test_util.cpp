@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "util/bits.hpp"
+#include "util/check.hpp"
+#include "util/parallel.hpp"
+#include "util/prng.hpp"
+
+namespace bfly {
+namespace {
+
+TEST(Bits, Pow2AndLog) {
+  EXPECT_EQ(pow2(0), 1u);
+  EXPECT_EQ(pow2(5), 32u);
+  EXPECT_EQ(pow2(30), 1u << 30);
+  EXPECT_EQ(ilog2(1), 0);
+  EXPECT_EQ(ilog2(2), 1);
+  EXPECT_EQ(ilog2(3), 1);
+  EXPECT_EQ(ilog2(1024), 10);
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(63));
+  EXPECT_FALSE(is_pow2(0));
+}
+
+TEST(Bits, ExtractDeposit) {
+  const u64 x = 0b1011'0110'1101;
+  EXPECT_EQ(extract_bits(x, 0, 4), 0b1101u);
+  EXPECT_EQ(extract_bits(x, 4, 4), 0b0110u);
+  EXPECT_EQ(extract_bits(x, 8, 4), 0b1011u);
+  EXPECT_EQ(extract_bits(x, 0, 0), 0u);
+  EXPECT_EQ(deposit_bits(x, 4, 4, 0b1111), 0b1011'1111'1101u);
+  EXPECT_EQ(deposit_bits(x, 0, 0, 0b1111), x);
+  // deposit then extract roundtrip
+  for (int lo = 0; lo < 12; ++lo) {
+    for (int len = 1; lo + len <= 12; ++len) {
+      const u64 v = 0b10101010'10101010 & (pow2(len) - 1);
+      EXPECT_EQ(extract_bits(deposit_bits(x, lo, len, v), lo, len), v);
+    }
+  }
+}
+
+TEST(Bits, SwapBitGroupsBasic) {
+  // Swap bits [4,8) with bits [0,4).
+  EXPECT_EQ(swap_bit_groups(0b1011'0110'1101, 4, 4), 0b1011'1101'0110u);
+  // Identity when lo == 0 or len == 0.
+  EXPECT_EQ(swap_bit_groups(0xdeadbeef, 0, 4), 0xdeadbeefu);
+  EXPECT_EQ(swap_bit_groups(0xdeadbeef, 8, 0), 0xdeadbeefu);
+}
+
+TEST(Bits, SwapBitGroupsIsInvolution) {
+  for (int lo = 1; lo <= 10; ++lo) {
+    for (int len = 1; len <= lo; ++len) {
+      for (u64 x = 0; x < 4096; x += 7) {
+        EXPECT_EQ(swap_bit_groups(swap_bit_groups(x, lo, len), lo, len), x)
+            << "lo=" << lo << " len=" << len << " x=" << x;
+      }
+    }
+  }
+}
+
+TEST(Bits, SwapBitGroupsIsPermutation) {
+  // On [0, 2^10), sigma with lo=6, len=4 must be a bijection.
+  std::vector<bool> hit(1024, false);
+  for (u64 x = 0; x < 1024; ++x) {
+    const u64 y = swap_bit_groups(x, 6, 4);
+    ASSERT_LT(y, 1024u);
+    EXPECT_FALSE(hit[y]);
+    hit[y] = true;
+  }
+}
+
+TEST(Bits, BitReverse) {
+  EXPECT_EQ(bit_reverse(0b001, 3), 0b100u);
+  EXPECT_EQ(bit_reverse(0b110, 3), 0b011u);
+  for (u64 x = 0; x < 256; ++x) {
+    EXPECT_EQ(bit_reverse(bit_reverse(x, 8), 8), x);
+  }
+}
+
+TEST(Bits, CeilDiv) {
+  EXPECT_EQ(ceil_div(10, 3), 4);
+  EXPECT_EQ(ceil_div(9, 3), 3);
+  EXPECT_EQ(ceil_div(1, 8), 1);
+}
+
+TEST(Check, RequireThrowsInvalidArgument) {
+  EXPECT_THROW(BFLY_REQUIRE(false, "boom"), InvalidArgument);
+  EXPECT_NO_THROW(BFLY_REQUIRE(true, "fine"));
+}
+
+TEST(Check, CheckThrowsInternalError) {
+  EXPECT_THROW(BFLY_CHECK(false, "bug"), InternalError);
+  EXPECT_NO_THROW(BFLY_CHECK(true, "fine"));
+}
+
+TEST(Prng, Deterministic) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+  Xoshiro256 c(43);
+  bool any_diff = false;
+  Xoshiro256 a2(42);
+  for (int i = 0; i < 100; ++i) any_diff |= (a2() != c());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Prng, BelowIsInRangeAndCoversValues) {
+  Xoshiro256 rng(7);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    const u64 v = rng.below(10);
+    ASSERT_LT(v, 10u);
+    ++counts[v];
+  }
+  for (const int c : counts) EXPECT_GT(c, 700);  // roughly uniform
+}
+
+TEST(Prng, UniformInUnitInterval) {
+  Xoshiro256 rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Parallel, SumsMatchSerial) {
+  const std::size_t n = 100000;
+  std::vector<u64> data(n);
+  std::iota(data.begin(), data.end(), 0);
+  std::atomic<u64> total{0};
+  parallel_for_chunked(0, n, 8, [&](std::size_t lo, std::size_t hi, std::size_t) {
+    u64 local = 0;
+    for (std::size_t i = lo; i < hi; ++i) local += data[i];
+    total += local;
+  });
+  EXPECT_EQ(total.load(), u64{n} * (n - 1) / 2);
+}
+
+TEST(Parallel, EmptyRangeIsNoop) {
+  bool ran = false;
+  parallel_for_chunked(5, 5, 4, [&](std::size_t, std::size_t, std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(Parallel, PropagatesExceptions) {
+  EXPECT_THROW(
+      parallel_for_chunked(0, 100, 4,
+                           [](std::size_t lo, std::size_t, std::size_t) {
+                             if (lo == 0) throw std::runtime_error("worker failure");
+                           }),
+      std::runtime_error);
+}
+
+TEST(Parallel, ElementwiseCoversAllIndices) {
+  const std::size_t n = 5000;
+  std::vector<std::atomic<int>> seen(n);
+  parallel_for(0, n, [&](std::size_t i) { seen[i]++; });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(seen[i].load(), 1) << i;
+}
+
+}  // namespace
+}  // namespace bfly
