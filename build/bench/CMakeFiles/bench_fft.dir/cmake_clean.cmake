@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fft.dir/bench_fft.cpp.o"
+  "CMakeFiles/bench_fft.dir/bench_fft.cpp.o.d"
+  "bench_fft"
+  "bench_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

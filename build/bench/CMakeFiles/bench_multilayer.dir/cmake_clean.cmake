@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multilayer.dir/bench_multilayer.cpp.o"
+  "CMakeFiles/bench_multilayer.dir/bench_multilayer.cpp.o.d"
+  "bench_multilayer"
+  "bench_multilayer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multilayer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

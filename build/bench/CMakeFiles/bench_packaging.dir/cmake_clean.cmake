@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_packaging.dir/bench_packaging.cpp.o"
+  "CMakeFiles/bench_packaging.dir/bench_packaging.cpp.o.d"
+  "bench_packaging"
+  "bench_packaging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_packaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

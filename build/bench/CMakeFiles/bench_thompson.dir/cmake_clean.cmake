@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thompson.dir/bench_thompson.cpp.o"
+  "CMakeFiles/bench_thompson.dir/bench_thompson.cpp.o.d"
+  "bench_thompson"
+  "bench_thompson.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thompson.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft_accelerator.dir/fft_accelerator.cpp.o"
+  "CMakeFiles/fft_accelerator.dir/fft_accelerator.cpp.o.d"
+  "fft_accelerator"
+  "fft_accelerator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft_accelerator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layout_tool.dir/layout_tool.cpp.o"
+  "CMakeFiles/layout_tool.dir/layout_tool.cpp.o.d"
+  "layout_tool"
+  "layout_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layout_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

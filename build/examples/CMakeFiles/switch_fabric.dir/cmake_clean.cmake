@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switch_fabric.dir/switch_fabric.cpp.o"
+  "CMakeFiles/switch_fabric.dir/switch_fabric.cpp.o.d"
+  "switch_fabric"
+  "switch_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switch_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

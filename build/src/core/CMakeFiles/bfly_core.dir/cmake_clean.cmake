@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfly_core.dir/bfly.cpp.o"
+  "CMakeFiles/bfly_core.dir/bfly.cpp.o.d"
+  "libbfly_core.a"
+  "libbfly_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfly_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

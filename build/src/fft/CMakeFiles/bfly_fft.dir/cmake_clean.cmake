@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfly_fft.dir/isn_fft.cpp.o"
+  "CMakeFiles/bfly_fft.dir/isn_fft.cpp.o.d"
+  "libbfly_fft.a"
+  "libbfly_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfly_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

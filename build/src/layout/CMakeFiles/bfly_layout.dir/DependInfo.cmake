@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/layout/butterfly_3d.cpp" "src/layout/CMakeFiles/bfly_layout.dir/butterfly_3d.cpp.o" "gcc" "src/layout/CMakeFiles/bfly_layout.dir/butterfly_3d.cpp.o.d"
+  "/root/repo/src/layout/butterfly_layout.cpp" "src/layout/CMakeFiles/bfly_layout.dir/butterfly_layout.cpp.o" "gcc" "src/layout/CMakeFiles/bfly_layout.dir/butterfly_layout.cpp.o.d"
+  "/root/repo/src/layout/collinear.cpp" "src/layout/CMakeFiles/bfly_layout.dir/collinear.cpp.o" "gcc" "src/layout/CMakeFiles/bfly_layout.dir/collinear.cpp.o.d"
+  "/root/repo/src/layout/hypercube_layout.cpp" "src/layout/CMakeFiles/bfly_layout.dir/hypercube_layout.cpp.o" "gcc" "src/layout/CMakeFiles/bfly_layout.dir/hypercube_layout.cpp.o.d"
+  "/root/repo/src/layout/layout.cpp" "src/layout/CMakeFiles/bfly_layout.dir/layout.cpp.o" "gcc" "src/layout/CMakeFiles/bfly_layout.dir/layout.cpp.o.d"
+  "/root/repo/src/layout/legality.cpp" "src/layout/CMakeFiles/bfly_layout.dir/legality.cpp.o" "gcc" "src/layout/CMakeFiles/bfly_layout.dir/legality.cpp.o.d"
+  "/root/repo/src/layout/product_layout.cpp" "src/layout/CMakeFiles/bfly_layout.dir/product_layout.cpp.o" "gcc" "src/layout/CMakeFiles/bfly_layout.dir/product_layout.cpp.o.d"
+  "/root/repo/src/layout/render.cpp" "src/layout/CMakeFiles/bfly_layout.dir/render.cpp.o" "gcc" "src/layout/CMakeFiles/bfly_layout.dir/render.cpp.o.d"
+  "/root/repo/src/layout/track_assign.cpp" "src/layout/CMakeFiles/bfly_layout.dir/track_assign.cpp.o" "gcc" "src/layout/CMakeFiles/bfly_layout.dir/track_assign.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bfly_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/bfly_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfly_layout.dir/butterfly_3d.cpp.o"
+  "CMakeFiles/bfly_layout.dir/butterfly_3d.cpp.o.d"
+  "CMakeFiles/bfly_layout.dir/butterfly_layout.cpp.o"
+  "CMakeFiles/bfly_layout.dir/butterfly_layout.cpp.o.d"
+  "CMakeFiles/bfly_layout.dir/collinear.cpp.o"
+  "CMakeFiles/bfly_layout.dir/collinear.cpp.o.d"
+  "CMakeFiles/bfly_layout.dir/hypercube_layout.cpp.o"
+  "CMakeFiles/bfly_layout.dir/hypercube_layout.cpp.o.d"
+  "CMakeFiles/bfly_layout.dir/layout.cpp.o"
+  "CMakeFiles/bfly_layout.dir/layout.cpp.o.d"
+  "CMakeFiles/bfly_layout.dir/legality.cpp.o"
+  "CMakeFiles/bfly_layout.dir/legality.cpp.o.d"
+  "CMakeFiles/bfly_layout.dir/product_layout.cpp.o"
+  "CMakeFiles/bfly_layout.dir/product_layout.cpp.o.d"
+  "CMakeFiles/bfly_layout.dir/render.cpp.o"
+  "CMakeFiles/bfly_layout.dir/render.cpp.o.d"
+  "CMakeFiles/bfly_layout.dir/track_assign.cpp.o"
+  "CMakeFiles/bfly_layout.dir/track_assign.cpp.o.d"
+  "libbfly_layout.a"
+  "libbfly_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfly_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/packaging/hierarchical.cpp" "src/packaging/CMakeFiles/bfly_packaging.dir/hierarchical.cpp.o" "gcc" "src/packaging/CMakeFiles/bfly_packaging.dir/hierarchical.cpp.o.d"
+  "/root/repo/src/packaging/partition.cpp" "src/packaging/CMakeFiles/bfly_packaging.dir/partition.cpp.o" "gcc" "src/packaging/CMakeFiles/bfly_packaging.dir/partition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bfly_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/bfly_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/bfly_layout.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfly_packaging.dir/hierarchical.cpp.o"
+  "CMakeFiles/bfly_packaging.dir/hierarchical.cpp.o.d"
+  "CMakeFiles/bfly_packaging.dir/partition.cpp.o"
+  "CMakeFiles/bfly_packaging.dir/partition.cpp.o.d"
+  "libbfly_packaging.a"
+  "libbfly_packaging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfly_packaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfly_routing.dir/routing.cpp.o"
+  "CMakeFiles/bfly_routing.dir/routing.cpp.o.d"
+  "libbfly_routing.a"
+  "libbfly_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfly_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

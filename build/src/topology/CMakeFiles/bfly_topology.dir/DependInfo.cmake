@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/basic_graphs.cpp" "src/topology/CMakeFiles/bfly_topology.dir/basic_graphs.cpp.o" "gcc" "src/topology/CMakeFiles/bfly_topology.dir/basic_graphs.cpp.o.d"
+  "/root/repo/src/topology/benes.cpp" "src/topology/CMakeFiles/bfly_topology.dir/benes.cpp.o" "gcc" "src/topology/CMakeFiles/bfly_topology.dir/benes.cpp.o.d"
+  "/root/repo/src/topology/butterfly.cpp" "src/topology/CMakeFiles/bfly_topology.dir/butterfly.cpp.o" "gcc" "src/topology/CMakeFiles/bfly_topology.dir/butterfly.cpp.o.d"
+  "/root/repo/src/topology/complete_graph.cpp" "src/topology/CMakeFiles/bfly_topology.dir/complete_graph.cpp.o" "gcc" "src/topology/CMakeFiles/bfly_topology.dir/complete_graph.cpp.o.d"
+  "/root/repo/src/topology/generalized_hypercube.cpp" "src/topology/CMakeFiles/bfly_topology.dir/generalized_hypercube.cpp.o" "gcc" "src/topology/CMakeFiles/bfly_topology.dir/generalized_hypercube.cpp.o.d"
+  "/root/repo/src/topology/graph.cpp" "src/topology/CMakeFiles/bfly_topology.dir/graph.cpp.o" "gcc" "src/topology/CMakeFiles/bfly_topology.dir/graph.cpp.o.d"
+  "/root/repo/src/topology/hypercube.cpp" "src/topology/CMakeFiles/bfly_topology.dir/hypercube.cpp.o" "gcc" "src/topology/CMakeFiles/bfly_topology.dir/hypercube.cpp.o.d"
+  "/root/repo/src/topology/isn.cpp" "src/topology/CMakeFiles/bfly_topology.dir/isn.cpp.o" "gcc" "src/topology/CMakeFiles/bfly_topology.dir/isn.cpp.o.d"
+  "/root/repo/src/topology/isomorphism.cpp" "src/topology/CMakeFiles/bfly_topology.dir/isomorphism.cpp.o" "gcc" "src/topology/CMakeFiles/bfly_topology.dir/isomorphism.cpp.o.d"
+  "/root/repo/src/topology/swap_butterfly.cpp" "src/topology/CMakeFiles/bfly_topology.dir/swap_butterfly.cpp.o" "gcc" "src/topology/CMakeFiles/bfly_topology.dir/swap_butterfly.cpp.o.d"
+  "/root/repo/src/topology/swap_network.cpp" "src/topology/CMakeFiles/bfly_topology.dir/swap_network.cpp.o" "gcc" "src/topology/CMakeFiles/bfly_topology.dir/swap_network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bfly_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfly_topology.dir/basic_graphs.cpp.o"
+  "CMakeFiles/bfly_topology.dir/basic_graphs.cpp.o.d"
+  "CMakeFiles/bfly_topology.dir/benes.cpp.o"
+  "CMakeFiles/bfly_topology.dir/benes.cpp.o.d"
+  "CMakeFiles/bfly_topology.dir/butterfly.cpp.o"
+  "CMakeFiles/bfly_topology.dir/butterfly.cpp.o.d"
+  "CMakeFiles/bfly_topology.dir/complete_graph.cpp.o"
+  "CMakeFiles/bfly_topology.dir/complete_graph.cpp.o.d"
+  "CMakeFiles/bfly_topology.dir/generalized_hypercube.cpp.o"
+  "CMakeFiles/bfly_topology.dir/generalized_hypercube.cpp.o.d"
+  "CMakeFiles/bfly_topology.dir/graph.cpp.o"
+  "CMakeFiles/bfly_topology.dir/graph.cpp.o.d"
+  "CMakeFiles/bfly_topology.dir/hypercube.cpp.o"
+  "CMakeFiles/bfly_topology.dir/hypercube.cpp.o.d"
+  "CMakeFiles/bfly_topology.dir/isn.cpp.o"
+  "CMakeFiles/bfly_topology.dir/isn.cpp.o.d"
+  "CMakeFiles/bfly_topology.dir/isomorphism.cpp.o"
+  "CMakeFiles/bfly_topology.dir/isomorphism.cpp.o.d"
+  "CMakeFiles/bfly_topology.dir/swap_butterfly.cpp.o"
+  "CMakeFiles/bfly_topology.dir/swap_butterfly.cpp.o.d"
+  "CMakeFiles/bfly_topology.dir/swap_network.cpp.o"
+  "CMakeFiles/bfly_topology.dir/swap_network.cpp.o.d"
+  "libbfly_topology.a"
+  "libbfly_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfly_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfly_util.dir/check.cpp.o"
+  "CMakeFiles/bfly_util.dir/check.cpp.o.d"
+  "CMakeFiles/bfly_util.dir/parallel.cpp.o"
+  "CMakeFiles/bfly_util.dir/parallel.cpp.o.d"
+  "libbfly_util.a"
+  "libbfly_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfly_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

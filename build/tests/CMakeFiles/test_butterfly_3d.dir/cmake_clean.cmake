@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_butterfly_3d.dir/test_butterfly_3d.cpp.o"
+  "CMakeFiles/test_butterfly_3d.dir/test_butterfly_3d.cpp.o.d"
+  "test_butterfly_3d"
+  "test_butterfly_3d.pdb"
+  "test_butterfly_3d[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_butterfly_3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_butterfly_layout.dir/test_butterfly_layout.cpp.o"
+  "CMakeFiles/test_butterfly_layout.dir/test_butterfly_layout.cpp.o.d"
+  "test_butterfly_layout"
+  "test_butterfly_layout.pdb"
+  "test_butterfly_layout[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_butterfly_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hypercube_layout.dir/test_hypercube_layout.cpp.o"
+  "CMakeFiles/test_hypercube_layout.dir/test_hypercube_layout.cpp.o.d"
+  "test_hypercube_layout"
+  "test_hypercube_layout.pdb"
+  "test_hypercube_layout[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hypercube_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_layout_engine.cpp" "tests/CMakeFiles/test_layout_engine.dir/test_layout_engine.cpp.o" "gcc" "tests/CMakeFiles/test_layout_engine.dir/test_layout_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bfly_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/packaging/CMakeFiles/bfly_packaging.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/bfly_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/bfly_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/bfly_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/bfly_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bfly_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_layout_engine.dir/test_layout_engine.cpp.o"
+  "CMakeFiles/test_layout_engine.dir/test_layout_engine.cpp.o.d"
+  "test_layout_engine"
+  "test_layout_engine.pdb"
+  "test_layout_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_layout_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_legality_fuzz.dir/test_legality_fuzz.cpp.o"
+  "CMakeFiles/test_legality_fuzz.dir/test_legality_fuzz.cpp.o.d"
+  "test_legality_fuzz"
+  "test_legality_fuzz.pdb"
+  "test_legality_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_legality_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_packaging.dir/test_packaging.cpp.o"
+  "CMakeFiles/test_packaging.dir/test_packaging.cpp.o.d"
+  "test_packaging"
+  "test_packaging.pdb"
+  "test_packaging[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_packaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

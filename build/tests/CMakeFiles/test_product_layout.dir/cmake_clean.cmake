@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_product_layout.dir/test_product_layout.cpp.o"
+  "CMakeFiles/test_product_layout.dir/test_product_layout.cpp.o.d"
+  "test_product_layout"
+  "test_product_layout.pdb"
+  "test_product_layout[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_product_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_swap_butterfly.dir/test_swap_butterfly.cpp.o"
+  "CMakeFiles/test_swap_butterfly.dir/test_swap_butterfly.cpp.o.d"
+  "test_swap_butterfly"
+  "test_swap_butterfly.pdb"
+  "test_swap_butterfly[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_swap_butterfly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

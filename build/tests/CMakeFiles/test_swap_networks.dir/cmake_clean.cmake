@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_swap_networks.dir/test_swap_networks.cpp.o"
+  "CMakeFiles/test_swap_networks.dir/test_swap_networks.cpp.o.d"
+  "test_swap_networks"
+  "test_swap_networks.pdb"
+  "test_swap_networks[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_swap_networks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_topology[1]_include.cmake")
+include("/root/repo/build/tests/test_swap_networks[1]_include.cmake")
+include("/root/repo/build/tests/test_swap_butterfly[1]_include.cmake")
+include("/root/repo/build/tests/test_layout_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_legality[1]_include.cmake")
+include("/root/repo/build/tests/test_collinear[1]_include.cmake")
+include("/root/repo/build/tests/test_butterfly_layout[1]_include.cmake")
+include("/root/repo/build/tests/test_packaging[1]_include.cmake")
+include("/root/repo/build/tests/test_routing[1]_include.cmake")
+include("/root/repo/build/tests/test_fft[1]_include.cmake")
+include("/root/repo/build/tests/test_hypercube_layout[1]_include.cmake")
+include("/root/repo/build/tests/test_benes[1]_include.cmake")
+include("/root/repo/build/tests/test_legality_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_butterfly_3d[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_product_layout[1]_include.cmake")
