@@ -5,6 +5,8 @@
 // for all N; 25% improvement over the Chen-Agrawal layout [6, Theorem 1].
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
+
 #include <cstdio>
 
 #include "core/bfly.hpp"
@@ -14,8 +16,8 @@ namespace {
 using namespace bfly;
 
 void print_track_table() {
-  std::printf("=== E4: collinear layout of K_N (Appendix B, Fig. 4) ===\n");
-  std::printf("%6s %12s %12s %14s %12s %10s\n", "N", "tracks", "bisection", "Chen-Agrawal",
+  std::fprintf(stderr, "=== E4: collinear layout of K_N (Appendix B, Fig. 4) ===\n");
+  std::fprintf(stderr, "%6s %12s %12s %14s %12s %10s\n", "N", "tracks", "bisection", "Chen-Agrawal",
               "saving", "legal");
   for (const u64 n : {4u, 8u, 9u, 16u, 32u, 64u, 128u, 256u}) {
     const u64 tracks = collinear_track_count(n);
@@ -35,23 +37,23 @@ void print_track_table() {
                   : "NO";
     }
     if (pow2n) {
-      std::printf("%6llu %12llu %12llu %14llu %11.1f%% %10s\n",
+      std::fprintf(stderr, "%6llu %12llu %12llu %14llu %11.1f%% %10s\n",
                   static_cast<unsigned long long>(n), static_cast<unsigned long long>(tracks),
                   static_cast<unsigned long long>(bisection), static_cast<unsigned long long>(ca),
                   saving, legal);
     } else {
-      std::printf("%6llu %12llu %12llu %14s %12s %10s\n", static_cast<unsigned long long>(n),
+      std::fprintf(stderr, "%6llu %12llu %12llu %14s %12s %10s\n", static_cast<unsigned long long>(n),
                   static_cast<unsigned long long>(tracks),
                   static_cast<unsigned long long>(bisection), "-", "-", legal);
     }
   }
-  std::printf("paper: K_9 uses 20 tracks (Fig. 4); floor(N^2/4) matches bisection;\n");
-  std::printf("       asymptotic saving over [6] is 25%%.\n\n");
+  std::fprintf(stderr, "paper: K_9 uses 20 tracks (Fig. 4); floor(N^2/4) matches bisection;\n");
+  std::fprintf(stderr, "       asymptotic saving over [6] is 25%%.\n\n");
 
   // Track-order reversal reduces the max wire length (Appendix B remark).
   const CollinearLayout plain = collinear_complete_graph(16);
   const CollinearLayout reversed = collinear_complete_graph(16, {1, true});
-  std::printf("K_16 max wire: plain order %lld, reversed order %lld\n\n",
+  std::fprintf(stderr, "K_16 max wire: plain order %lld, reversed order %lld\n\n",
               static_cast<long long>(plain.layout.metrics().max_wire_length),
               static_cast<long long>(reversed.layout.metrics().max_wire_length));
 }
@@ -79,8 +81,9 @@ BENCHMARK(BM_CollinearLegalityCheck)->Arg(16)->Arg(32)->Arg(64);
 }  // namespace
 
 int main(int argc, char** argv) {
+  bfly::bench::BenchSession session("bench_collinear");
   print_track_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  session.run_benchmarks(argc, argv);
+  session.emit_report();
   return 0;
 }

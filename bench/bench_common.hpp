@@ -1,0 +1,69 @@
+// Shared scaffolding for the bench binaries.
+//
+// Contract: every bench binary writes exactly one machine-readable JSON run
+// report (schema version 1, see obs/report.hpp) to *stdout* and keeps all
+// human-oriented output — reproduction tables and google-benchmark timing
+// tables — on *stderr*.  `bench_routing ... > run.json` therefore always
+// yields a parseable document, and BENCH_*.json trajectories can be captured
+// by plain shell redirection.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+
+namespace bfly::bench {
+
+/// Installs a process-wide metrics/trace registry for the duration of main().
+/// Construct first thing in main(); every instrumented library call after
+/// that records into it.
+class BenchSession {
+ public:
+  explicit BenchSession(std::string name) : scoped_(&registry_) {
+    options_.name = std::move(name);
+  }
+
+  obs::Registry& registry() { return registry_; }
+
+  /// Run parameters for the report's "config" object.
+  void config(const std::string& key, json::Value value) {
+    options_.config.set(key, std::move(value));
+  }
+  void config(const std::string& key, double number) {
+    options_.config.set(key, json::Value::number(number));
+  }
+  void config(const std::string& key, const std::string& text) {
+    options_.config.set(key, json::Value::string(text));
+  }
+
+  /// Measured artifact facts for the report's "artifact_stats" object.
+  void artifact(const std::string& key, json::Value value) {
+    options_.artifact_stats.set(key, std::move(value));
+  }
+  void artifact(const std::string& key, double number) {
+    options_.artifact_stats.set(key, json::Value::number(number));
+  }
+
+  /// google-benchmark with its console output redirected to stderr so the
+  /// stdout JSON report stays clean.
+  void run_benchmarks(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::ConsoleReporter reporter;
+    reporter.SetOutputStream(&std::cerr);
+    reporter.SetErrorStream(&std::cerr);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+  }
+
+  /// The single-line JSON run report on stdout.  Call last.
+  void emit_report() { obs::write_report_line(std::cout, registry_, options_); }
+
+ private:
+  obs::Registry registry_;
+  obs::ScopedRegistry scoped_;
+  obs::ReportOptions options_;
+};
+
+}  // namespace bfly::bench

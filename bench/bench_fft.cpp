@@ -3,6 +3,8 @@
 // proof of the transformation -- plus throughput of the network FFT.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
+
 #include <cstdio>
 
 #include "core/bfly.hpp"
@@ -20,8 +22,8 @@ std::vector<cplx> random_signal(u64 n, u64 seed) {
 }
 
 void print_verification_table() {
-  std::printf("=== E12: FFT over swap-butterfly links vs reference FFT ===\n");
-  std::printf("%-14s %6s %10s %14s\n", "k", "size", "max err", "vs naive DFT");
+  std::fprintf(stderr, "=== E12: FFT over swap-butterfly links vs reference FFT ===\n");
+  std::fprintf(stderr, "%-14s %6s %10s %14s\n", "k", "size", "max err", "vs naive DFT");
   const std::vector<std::vector<int>> shapes = {
       {1, 1}, {2, 2}, {3, 3, 3}, {4, 3, 3}, {4, 4, 4}, {2, 2, 2, 2}, {5, 5, 5}, {6, 6, 6}};
   for (const auto& k : shapes) {
@@ -31,18 +33,18 @@ void print_verification_table() {
     const double err = max_abs_error(net, fft_reference(x));
     double naive_err = -1.0;
     if (sb.rows() <= 1024) naive_err = max_abs_error(net, dft_naive(x));
-    std::printf("(%d", k[0]);
-    for (std::size_t i = 1; i < k.size(); ++i) std::printf(",%d", k[i]);
-    std::printf(")%*s %6llu %10.2e ", static_cast<int>(11 - 2 * k.size()), "",
+    std::fprintf(stderr, "(%d", k[0]);
+    for (std::size_t i = 1; i < k.size(); ++i) std::fprintf(stderr, ",%d", k[i]);
+    std::fprintf(stderr, ")%*s %6llu %10.2e ", static_cast<int>(11 - 2 * k.size()), "",
                 static_cast<unsigned long long>(sb.rows()), err);
     if (naive_err >= 0) {
-      std::printf("%14.2e\n", naive_err);
+      std::fprintf(stderr, "%14.2e\n", naive_err);
     } else {
-      std::printf("%14s\n", "-");
+      std::fprintf(stderr, "%14s\n", "-");
     }
   }
-  std::printf("paper: the ISN is the FFT flow graph of the swap network, so the\n");
-  std::printf("       bypassed network computes the DFT exactly.\n\n");
+  std::fprintf(stderr, "paper: the ISN is the FFT flow graph of the swap network, so the\n");
+  std::fprintf(stderr, "       bypassed network computes the DFT exactly.\n\n");
 }
 
 void BM_FftOnSwapButterfly(benchmark::State& state) {
@@ -73,8 +75,9 @@ BENCHMARK(BM_FftReference)->Arg(6)->Arg(12)->Arg(18);
 }  // namespace
 
 int main(int argc, char** argv) {
+  bfly::bench::BenchSession session("bench_fft");
   print_verification_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  session.run_benchmarks(argc, argv);
+  session.emit_report();
   return 0;
 }

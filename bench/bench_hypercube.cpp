@@ -4,6 +4,8 @@
 // substrate from the introduction).
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
+
 #include <chrono>
 #include <cstdio>
 #include <numeric>
@@ -16,8 +18,8 @@ namespace {
 using namespace bfly;
 
 void print_hypercube_table() {
-  std::printf("=== extension: hypercube grid layouts vs (N/2)^2 lower bound ===\n");
-  std::printf("%4s %8s %16s %14s %8s %12s %8s\n", "n", "grid", "area", "bound", "ratio",
+  std::fprintf(stderr, "=== extension: hypercube grid layouts vs (N/2)^2 lower bound ===\n");
+  std::fprintf(stderr, "%4s %8s %16s %14s %8s %12s %8s\n", "n", "grid", "area", "bound", "ratio",
               "max wire", "legal");
   for (const int n : {6, 8, 10, 12, 14}) {
     const HypercubeLayoutPlan plan(n);
@@ -27,32 +29,32 @@ void print_hypercube_table() {
     if (n <= 12) {
       legal = check_multilayer(plan.materialize()).ok ? "yes" : "NO";
     }
-    std::printf("%4d %3llux%-4llu %16lld %14.0f %8.3f %12lld %8s\n", n,
+    std::fprintf(stderr, "%4d %3llux%-4llu %16lld %14.0f %8.3f %12lld %8s\n", n,
                 static_cast<unsigned long long>(plan.grid_rows()),
                 static_cast<unsigned long long>(plan.grid_cols()),
                 static_cast<long long>(m.area), bound, static_cast<double>(m.area) / bound,
                 static_cast<long long>(m.max_wire_length), legal);
   }
-  std::printf("\n");
+  std::fprintf(stderr, "\n");
 }
 
 void print_hypercube_layers() {
-  std::printf("--- hypercube area vs layers (n = 12) ---\n");
-  std::printf("%4s %16s %12s\n", "L", "area", "max wire");
+  std::fprintf(stderr, "--- hypercube area vs layers (n = 12) ---\n");
+  std::fprintf(stderr, "%4s %16s %12s\n", "L", "area", "max wire");
   for (const int L : {2, 4, 6, 8}) {
     HypercubeLayoutOptions opt;
     opt.layers = L;
     const HypercubeLayoutPlan plan(12, opt);
     const LayoutMetrics m = plan.metrics();
-    std::printf("%4d %16lld %12lld\n", L, static_cast<long long>(m.area),
+    std::fprintf(stderr, "%4d %16lld %12lld\n", L, static_cast<long long>(m.area),
                 static_cast<long long>(m.max_wire_length));
   }
-  std::printf("\n");
+  std::fprintf(stderr, "\n");
 }
 
 void print_benes_table() {
-  std::printf("=== extension: Benes permutation routing (looping algorithm) ===\n");
-  std::printf("%4s %8s %10s %14s\n", "n", "ports", "stages", "perms/sec est");
+  std::fprintf(stderr, "=== extension: Benes permutation routing (looping algorithm) ===\n");
+  std::fprintf(stderr, "%4s %8s %10s %14s\n", "n", "ports", "stages", "perms/sec est");
   for (const int n : {4, 6, 8, 10}) {
     const Benes b(n);
     Xoshiro256 rng(1);
@@ -68,10 +70,10 @@ void print_benes_table() {
     }
     const double secs =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-    std::printf("%4d %8llu %10d %14.0f\n", n, static_cast<unsigned long long>(b.rows()),
+    std::fprintf(stderr, "%4d %8llu %10d %14.0f\n", n, static_cast<unsigned long long>(b.rows()),
                 b.num_stages(), reps / secs);
   }
-  std::printf("\n");
+  std::fprintf(stderr, "\n");
 }
 
 void BM_HypercubeMetrics(benchmark::State& state) {
@@ -102,10 +104,11 @@ BENCHMARK(BM_BenesRoute)->Arg(6)->Arg(10)->Arg(14);
 }  // namespace
 
 int main(int argc, char** argv) {
+  bfly::bench::BenchSession session("bench_hypercube");
   print_hypercube_table();
   print_hypercube_layers();
   print_benes_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  session.run_benchmarks(argc, argv);
+  session.emit_report();
   return 0;
 }

@@ -3,8 +3,11 @@
 // quantity behind Theorem 2.1's Omega(M/log R) pin bound.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "core/bfly.hpp"
 #include "util/prng.hpp"
 
@@ -13,57 +16,85 @@ namespace {
 using namespace bfly;
 
 void print_saturation_curve(int n) {
-  std::printf("=== E13: saturation curve of B_%d (uniform random traffic) ===\n", n);
-  std::printf("%10s %12s %12s %14s %10s\n", "offered", "throughput", "latency", "inj/node",
+  std::fprintf(stderr, "=== E13: saturation curve of B_%d (uniform random traffic) ===\n", n);
+  std::fprintf(stderr, "%10s %12s %12s %14s %10s\n", "offered", "throughput", "latency", "inj/node",
               "max queue");
   for (const double load : {0.1, 0.3, 0.5, 0.7, 0.9, 1.0}) {
     const SaturationPoint p = simulate_saturation(n, load, 4000, 2026, 500);
-    std::printf("%10.2f %12.4f %12.2f %14.4f %10llu\n", p.offered_load, p.throughput,
+    std::fprintf(stderr, "%10.2f %12.4f %12.2f %14.4f %10llu\n", p.offered_load, p.throughput,
                 p.avg_latency, p.per_node_injection,
                 static_cast<unsigned long long>(p.max_queue));
   }
-  std::printf("\n");
+  std::fprintf(stderr, "\n");
 }
 
 void print_injection_scaling() {
-  std::printf("--- per-node injection at saturation vs 1/(n+1) = Theta(1/log R) ---\n");
-  std::printf("%4s %14s %12s %10s\n", "n", "inj/node", "1/(n+1)", "ratio");
+  std::fprintf(stderr, "--- per-node injection at saturation vs 1/(n+1) = Theta(1/log R) ---\n");
+  std::fprintf(stderr, "%4s %14s %12s %10s\n", "n", "inj/node", "1/(n+1)", "ratio");
   for (const int n : {4, 6, 8, 10}) {
     const SaturationPoint p = simulate_saturation(n, 1.0, 3000, 7, 500);
     const double bound = 1.0 / (n + 1);
-    std::printf("%4d %14.4f %12.4f %10.3f\n", n, p.per_node_injection, bound,
+    std::fprintf(stderr, "%4d %14.4f %12.4f %10.3f\n", n, p.per_node_injection, bound,
                 p.per_node_injection / bound);
   }
-  std::printf("paper: the maximum per-node injection rate is Theta(1/log R); the ratio\n");
-  std::printf("       to 1/(n+1) stays within a constant across n.\n\n");
+  std::fprintf(stderr, "paper: the maximum per-node injection rate is Theta(1/log R); the ratio\n");
+  std::fprintf(stderr, "       to 1/(n+1) stays within a constant across n.\n\n");
 }
 
 void print_load_balance() {
-  std::printf("--- link-load balance under uniform random routing ---\n");
-  std::printf("%4s %12s %12s %12s\n", "n", "avg load", "max load", "imbalance");
+  std::fprintf(stderr, "--- link-load balance under uniform random routing ---\n");
+  std::fprintf(stderr, "%4s %12s %12s %12s\n", "n", "avg load", "max load", "imbalance");
   for (const int n : {6, 8, 10, 12}) {
     const LoadCensus c = measure_link_loads(n, 2'000'000, 99);
-    std::printf("%4d %12.1f %12llu %12.3f\n", n, c.avg_link_load,
+    std::fprintf(stderr, "%4d %12.1f %12llu %12.3f\n", n, c.avg_link_load,
                 static_cast<unsigned long long>(c.max_link_load), c.imbalance);
   }
-  std::printf("paper: traffic is balanced within a constant factor between the most\n");
-  std::printf("       heavily used links and the average.\n\n");
+  std::fprintf(stderr, "paper: traffic is balanced within a constant factor between the most\n");
+  std::fprintf(stderr, "       heavily used links and the average.\n\n");
 }
 
 void print_congestion_table() {
-  std::printf("--- worst-case vs random permutation congestion (greedy bit-fixing) ---\n");
-  std::printf("%4s %14s %14s %14s\n", "n", "bit-reversal", "random perm", "Benes");
+  std::fprintf(stderr, "--- worst-case vs random permutation congestion (greedy bit-fixing) ---\n");
+  std::fprintf(stderr, "%4s %14s %14s %14s\n", "n", "bit-reversal", "random perm", "Benes");
   Xoshiro256 rng(17);
   for (const int n : {6, 8, 10, 12}) {
     std::vector<u64> perm(pow2(n));
     for (u64 i = 0; i < perm.size(); ++i) perm[i] = i;
     for (u64 i = perm.size() - 1; i > 0; --i) std::swap(perm[i], perm[rng.below(i + 1)]);
-    std::printf("%4d %14llu %14llu %14d\n", n,
+    std::fprintf(stderr, "%4d %14llu %14llu %14d\n", n,
                 static_cast<unsigned long long>(bit_reversal_congestion(n)),
                 static_cast<unsigned long long>(permutation_congestion(n, perm)), 1);
   }
-  std::printf("greedy butterfly routing hits Theta(sqrt(R)) congestion on bit-reversal;\n");
-  std::printf("a Benes fabric (looping algorithm) routes ANY permutation at congestion 1.\n\n");
+  std::fprintf(stderr, "greedy butterfly routing hits Theta(sqrt(R)) congestion on bit-reversal;\n");
+  std::fprintf(stderr, "a Benes fabric (looping algorithm) routes ANY permutation at congestion 1.\n\n");
+}
+
+/// Observability tax: simulate_saturation at n=14 with the registry detached
+/// (the default-off fast path every library user gets) vs attached.  Best-of
+/// timing, interleaved to cancel thermal drift.  The acceptance bar is < 2%.
+double print_obs_overhead() {
+  std::fprintf(stderr,
+               "--- obs overhead: simulate_saturation(n=14), registry off vs on ---\n");
+  using Clock = std::chrono::steady_clock;
+  obs::Registry local;
+  const auto run_once = [](obs::Registry* reg) {
+    const obs::ScopedRegistry scoped(reg);
+    const auto t0 = Clock::now();
+    const SaturationPoint p = simulate_saturation(14, 0.5, 150, 11, 20);
+    benchmark::DoNotOptimize(p.delivered);
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+  };
+  run_once(nullptr);  // warm caches before timing
+  double off = 1e300;
+  double on = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    off = std::min(off, run_once(nullptr));
+    on = std::min(on, run_once(&local));
+  }
+  const double overhead_pct = (on - off) / off * 100.0;
+  std::fprintf(stderr, "%12s %12s %12s\n", "off (s)", "on (s)", "overhead");
+  std::fprintf(stderr, "%12.4f %12.4f %+11.2f%%\n\n", off, on, overhead_pct);
+  return overhead_pct;
 }
 
 void BM_LinkLoadCensus(benchmark::State& state) {
@@ -88,11 +119,16 @@ BENCHMARK(BM_SaturationSim)->Arg(6)->Arg(8)->Arg(10)->Unit(benchmark::kMilliseco
 }  // namespace
 
 int main(int argc, char** argv) {
+  bfly::bench::BenchSession session("bench_routing");
+  session.config("saturation_n", 8);
+  session.config("saturation_cycles", 4000);
+  session.config("census_packets", 2'000'000);
   print_saturation_curve(8);
   print_injection_scaling();
   print_load_balance();
   print_congestion_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  session.artifact("obs_overhead_percent", print_obs_overhead());
+  session.run_benchmarks(argc, argv);
+  session.emit_report();
   return 0;
 }

@@ -3,6 +3,8 @@
 // length unchanged; larger nodes start to dominate.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
+
 #include <cstdio>
 
 #include "core/bfly.hpp"
@@ -12,8 +14,8 @@ namespace {
 using namespace bfly;
 
 void print_node_size_sweep(int n, int L) {
-  std::printf("=== E11: node-size scalability of B_%d at L=%d ===\n", n, L);
-  std::printf("%6s %16s %12s %12s %12s\n", "W", "area", "area/W=4", "max wire", "wire/W=4");
+  std::fprintf(stderr, "=== E11: node-size scalability of B_%d at L=%d ===\n", n, L);
+  std::fprintf(stderr, "%6s %16s %12s %12s %12s\n", "W", "area", "area/W=4", "max wire", "wire/W=4");
   ButterflyLayoutOptions base;
   base.layers = L;
   const LayoutMetrics m0 = ButterflyLayoutPlan(ButterflyLayoutPlan::choose_parameters(n), base)
@@ -24,16 +26,16 @@ void print_node_size_sweep(int n, int L) {
     opt.node_side = w;
     const ButterflyLayoutPlan plan(ButterflyLayoutPlan::choose_parameters(n), opt);
     const LayoutMetrics m = plan.metrics();
-    std::printf("%6lld %16lld %12.3f %12lld %12.3f\n", static_cast<long long>(w),
+    std::fprintf(stderr, "%6lld %16lld %12.3f %12lld %12.3f\n", static_cast<long long>(w),
                 static_cast<long long>(m.area),
                 static_cast<double>(m.area) / static_cast<double>(m0.area),
                 static_cast<long long>(m.max_wire_length),
                 static_cast<double>(m.max_wire_length) /
                     static_cast<double>(m0.max_wire_length));
   }
-  std::printf("paper: for W = o(sqrt(N)/(L log N)) (here: W << 2^{n/3+...}) the area\n");
-  std::printf("       ratio stays near 1; once W 2^{k1} rivals the channel width the\n");
-  std::printf("       node grid dominates and area grows ~ W^2.\n\n");
+  std::fprintf(stderr, "paper: for W = o(sqrt(N)/(L log N)) (here: W << 2^{n/3+...}) the area\n");
+  std::fprintf(stderr, "       ratio stays near 1; once W 2^{k1} rivals the channel width the\n");
+  std::fprintf(stderr, "       node grid dominates and area grows ~ W^2.\n\n");
 }
 
 void BM_MetricsVsNodeSide(benchmark::State& state) {
@@ -49,9 +51,10 @@ BENCHMARK(BM_MetricsVsNodeSide)->Arg(4)->Arg(16)->Arg(64)->Unit(benchmark::kMill
 }  // namespace
 
 int main(int argc, char** argv) {
+  bfly::bench::BenchSession session("bench_scalability");
   print_node_size_sweep(12, 2);
   print_node_size_sweep(12, 4);
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  session.run_benchmarks(argc, argv);
+  session.emit_report();
   return 0;
 }

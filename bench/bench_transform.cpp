@@ -2,6 +2,8 @@
 // and the explicit isomorphism onto B_n, across parameterizations and sizes.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
+
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -22,8 +24,8 @@ std::string shape_name(const std::vector<int>& k) {
 }
 
 void print_transform_table() {
-  std::printf("=== E2: swap-butterfly automorphisms of B_n (Figs. 1-2) ===\n");
-  std::printf("%-14s %4s %10s %10s %12s %6s\n", "k", "n", "rows", "nodes", "links", "iso?");
+  std::fprintf(stderr, "=== E2: swap-butterfly automorphisms of B_n (Figs. 1-2) ===\n");
+  std::fprintf(stderr, "%-14s %4s %10s %10s %12s %6s\n", "k", "n", "rows", "nodes", "links", "iso?");
   const std::vector<std::vector<int>> shapes = {
       {1, 1},       {1, 1, 1},    {2, 2},    {3, 3, 3},    {4, 3, 3},
       {4, 4, 3},    {4, 4, 4},    {5, 5, 5}, {2, 2, 2, 2}, {4, 4, 4, 4},
@@ -35,12 +37,12 @@ void print_transform_table() {
     std::string why;
     const bool iso =
         is_isomorphism(sb.graph(), target.graph(), sb.isomorphism_to_butterfly(), &why);
-    std::printf("%-14s %4d %10llu %10llu %12llu %6s\n", shape_name(k).c_str(), sb.dimension(),
+    std::fprintf(stderr, "%-14s %4d %10llu %10llu %12llu %6s\n", shape_name(k).c_str(), sb.dimension(),
                 static_cast<unsigned long long>(sb.rows()),
                 static_cast<unsigned long long>(sb.num_nodes()),
                 static_cast<unsigned long long>(sb.num_links()), iso ? "yes" : "NO");
   }
-  std::printf("paper: every ISN(k_1..k_l) transforms into an automorphism of B_{n_l}.\n\n");
+  std::fprintf(stderr, "paper: every ISN(k_1..k_l) transforms into an automorphism of B_{n_l}.\n\n");
 }
 
 void BM_SwapButterflyBuild(benchmark::State& state) {
@@ -82,8 +84,9 @@ BENCHMARK(BM_GraphContraction)->Arg(2)->Arg(3)->Arg(4);
 }  // namespace
 
 int main(int argc, char** argv) {
+  bfly::bench::BenchSession session("bench_transform");
   print_transform_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  session.run_benchmarks(argc, argv);
+  session.emit_report();
   return 0;
 }

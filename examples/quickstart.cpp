@@ -7,6 +7,10 @@
 //      closed forms.
 //   3. Partition the network for packaging (Sec. 2.3) and count off-module
 //      links.
+//   4. Record the whole run with bfly::obs — every step above lands in the
+//      installed registry, and the end of main() writes a structured JSON
+//      run report plus a Chrome trace (load quickstart.trace.json in
+//      https://ui.perfetto.dev to see the phase spans).
 //
 // Run:  ./quickstart [n]    (default n = 6)
 #include <cstdio>
@@ -22,6 +26,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "usage: %s [n in 3..15]\n", argv[0]);
     return 1;
   }
+
+  // Install the metrics/trace registry for the rest of the run.
+  obs::Registry registry;
+  const obs::ScopedRegistry scoped(&registry);
 
   // --- 1. ISN -> swap-butterfly -> butterfly -------------------------------
   const std::vector<int> k = ButterflyLayoutPlan::choose_parameters(n);
@@ -89,5 +97,23 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.max_nodes_per_module),
               stats.avg_offmodule_links_per_node,
               formulas::offmodule_links_per_node_general(k));
+
+  // --- 4. The run report ----------------------------------------------------
+  obs::ReportOptions report;
+  report.name = "quickstart";
+  report.config.set("n", json::Value::number(n));
+  report.artifact_stats.set("area", json::Value::number(m.area));
+  report.artifact_stats.set("max_wire_length", json::Value::number(m.max_wire_length));
+  report.artifact_stats.set("num_modules", json::Value::number(stats.num_modules));
+  {
+    std::ofstream out("quickstart.run.json");
+    obs::write_report_pretty(out, registry, report);
+  }
+  {
+    std::ofstream out("quickstart.trace.json");
+    obs::write_chrome_trace(out, registry);
+  }
+  std::printf("\nwrote quickstart.run.json (schema-v1 run report) and\n");
+  std::printf("      quickstart.trace.json (open in https://ui.perfetto.dev)\n");
   return 0;
 }

@@ -12,6 +12,9 @@
 
 #include "core/formulas.hpp"
 #include "fft/isn_fft.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "layout/butterfly_3d.hpp"
 #include "layout/butterfly_layout.hpp"
 #include "layout/collinear.hpp"

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace bfly {
 
 namespace {
@@ -78,6 +81,7 @@ std::vector<int> ButterflyLayoutPlan::choose_parameters(int n) {
 
 ButterflyLayoutPlan::ButterflyLayoutPlan(std::vector<int> k, ButterflyLayoutOptions options)
     : k_(k), options_(options), sb_(std::move(k)), n_(sb_.dimension()) {
+  BFLY_TRACE_SCOPE("layout.plan");
   BFLY_REQUIRE(k_.size() == 3, "the grid layout is driven by a 3-level ISN");
   BFLY_REQUIRE(options_.layers >= 2, "at least two wiring layers are required");
   BFLY_REQUIRE(options_.node_side >= 4, "node side must fit 4 terminal offsets");
@@ -106,9 +110,13 @@ ButterflyLayoutPlan::ButterflyLayoutPlan(std::vector<int> k, ButterflyLayoutOpti
   col_type_base_ = build_type_base(br, col_mult_);
 
   // --- intra-block channel folding tables -------------------------------------
-  if (options_.fold_block_channels) build_fold_tables();
+  if (options_.fold_block_channels) {
+    BFLY_TRACE_SCOPE("layout.plan.fold_tables");
+    build_fold_tables();
+  }
 
   // --- intra-block channels --------------------------------------------------
+  BFLY_TRACE_SCOPE("layout.plan.assign_tracks");
   chan_width_.assign(static_cast<std::size_t>(n_), 0);
   exchange_track_.assign(static_cast<std::size_t>(n_), {});
   const i64 g_int = internal_group_count();
@@ -503,13 +511,21 @@ void ButterflyLayoutPlan::for_each_wire(const std::function<void(Wire&&)>& fn) c
 }
 
 Layout ButterflyLayoutPlan::materialize() const {
+  BFLY_TRACE_SCOPE("layout.materialize");
   Layout layout;
-  for_each_node([&](u64 id, Rect r) { layout.add_node(id, r); });
-  for_each_wire([&](Wire&& w) { layout.add_wire(std::move(w)); });
+  {
+    BFLY_TRACE_SCOPE("layout.place_nodes");
+    for_each_node([&](u64 id, Rect r) { layout.add_node(id, r); });
+  }
+  {
+    BFLY_TRACE_SCOPE("layout.route_wires");
+    for_each_wire([&](Wire&& w) { layout.add_wire(std::move(w)); });
+  }
   return layout;
 }
 
 LayoutMetrics ButterflyLayoutPlan::metrics() const {
+  BFLY_TRACE_SCOPE("layout.metrics");
   LayoutMetrics m;
   Rect box;
   for_each_node([&](u64, Rect r) { box = box.united(r); });
@@ -526,6 +542,9 @@ LayoutMetrics ButterflyLayoutPlan::metrics() const {
   m.area = m.width * m.height;
   m.volume = static_cast<i64>(m.num_layers) * m.area;
   m.num_nodes = sb_.num_nodes();
+  obs::set(obs::get_gauge("layout.area"), static_cast<double>(m.area));
+  obs::set(obs::get_gauge("layout.max_wire_length"), static_cast<double>(m.max_wire_length));
+  obs::set(obs::get_gauge("layout.num_wires"), static_cast<double>(m.num_wires));
   return m;
 }
 

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace bfly {
 
 u64 collinear_track_count(u64 n, u64 multiplicity) {
@@ -36,6 +39,7 @@ u64 CollinearLayout::track_index(u64 i, u64 j, u64 r) const {
 
 CollinearLayout collinear_complete_graph(u64 n, const CollinearOptions& options) {
   BFLY_REQUIRE(n >= 2, "collinear layout needs at least 2 nodes");
+  BFLY_TRACE_SCOPE("collinear.layout");
   const u64 mult = options.multiplicity;
   BFLY_REQUIRE(mult >= 1, "multiplicity must be positive");
 
@@ -47,8 +51,11 @@ CollinearLayout collinear_complete_graph(u64 n, const CollinearOptions& options)
   // Node squares: degree (n-1)*mult terminals on the top edge.
   const i64 side = static_cast<i64>((n - 1) * mult);
   result.node_side = side;
-  for (u64 i = 0; i < n; ++i) {
-    result.layout.add_node(i, Rect::square(static_cast<i64>(i) * side, 0, side));
+  {
+    BFLY_TRACE_SCOPE("collinear.place_nodes");
+    for (u64 i = 0; i < n; ++i) {
+      result.layout.add_node(i, Rect::square(static_cast<i64>(i) * side, 0, side));
+    }
   }
   const i64 node_top = side - 1;
 
@@ -77,6 +84,7 @@ CollinearLayout collinear_complete_graph(u64 n, const CollinearOptions& options)
 
   result.track_assignment.assign(n * n * mult, ~u64{0});
 
+  BFLY_TRACE_SCOPE("collinear.assign_tracks");
   for (u64 i = 0; i < n; ++i) {
     for (u64 j = i + 1; j < n; ++j) {
       const u64 d = j - i;
@@ -100,6 +108,9 @@ CollinearLayout collinear_complete_graph(u64 n, const CollinearOptions& options)
       }
     }
   }
+  obs::set(obs::get_gauge("collinear.num_tracks"), static_cast<double>(result.num_tracks));
+  obs::add(obs::get_counter("collinear.wires"),
+           static_cast<u64>(result.layout.wires().size()));
   return result;
 }
 

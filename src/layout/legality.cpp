@@ -5,6 +5,9 @@
 #include <sstream>
 #include <tuple>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace bfly {
 
 std::string LegalityReport::summary() const {
@@ -397,13 +400,19 @@ class SegmentIndex {
 }  // namespace
 
 LegalityReport check_thompson(const Layout& layout, std::size_t max_violations) {
+  BFLY_TRACE_SCOPE("legality.thompson");
   LegalityReport report;
   Reporter rep(&report, max_violations);
   check_nodes_disjoint(layout, rep);
   check_wire_terminals(layout, rep);
 
-  std::vector<CheckSeg> segs = extract_segments(layout);
+  std::vector<CheckSeg> segs;
+  {
+    BFLY_TRACE_SCOPE("legality.extract_segments");
+    segs = extract_segments(layout);
+  }
   report.segments_checked = segs.size();
+  obs::add(obs::get_counter("legality.segments_checked"), report.segments_checked);
   // Thompson: layers are implicit (H plane / V plane); normalize layer to 0.
   std::vector<CheckSeg> hs;
   std::vector<CheckSeg> vs;
@@ -412,11 +421,15 @@ LegalityReport check_thompson(const Layout& layout, std::size_t max_violations) 
     (s.orient == Orientation::kHorizontal ? hs : vs).push_back(s);
   }
   {
+    BFLY_TRACE_SCOPE("legality.collinear_overlaps");
     std::vector<CheckSeg> all = hs;
     all.insert(all.end(), vs.begin(), vs.end());
     check_collinear_overlaps(all, rep, "thompson");
   }
-  check_crossings(hs, vs, /*allow_proper=*/true, rep, "thompson");
+  {
+    BFLY_TRACE_SCOPE("legality.crossings");
+    check_crossings(hs, vs, /*allow_proper=*/true, rep, "thompson");
+  }
 
   // Node clearance for every segment: claims are vertical ranges per x; a
   // horizontal segment contributes its two endpoints plus is handled by
@@ -425,6 +438,7 @@ LegalityReport check_thompson(const Layout& layout, std::size_t max_violations) 
   // swapped by building a transposed layout view.  For simplicity and
   // exactness we emit claims for vertical segments directly and transpose
   // horizontal ones.
+  BFLY_TRACE_SCOPE("legality.node_clearance");
   std::vector<NodeClaim> v_claims;
   for (const CheckSeg& s : vs) v_claims.push_back({s.fixed, s.range, s.wire});
   check_node_clearance(layout, v_claims, rep, "thompson");
@@ -447,16 +461,23 @@ LegalityReport check_thompson(const Layout& layout, std::size_t max_violations) 
 }
 
 LegalityReport check_multilayer(const Layout& layout, std::size_t max_violations) {
+  BFLY_TRACE_SCOPE("legality.multilayer");
   LegalityReport report;
   Reporter rep(&report, max_violations);
   check_nodes_disjoint(layout, rep);
   check_wire_terminals(layout, rep);
 
-  std::vector<CheckSeg> segs = extract_segments(layout);
+  std::vector<CheckSeg> segs;
+  {
+    BFLY_TRACE_SCOPE("legality.extract_segments");
+    segs = extract_segments(layout);
+  }
   report.segments_checked = segs.size();
+  obs::add(obs::get_counter("legality.segments_checked"), report.segments_checked);
 
   // Same-layer collinear overlap.
   {
+    BFLY_TRACE_SCOPE("legality.collinear_overlaps");
     std::vector<CheckSeg> all = segs;
     check_collinear_overlaps(all, rep, "multilayer");
   }
@@ -471,53 +492,61 @@ LegalityReport check_multilayer(const Layout& layout, std::size_t max_violations
     auto& bucket = (s.orient == Orientation::kHorizontal ? h_by_layer : v_by_layer);
     bucket[static_cast<std::size_t>(s.layer)].push_back(s);
   }
-  for (int layer = 1; layer <= max_layer; ++layer) {
-    check_crossings(h_by_layer[static_cast<std::size_t>(layer)],
-                    v_by_layer[static_cast<std::size_t>(layer)],
-                    /*allow_proper=*/false, rep, "multilayer");
+  {
+    BFLY_TRACE_SCOPE("legality.crossings");
+    for (int layer = 1; layer <= max_layer; ++layer) {
+      check_crossings(h_by_layer[static_cast<std::size_t>(layer)],
+                      v_by_layer[static_cast<std::size_t>(layer)],
+                      /*allow_proper=*/false, rep, "multilayer");
+    }
   }
 
   // Vias: block their (x, y) column across [zlo, zhi].
   std::vector<Via> vias = extract_vias(layout);
   report.vias_checked = vias.size();
-  std::sort(vias.begin(), vias.end(), [](const Via& a, const Via& b) {
-    return std::tie(a.p.x, a.p.y, a.zlo) < std::tie(b.p.x, b.p.y, b.zlo);
-  });
-  for (std::size_t i = 0; i + 1 < vias.size(); ++i) {
-    const Via& a = vias[i];
-    const Via& b = vias[i + 1];
-    if (a.p == b.p && b.zlo <= a.zhi) {
-      if (a.wire == b.wire) continue;  // same wire stacking at its own bend
-      if (rep.full()) break;
-      rep.violation("multilayer: via collision between wires ", a.wire, " and ", b.wire, " at ",
-                    point_str(a.p));
-    }
-  }
-  // Via vs same-(x,y) segments on intermediate layers.
-  std::vector<SegmentIndex> h_index;
-  std::vector<SegmentIndex> v_index;
-  h_index.reserve(static_cast<std::size_t>(max_layer) + 1);
-  v_index.reserve(static_cast<std::size_t>(max_layer) + 1);
-  for (int layer = 0; layer <= max_layer; ++layer) {
-    h_index.emplace_back(h_by_layer[static_cast<std::size_t>(layer)]);
-    v_index.emplace_back(v_by_layer[static_cast<std::size_t>(layer)]);
-  }
-  for (const Via& via : vias) {
-    for (int z = via.zlo; z <= via.zhi && !rep.full(); ++z) {
-      const CheckSeg* h = h_index[static_cast<std::size_t>(z)].covering(via.p.y, via.p.x);
-      const CheckSeg* v = v_index[static_cast<std::size_t>(z)].covering(via.p.x, via.p.y);
-      for (const CheckSeg* s : {h, v}) {
-        if (s == nullptr) continue;
-        if (s->wire == via.wire) continue;  // a wire may thread its own via
-        rep.violation("multilayer: via of wire ", via.wire, " at ", point_str(via.p),
-                      " collides with wire ", s->wire, " on layer ", z);
+  obs::add(obs::get_counter("legality.vias_checked"), report.vias_checked);
+  {
+    BFLY_TRACE_SCOPE("legality.vias");
+    std::sort(vias.begin(), vias.end(), [](const Via& a, const Via& b) {
+      return std::tie(a.p.x, a.p.y, a.zlo) < std::tie(b.p.x, b.p.y, b.zlo);
+    });
+    for (std::size_t i = 0; i + 1 < vias.size(); ++i) {
+      const Via& a = vias[i];
+      const Via& b = vias[i + 1];
+      if (a.p == b.p && b.zlo <= a.zhi) {
+        if (a.wire == b.wire) continue;  // same wire stacking at its own bend
+        if (rep.full()) break;
+        rep.violation("multilayer: via collision between wires ", a.wire, " and ", b.wire,
+                      " at ", point_str(a.p));
       }
     }
-    if (rep.full()) break;
+    // Via vs same-(x,y) segments on intermediate layers.
+    std::vector<SegmentIndex> h_index;
+    std::vector<SegmentIndex> v_index;
+    h_index.reserve(static_cast<std::size_t>(max_layer) + 1);
+    v_index.reserve(static_cast<std::size_t>(max_layer) + 1);
+    for (int layer = 0; layer <= max_layer; ++layer) {
+      h_index.emplace_back(h_by_layer[static_cast<std::size_t>(layer)]);
+      v_index.emplace_back(v_by_layer[static_cast<std::size_t>(layer)]);
+    }
+    for (const Via& via : vias) {
+      for (int z = via.zlo; z <= via.zhi && !rep.full(); ++z) {
+        const CheckSeg* h = h_index[static_cast<std::size_t>(z)].covering(via.p.y, via.p.x);
+        const CheckSeg* v = v_index[static_cast<std::size_t>(z)].covering(via.p.x, via.p.y);
+        for (const CheckSeg* s : {h, v}) {
+          if (s == nullptr) continue;
+          if (s->wire == via.wire) continue;  // a wire may thread its own via
+          rep.violation("multilayer: via of wire ", via.wire, " at ", point_str(via.p),
+                        " collides with wire ", s->wire, " on layer ", z);
+        }
+      }
+      if (rep.full()) break;
+    }
   }
 
   // Node clearance on layer 1: vertical layer-1 segments, horizontal layer-1
   // segments (via the transposed sweep), and via feet (z range includes 1).
+  BFLY_TRACE_SCOPE("legality.node_clearance");
   std::vector<NodeClaim> v_claims;
   for (const CheckSeg& s : v_by_layer[1]) v_claims.push_back({s.fixed, s.range, s.wire});
   for (const Via& via : vias) {

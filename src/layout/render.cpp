@@ -5,6 +5,8 @@
 #include <sstream>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace bfly {
 
 namespace {
@@ -13,6 +15,7 @@ constexpr std::array<const char*, 8> kLayerColors = {
 }
 
 std::string render_svg(const Layout& layout, const RenderOptions& options) {
+  BFLY_TRACE_SCOPE("layout.render_svg");
   const Rect box = layout.bounding_box();
   const double s = options.scale;
   std::ostringstream svg;

@@ -4,9 +4,12 @@
 #include <queue>
 #include <tuple>
 
+#include "obs/trace.hpp"
+
 namespace bfly {
 
 TrackAssignment assign_tracks_left_edge(std::span<const Interval> intervals) {
+  BFLY_TRACE_SCOPE("layout.assign_tracks_left_edge");
   TrackAssignment result;
   result.track.assign(intervals.size(), 0);
   std::vector<std::size_t> order(intervals.size());

@@ -1,0 +1,86 @@
+// Minimal JSON document model for the observability subsystem.
+//
+// Run reports and Chrome trace files are JSON; round-trip tests parse what
+// the writers emit.  Rather than pull in a dependency the container may not
+// have, this is a small exact value type: objects preserve insertion order
+// (so report output is deterministic and diffable across runs), numbers are
+// doubles printed without a fractional part when integral (every counter we
+// export is < 2^53, where doubles are exact), and the parser accepts exactly
+// the JSON grammar (RFC 8259) with \uXXXX escapes decoded to UTF-8.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/bits.hpp"
+#include "util/check.hpp"
+
+namespace bfly::json {
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;  // null
+
+  static Value boolean(bool b);
+  static Value number(double d);
+  static Value number(u64 v) { return number(static_cast<double>(v)); }
+  static Value number(i64 v) { return number(static_cast<double>(v)); }
+  static Value number(int v) { return number(static_cast<double>(v)); }
+  static Value string(std::string s);
+  static Value array();
+  static Value object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+
+  bool as_bool() const;
+  double as_double() const;
+  u64 as_u64() const;
+  const std::string& as_string() const;
+
+  /// Array / object element count.
+  std::size_t size() const;
+
+  /// Array element access (array only).
+  const Value& at(std::size_t i) const;
+  void push_back(Value v);
+
+  /// Object member access.  `find` returns nullptr when absent; `at` throws.
+  const Value* find(std::string_view key) const;
+  const Value& at(std::string_view key) const;
+  bool contains(std::string_view key) const { return find(key) != nullptr; }
+  /// Inserts or overwrites; insertion order is preserved on output.
+  void set(std::string_view key, Value v);
+  const std::vector<std::pair<std::string, Value>>& members() const;
+
+  /// Serializes compactly on one line (indent < 0) or pretty-printed with the
+  /// given indent width.
+  std::string dump(int indent = -1) const;
+
+  /// Parses a complete JSON document; throws InvalidArgument with position
+  /// information on malformed input or trailing garbage.
+  static Value parse(std::string_view text);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Value> arr_;
+  std::vector<std::pair<std::string, Value>> obj_;
+
+  void dump_to(std::string* out, int indent, int depth) const;
+};
+
+/// Escapes a string body per JSON rules (no surrounding quotes).
+std::string escape(std::string_view s);
+
+}  // namespace bfly::json

@@ -1,0 +1,145 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+namespace bfly::obs {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  BFLY_REQUIRE(!bounds_.empty(), "histogram needs at least one bucket bound");
+  BFLY_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                   std::adjacent_find(bounds_.begin(), bounds_.end()) == bounds_.end(),
+               "histogram bounds must be strictly increasing");
+}
+
+void Histogram::observe(double v) {
+  buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+void Histogram::merge(std::span<const u64> counts, double sum) {
+  BFLY_REQUIRE(counts.size() == buckets_.size(),
+               "merge needs one count per bucket (including overflow)");
+  u64 total = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    buckets_[i].fetch_add(counts[i], std::memory_order_relaxed);
+    total += counts[i];
+  }
+  count_.fetch_add(total, std::memory_order_relaxed);
+  sum_.fetch_add(sum, std::memory_order_relaxed);
+}
+
+std::vector<u64> Histogram::bucket_counts() const {
+  std::vector<u64> out(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::vector<double> Histogram::linear_bounds(double start, double step, std::size_t count) {
+  BFLY_REQUIRE(count >= 1 && step > 0, "linear bounds need count >= 1 and step > 0");
+  std::vector<double> out(count);
+  for (std::size_t i = 0; i < count; ++i) out[i] = start + static_cast<double>(i) * step;
+  return out;
+}
+
+std::vector<double> Histogram::exponential_bounds(double start, double factor,
+                                                  std::size_t count) {
+  BFLY_REQUIRE(count >= 1 && start > 0 && factor > 1,
+               "exponential bounds need count >= 1, start > 0, factor > 1");
+  std::vector<double> out(count);
+  double v = start;
+  for (std::size_t i = 0; i < count; ++i, v *= factor) out[i] = v;
+  return out;
+}
+
+Counter* Registry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second.get();
+  return counters_.emplace(std::string(name), std::make_unique<Counter>())
+      .first->second.get();
+}
+
+Gauge* Registry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second.get();
+  return gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first->second.get();
+}
+
+Histogram* Registry::histogram(std::string_view name, std::vector<double> bounds) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second.get();
+  return histograms_
+      .emplace(std::string(name), std::make_unique<Histogram>(std::move(bounds)))
+      .first->second.get();
+}
+
+void Registry::record(TraceEvent ev) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(ev);
+}
+
+MetricsSnapshot Registry::metrics_snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters.emplace_back(name, c->value());
+  for (const auto& [name, g] : gauges_) snap.gauges.emplace_back(name, g->value());
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::Hist hist;
+    hist.name = name;
+    hist.bounds = h->bounds();
+    hist.counts = h->bucket_counts();
+    hist.count = h->count();
+    hist.sum = h->sum();
+    snap.histograms.push_back(std::move(hist));
+  }
+  return snap;
+}
+
+std::vector<TraceEvent> Registry::trace_events() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::vector<CompletedSpan> Registry::completed_spans() const {
+  const std::vector<TraceEvent> events = trace_events();
+  std::vector<CompletedSpan> out;
+  // Per-thread stacks of indices into `out`: a begin opens a span, the
+  // matching end (same thread, LIFO) closes it.
+  std::map<u64, std::vector<std::size_t>> stacks;
+  for (const TraceEvent& ev : events) {
+    std::vector<std::size_t>& stack = stacks[ev.tid];
+    if (ev.phase == 'B') {
+      CompletedSpan span;
+      span.name = ev.name;
+      span.tid = ev.tid;
+      span.ts_us = ev.ts_us;
+      span.dur_us = -1.0;  // still open
+      span.depth = static_cast<int>(stack.size());
+      stack.push_back(out.size());
+      out.push_back(std::move(span));
+    } else {
+      BFLY_CHECK(!stack.empty(), "trace end event without a matching begin");
+      CompletedSpan& span = out[stack.back()];
+      stack.pop_back();
+      span.dur_us = ev.ts_us - span.ts_us;
+    }
+  }
+  // Drop spans still open at snapshot time (e.g. the caller's own scope).
+  std::erase_if(out, [](const CompletedSpan& s) { return s.dur_us < 0; });
+  return out;
+}
+
+u64 current_thread_id() {
+  static std::atomic<u64> next{1};
+  thread_local const u64 id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace bfly::obs

@@ -1,0 +1,70 @@
+// Structured run reports: one machine-readable JSON document per run with a
+// stable schema, so BENCH_*.json trajectories are comparable across PRs.
+//
+// Schema (version 1) — every report object has exactly these top-level keys:
+//
+//   {
+//     "schema_version": 1,
+//     "name":         "<tool or bench name>",
+//     "run_id":       "<16 hex chars, unique per process run>",
+//     "git_describe": "<git describe --always --dirty at configure time>",
+//     "config":       { ... caller-provided run parameters ... },
+//     "metrics": {
+//       "counters":   { "<name>": <u64>, ... },
+//       "gauges":     { "<name>": <double>, ... },
+//       "histograms": { "<name>": { "bounds": [...], "counts": [...],
+//                                    "count": <u64>, "sum": <double> }, ... }
+//     },
+//     "spans":        [ { "name", "count", "total_us", "max_us" }, ... ],
+//     "artifact_stats": { ... caller-provided measured artifact facts ... }
+//   }
+//
+// Spans are aggregated per name (sorted by name) so a report stays one
+// comparable line even when a bench loop executes a phase 10^5 times; the
+// per-instance stream with nesting is the Chrome trace export (obs/trace.hpp).
+//
+// Histogram invariant: counts has bounds.size() + 1 entries (trailing
+// overflow bucket) and sums to count — consumers can reconstruct totals
+// without trusting a separate field.
+//
+// Writers: write_report_line() emits the compact single-line form (JSONL:
+// append one line per run to a log and every line is a complete document);
+// write_report_pretty() emits the same document indented for humans.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace bfly::obs {
+
+struct ReportOptions {
+  /// Tool/bench name, e.g. "bench_routing".
+  std::string name;
+  /// Run parameters (free-form object; keep it flat and stable).
+  json::Value config = json::Value::object();
+  /// Measured facts about constructed artifacts (areas, track counts, ...).
+  json::Value artifact_stats = json::Value::object();
+};
+
+/// The `git describe --always --dirty` of the source tree at configure time
+/// ("unknown" when the build was not configured inside a git checkout).
+const char* git_describe();
+
+/// 16 lowercase hex chars; unique across runs (time-seeded).
+std::string make_run_id();
+
+/// Assembles the schema-version-1 report document from a registry snapshot.
+json::Value build_run_report(const Registry& registry, const ReportOptions& options);
+
+/// Compact single-line JSON + newline: the machine interface (stdout).
+void write_report_line(std::ostream& os, const Registry& registry,
+                       const ReportOptions& options);
+
+/// Indented JSON + newline: the human-inspection form.
+void write_report_pretty(std::ostream& os, const Registry& registry,
+                         const ReportOptions& options);
+
+}  // namespace bfly::obs

@@ -1,0 +1,31 @@
+#include "obs/trace.hpp"
+
+#include <ostream>
+
+#include "obs/json.hpp"
+
+namespace bfly::obs {
+
+std::string chrome_trace_json(const Registry& registry) {
+  json::Value events = json::Value::array();
+  for (const TraceEvent& ev : registry.trace_events()) {
+    json::Value e = json::Value::object();
+    e.set("name", json::Value::string(ev.name));
+    e.set("cat", json::Value::string("bfly"));
+    e.set("ph", json::Value::string(std::string(1, ev.phase)));
+    e.set("ts", json::Value::number(ev.ts_us));
+    e.set("pid", json::Value::number(1));
+    e.set("tid", json::Value::number(ev.tid));
+    events.push_back(std::move(e));
+  }
+  json::Value doc = json::Value::object();
+  doc.set("traceEvents", std::move(events));
+  doc.set("displayTimeUnit", json::Value::string("ms"));
+  return doc.dump();
+}
+
+void write_chrome_trace(std::ostream& os, const Registry& registry) {
+  os << chrome_trace_json(registry) << '\n';
+}
+
+}  // namespace bfly::obs

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "layout/collinear.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace bfly {
 
@@ -66,6 +68,7 @@ i64 HierarchicalPlan::max_board_wire(int layers) const {
 
 HierarchicalPlan plan_hierarchical(int n, const ChipConstraints& constraints) {
   BFLY_REQUIRE(n >= 2, "hierarchical planning needs dimension >= 2");
+  BFLY_TRACE_SCOPE("packaging.plan_hierarchical");
   for (int k1 = n - 1; k1 >= 1; --k1) {
     const std::vector<int> k = split_with_nucleus(n, k1);
     const SwapButterfly sb(k);
@@ -108,6 +111,13 @@ HierarchicalPlan plan_hierarchical(int n, const ChipConstraints& constraints) {
                                     ? static_cast<u64>(ceil_div(static_cast<i64>(incident), 2))
                                     : incident;
     }
+    obs::set(obs::get_gauge("packaging.num_chips"), static_cast<double>(plan.num_chips));
+    obs::set(obs::get_gauge("packaging.offchip_links_per_chip"),
+             static_cast<double>(plan.offchip_links_per_chip));
+    obs::set(obs::get_gauge("packaging.tracks_per_channel"),
+             static_cast<double>(plan.logical_tracks_per_channel));
+    obs::set(obs::get_gauge("packaging.nodes_per_chip"),
+             static_cast<double>(plan.nodes_per_chip));
     return plan;
   }
   throw InvalidArgument("no row-block partition satisfies the pin budget");

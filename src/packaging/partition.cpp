@@ -1,6 +1,10 @@
 #include "packaging/partition.hpp"
 
 #include <algorithm>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace bfly {
 
@@ -104,6 +108,7 @@ u64 theorem21_max_nodes(int k1) { return pow2(k1) * static_cast<u64>(k1 + 1); }
 u64 theorem21_max_offlinks(int k1) { return pow2(k1 + 2); }
 
 std::vector<PackagingLevel> multilevel_packaging(const SwapButterfly& sb) {
+  BFLY_TRACE_SCOPE("packaging.multilevel");
   const Graph g = sb.graph();
   const int n = sb.dimension();
   std::vector<PackagingLevel> out;
@@ -119,6 +124,14 @@ std::vector<PackagingLevel> multilevel_packaging(const SwapButterfly& sb) {
                              pow2(sb.group_sizes()[static_cast<std::size_t>(i - 1)]));
     }
     level.predicted_avg = 4.0 * sum / (n + 1);
+    // The paper's Section 5 per-level numbers, exported as gauges.
+    const std::string prefix = "packaging.level" + std::to_string(j);
+    obs::set(obs::get_gauge(prefix + ".offmodule_links"),
+             static_cast<double>(level.stats.max_offmodule_links_per_module));
+    obs::set(obs::get_gauge(prefix + ".avg_offmodule_links_per_node"),
+             level.stats.avg_offmodule_links_per_node);
+    obs::set(obs::get_gauge(prefix + ".num_modules"),
+             static_cast<double>(level.stats.num_modules));
     out.push_back(std::move(level));
   }
   return out;

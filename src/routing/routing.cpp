@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <deque>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/parallel.hpp"
 #include "util/prng.hpp"
 
@@ -31,35 +33,56 @@ i64 butterfly_distance(int n, u64 r1, int s1, u64 r2, int s2) {
 }
 
 LoadCensus measure_link_loads(int n, u64 packets, u64 seed, std::size_t threads) {
+  BFLY_TRACE_SCOPE("routing.measure_link_loads");
   const Butterfly bf(n);
   const u64 rows = bf.rows();
   const u64 links = static_cast<u64>(n) * rows * 2;
   if (threads == 0) threads = default_thread_count();
+  obs::Counter* packet_counter = obs::get_counter("routing.census.packets");
+
+  // Packets are generated in fixed-size chunks, each with its own generator
+  // seeded by (seed, chunk index); threads claim contiguous chunk ranges.
+  // The per-link load sums are therefore identical no matter how many
+  // threads execute the chunks.
+  constexpr u64 kChunkPackets = u64{1} << 16;
+  const u64 num_chunks = (packets + kChunkPackets - 1) / kChunkPackets;
+  threads = std::min<std::size_t>(threads, std::max<u64>(num_chunks, 1));
 
   std::vector<std::vector<u64>> partial(threads, std::vector<u64>(links, 0));
-  parallel_for_chunked(0, packets, threads,
-                       [&](std::size_t lo, std::size_t hi, std::size_t tid) {
-                         Xoshiro256 rng(seed ^ (0x9e3779b97f4a7c15ULL * (tid + 1)));
-                         std::vector<u64>& loads = partial[tid];
-                         for (std::size_t p = lo; p < hi; ++p) {
-                           u64 row = rng.below(rows);
-                           const u64 dst = rng.below(rows);
-                           for (int s = 0; s < n; ++s) {
-                             const bool cross = ((row ^ dst) >> s) & 1;
-                             ++loads[link_index(bf, row, s, cross)];
-                             if (cross) row ^= pow2(s);
-                           }
-                         }
-                       });
+  parallel_for_chunked(
+      0, num_chunks, threads, [&](std::size_t lo, std::size_t hi, std::size_t tid) {
+        BFLY_TRACE_SCOPE("routing.census.worker");
+        std::vector<u64>& loads = partial[tid];
+        u64 routed = 0;
+        for (std::size_t chunk = lo; chunk < hi; ++chunk) {
+          Xoshiro256 rng(seed ^ (0x9e3779b97f4a7c15ULL * (chunk + 1)));
+          const u64 begin = static_cast<u64>(chunk) * kChunkPackets;
+          const u64 end = std::min(packets, begin + kChunkPackets);
+          for (u64 p = begin; p < end; ++p) {
+            u64 row = rng.below(rows);
+            const u64 dst = rng.below(rows);
+            for (int s = 0; s < n; ++s) {
+              const bool cross = ((row ^ dst) >> s) & 1;
+              ++loads[link_index(bf, row, s, cross)];
+              if (cross) row ^= pow2(s);
+            }
+          }
+          routed += end - begin;
+        }
+        obs::add(packet_counter, routed);
+      });
 
   LoadCensus census;
   census.packets = packets;
   u64 total = 0;
-  for (u64 i = 0; i < links; ++i) {
-    u64 load = 0;
-    for (std::size_t t = 0; t < threads; ++t) load += partial[t][i];
-    census.max_link_load = std::max(census.max_link_load, load);
-    total += load;
+  {
+    BFLY_TRACE_SCOPE("routing.census.merge");
+    for (u64 i = 0; i < links; ++i) {
+      u64 load = 0;
+      for (std::size_t t = 0; t < threads; ++t) load += partial[t][i];
+      census.max_link_load = std::max(census.max_link_load, load);
+      total += load;
+    }
   }
   census.avg_link_load = static_cast<double>(total) / static_cast<double>(links);
   census.imbalance = census.avg_link_load > 0
@@ -67,6 +90,10 @@ LoadCensus measure_link_loads(int n, u64 packets, u64 seed, std::size_t threads)
                          : 0.0;
   census.avg_distance =
       packets > 0 ? static_cast<double>(total) / static_cast<double>(packets) : 0.0;
+  obs::set(obs::get_gauge("routing.census.max_link_load"),
+           static_cast<double>(census.max_link_load));
+  obs::set(obs::get_gauge("routing.census.avg_link_load"), census.avg_link_load);
+  obs::set(obs::get_gauge("routing.census.imbalance"), census.imbalance);
   return census;
 }
 
@@ -114,8 +141,21 @@ u64 bit_reversal_congestion(int n) {
 SaturationPoint simulate_saturation(int n, double offered_load, u64 cycles, u64 seed,
                                     u64 warmup_cycles) {
   BFLY_REQUIRE(offered_load >= 0.0 && offered_load <= 1.0, "offered load is a probability");
+  BFLY_TRACE_SCOPE("routing.simulate_saturation");
   const Butterfly bf(n);
   const u64 rows = bf.rows();
+
+  // Hoisted metric handles: one registry lookup per call.  The simulator is
+  // single-threaded, so per-delivery latency observations go through a
+  // LocalHistogram buffer (plain array increments, merged once at the end)
+  // rather than atomic observes — the per-packet tax must stay invisible
+  // next to the rows * n queue operations each cycle performs.
+  obs::Counter* injected_ctr = obs::get_counter("routing.injected");
+  obs::Counter* delivered_ctr = obs::get_counter("routing.delivered");
+  obs::LocalHistogram latency_hist(obs::get_histogram(
+      "routing.latency_cycles", obs::Histogram::exponential_bounds(1, 2, 16)));
+  obs::LocalHistogram depth_hist(obs::get_histogram(
+      "routing.queue_depth", obs::Histogram::exponential_bounds(1, 2, 24)));
 
   struct Packet {
     u64 dst;
@@ -128,6 +168,7 @@ SaturationPoint simulate_saturation(int n, double offered_load, u64 cycles, u64 
   SaturationPoint result;
   result.offered_load = offered_load;
   u64 measured_injections = 0;
+  u64 in_flight = 0;
   double total_latency = 0.0;
 
   const auto enqueue = [&](u64 row, int stage, const Packet& pkt) {
@@ -147,9 +188,12 @@ SaturationPoint simulate_saturation(int n, double offered_load, u64 cycles, u64 
           q.pop_front();
           const u64 next_row = c == 1 ? (row ^ pow2(s)) : row;
           if (s + 1 == n) {
+            --in_flight;
             if (cycle >= warmup_cycles) {
               ++result.delivered;
-              total_latency += static_cast<double>(cycle + 1 - pkt.injected_at);
+              const double latency = static_cast<double>(cycle + 1 - pkt.injected_at);
+              total_latency += latency;
+              latency_hist.observe(latency);
             }
           } else {
             enqueue(next_row, s + 1, pkt);
@@ -158,13 +202,19 @@ SaturationPoint simulate_saturation(int n, double offered_load, u64 cycles, u64 
       }
     }
     // Inject.
+    u64 cycle_injections = 0;
     for (u64 row = 0; row < rows; ++row) {
       if (rng.uniform() < offered_load) {
         enqueue(row, 0, Packet{rng.below(rows), cycle});
+        ++cycle_injections;
         if (cycle >= warmup_cycles) ++measured_injections;
       }
     }
+    in_flight += cycle_injections;
+    depth_hist.observe(static_cast<double>(in_flight));
   }
+  latency_hist.flush();
+  depth_hist.flush();
 
   for (const auto& q : queues) {
     result.max_queue = std::max(result.max_queue, static_cast<u64>(q.size()));
@@ -175,7 +225,10 @@ SaturationPoint simulate_saturation(int n, double offered_load, u64 cycles, u64 
   result.per_node_injection = result.throughput / static_cast<double>(n + 1);
   result.avg_latency =
       result.delivered > 0 ? total_latency / static_cast<double>(result.delivered) : 0.0;
-  (void)measured_injections;
+  obs::add(injected_ctr, measured_injections);
+  obs::add(delivered_ctr, result.delivered);
+  obs::set(obs::get_gauge("routing.max_queue"), static_cast<double>(result.max_queue));
+  obs::set(obs::get_gauge("routing.throughput"), result.throughput);
   return result;
 }
 

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "topology/butterfly.hpp"
@@ -39,8 +40,9 @@ struct LoadCensus {
 
 /// Routes `packets` uniform random (source row, destination row) pairs
 /// through the stage-0 -> stage-n DAG (bit-fixing: cross at stage s iff bit s
-/// differs) and censuses per-link loads.  Deterministic for a fixed seed and
-/// thread count.
+/// differs) and censuses per-link loads.  Packet streams are seeded per
+/// fixed-size work chunk (not per thread), so the result is bitwise
+/// deterministic for a fixed seed regardless of the thread count.
 LoadCensus measure_link_loads(int n, u64 packets, u64 seed,
                               std::size_t threads = 0 /* 0 = default */);
 

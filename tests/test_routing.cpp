@@ -100,15 +100,20 @@ TEST(LoadCensus, AverageLoadMatchesFlowConservation) {
   EXPECT_DOUBLE_EQ(c.avg_link_load, static_cast<double>(packets) / (2.0 * pow2(n)));
 }
 
-TEST(LoadCensus, ThreadCountDoesNotChangeTotals) {
-  const LoadCensus one = measure_link_loads(5, 50000, 3, 1);
-  const LoadCensus four = measure_link_loads(5, 50000, 3, 4);
-  // Different thread seeds give different streams, but aggregate statistics
-  // must agree closely.
-  EXPECT_DOUBLE_EQ(one.avg_link_load, four.avg_link_load);
-  EXPECT_NEAR(static_cast<double>(one.max_link_load),
-              static_cast<double>(four.max_link_load),
-              0.2 * static_cast<double>(one.max_link_load));
+TEST(LoadCensus, DeterministicAcrossThreadCounts) {
+  // Packet streams are seeded per fixed-size chunk, not per thread, so for a
+  // fixed seed the census is bitwise identical however the chunks are split
+  // across workers.  300k packets spans multiple 2^16-packet chunks, so the
+  // multithreaded runs genuinely split the work.
+  const u64 packets = 300000;
+  const LoadCensus one = measure_link_loads(6, packets, 3, 1);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{0}}) {
+    const LoadCensus other = measure_link_loads(6, packets, 3, threads);
+    EXPECT_EQ(one.max_link_load, other.max_link_load) << threads;
+    EXPECT_DOUBLE_EQ(one.avg_link_load, other.avg_link_load) << threads;
+    EXPECT_DOUBLE_EQ(one.imbalance, other.imbalance) << threads;
+    EXPECT_DOUBLE_EQ(one.avg_distance, other.avg_distance) << threads;
+  }
 }
 
 TEST(Saturation, LowLoadDeliversEverything) {

@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "util/bits.hpp"
@@ -156,6 +158,52 @@ TEST(Parallel, PropagatesExceptions) {
                              if (lo == 0) throw std::runtime_error("worker failure");
                            }),
       std::runtime_error);
+}
+
+TEST(Parallel, SoleThrowerWinsVerbatim) {
+  // Only worker 2 throws; its exact exception must come back.
+  try {
+    parallel_for_chunked(0, 400, 4, [](std::size_t, std::size_t, std::size_t tid) {
+      if (tid == 2) throw std::runtime_error("tid-2 failure");
+    });
+    FAIL() << "expected a rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "tid-2 failure");
+  }
+}
+
+TEST(Parallel, FirstExceptionWinsWhenAllThrow) {
+  // Every worker throws a distinct exception.  Exactly one propagates (the
+  // first to be captured); the rest are swallowed, never terminate().
+  for (int round = 0; round < 8; ++round) {
+    try {
+      parallel_for_chunked(0, 400, 4, [](std::size_t, std::size_t, std::size_t tid) {
+        throw std::runtime_error("worker " + std::to_string(tid));
+      });
+      FAIL() << "expected a rethrow";
+    } catch (const std::runtime_error& e) {
+      const std::string what = e.what();
+      ASSERT_TRUE(what.rfind("worker ", 0) == 0) << what;
+      const int tid = std::stoi(what.substr(7));
+      EXPECT_GE(tid, 0);
+      EXPECT_LT(tid, 4);
+    }
+  }
+}
+
+TEST(Parallel, ExceptionDoesNotLoseNonThrowingWork) {
+  // Side effects of workers that completed before/alongside the thrower are
+  // still visible after the rethrow — failure is loud, not corrupting.
+  std::vector<std::atomic<int>> seen(400);
+  try {
+    parallel_for_chunked(0, 400, 4, [&](std::size_t lo, std::size_t hi, std::size_t tid) {
+      for (std::size_t i = lo; i < hi; ++i) seen[i]++;
+      if (tid == 1) throw std::runtime_error("late failure");
+    });
+    FAIL() << "expected a rethrow";
+  } catch (const std::runtime_error&) {
+  }
+  for (std::size_t i = 0; i < seen.size(); ++i) EXPECT_EQ(seen[i].load(), 1) << i;
 }
 
 TEST(Parallel, ElementwiseCoversAllIndices) {
