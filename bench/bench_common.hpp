@@ -47,6 +47,25 @@ class BenchSession {
     options_.artifact_stats.set(key, json::Value::number(number));
   }
 
+  /// Exports interpolated percentiles of a named registry histogram into
+  /// artifact_stats as `"<key>": {"p50": ..., "p95": ..., "p99": ...}` so
+  /// the values participate in baseline diffs as plain numeric leaves.  Call
+  /// after the workload has populated the histogram; throws InvalidArgument
+  /// when no histogram with that name was recorded.
+  void artifact_percentiles(const std::string& key, const std::string& histogram) {
+    const obs::MetricsSnapshot snap = registry_.metrics_snapshot();
+    for (const obs::MetricsSnapshot::Hist& h : snap.histograms) {
+      if (h.name != histogram) continue;
+      json::Value percentiles = json::Value::object();
+      percentiles.set("p50", json::Value::number(h.percentile(0.50)));
+      percentiles.set("p95", json::Value::number(h.percentile(0.95)));
+      percentiles.set("p99", json::Value::number(h.percentile(0.99)));
+      artifact(key, std::move(percentiles));
+      return;
+    }
+    throw InvalidArgument("no histogram named '" + histogram + "' in this run");
+  }
+
   /// google-benchmark with its console output redirected to stderr so the
   /// stdout JSON report stays clean.
   void run_benchmarks(int argc, char** argv) {

@@ -128,6 +128,7 @@ int main(int argc, char** argv) {
   print_load_balance();
   print_congestion_table();
   session.artifact("obs_overhead_percent", print_obs_overhead());
+  session.artifact_percentiles("routing.latency_cycles", "routing.latency_cycles");
   session.run_benchmarks(argc, argv);
   session.emit_report();
   return 0;

@@ -4,7 +4,8 @@
 //      verify the isomorphism.
 //   2. Produce an optimal Thompson-model layout (Sec. 3), machine-check its
 //      legality, and measure area / max wire length against the paper's
-//      closed forms.
+//      closed forms — plus a congestion heatmap SVG coloring every wire by
+//      its measured link load under uniform random routing.
 //   3. Partition the network for packaging (Sec. 2.3) and count off-module
 //      links.
 //   4. Record the whole run with bfly::obs — every step above lands in the
@@ -13,6 +14,7 @@
 //      https://ui.perfetto.dev to see the phase spans).
 //
 // Run:  ./quickstart [n]    (default n = 6)
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -86,6 +88,38 @@ int main(int argc, char** argv) {
     std::ofstream svg("butterfly_layout.svg");
     svg << render_svg(layout, {n <= 6 ? 4.0 : 1.0, true});
     std::printf("  wrote butterfly_layout.svg\n");
+
+    // Congestion heatmap: census the per-link loads of B_n under uniform
+    // random routing, map each layout wire (swap-butterfly link) onto its
+    // butterfly link through rho, and color it by load / max load.
+    const LoadCensus census = measure_link_loads(n, 500'000, 99, 0, /*keep_link_loads=*/true);
+    const Butterfly bf(n);
+    const SwapButterfly& net = plan.network();
+    const u64 rows = net.rows();
+    // Min-max normalize: uniform random routing balances loads within a few
+    // percent of each other, so dividing by the max alone would paint every
+    // wire the same color.
+    const u64 min_load = *std::min_element(census.link_loads.begin(), census.link_loads.end());
+    const u64 spread = census.max_link_load - min_load;
+    std::vector<double> heat(layout.wires().size(), 0.0);
+    for (std::size_t wi = 0; wi < layout.wires().size(); ++wi) {
+      const Wire& wire = layout.wires()[wi];
+      if (!wire.from_node || !wire.to_node) continue;
+      const int s = static_cast<int>(*wire.from_node / rows);
+      const u64 r1 = net.rho(s, *wire.from_node % rows);
+      const u64 r2 = net.rho(s + 1, *wire.to_node % rows);
+      const u64 load = census.link_loads[link_index(bf, r1, s, r1 != r2)];
+      heat[wi] = spread > 0 ? static_cast<double>(load - min_load) / static_cast<double>(spread)
+                            : 0.0;
+    }
+    RenderOptions heat_options;
+    heat_options.scale = n <= 6 ? 4.0 : 1.0;
+    heat_options.wire_heat = &heat;
+    std::ofstream heat_svg("butterfly_heatmap.svg");
+    heat_svg << render_svg(layout, heat_options);
+    std::printf("  wrote butterfly_heatmap.svg (wires colored by measured link load,\n");
+    std::printf("        %llu packets; max/avg imbalance %.3f)\n",
+                static_cast<unsigned long long>(census.packets), census.imbalance);
   }
 
   // --- 3. Packaging ---------------------------------------------------------

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cstdio>
 #include <sstream>
 #include <vector>
 
@@ -12,6 +13,30 @@ namespace bfly {
 namespace {
 constexpr std::array<const char*, 8> kLayerColors = {
     "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#17becf", "#e377c2"};
+}
+
+std::string heat_color(double t) {
+  t = std::clamp(t, 0.0, 1.0);
+  // Two linear segments through (0.25, 0.45, 0.85) blue, (0.95, 0.85, 0.25)
+  // yellow, (0.85, 0.15, 0.10) red.
+  double r = 0.0;
+  double g = 0.0;
+  double b = 0.0;
+  if (t < 0.5) {
+    const double u = t * 2.0;
+    r = 0.25 + (0.95 - 0.25) * u;
+    g = 0.45 + (0.85 - 0.45) * u;
+    b = 0.85 + (0.25 - 0.85) * u;
+  } else {
+    const double u = (t - 0.5) * 2.0;
+    r = 0.95 + (0.85 - 0.95) * u;
+    g = 0.85 + (0.15 - 0.85) * u;
+    b = 0.25 + (0.10 - 0.25) * u;
+  }
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "#%02x%02x%02x", static_cast<unsigned>(r * 255.0 + 0.5),
+                static_cast<unsigned>(g * 255.0 + 0.5), static_cast<unsigned>(b * 255.0 + 0.5));
+  return buf;
 }
 
 std::string render_svg(const Layout& layout, const RenderOptions& options) {
@@ -34,15 +59,25 @@ std::string render_svg(const Layout& layout, const RenderOptions& options) {
         << static_cast<double>(n.rect.height()) * s
         << "\" fill=\"#dddddd\" stroke=\"#333333\" stroke-width=\"1\"/>\n";
   }
-  for (const Wire& wire : layout.wires()) {
+  const std::vector<Wire>& wires = layout.wires();
+  for (std::size_t wi = 0; wi < wires.size(); ++wi) {
+    const Wire& wire = wires[wi];
+    std::string heat;
+    double width = 1.0;
+    if (options.wire_heat != nullptr && wi < options.wire_heat->size()) {
+      const double t = (*options.wire_heat)[wi];
+      heat = heat_color(t);
+      width = 1.0 + 1.5 * std::clamp(t, 0.0, 1.0);
+    }
     for (std::size_t i = 0; i + 1 < wire.points.size(); ++i) {
       const char* color =
-          options.color_by_layer
+          !heat.empty() ? heat.c_str()
+          : options.color_by_layer
               ? kLayerColors[static_cast<std::size_t>(wire.layers[i]) % kLayerColors.size()]
               : "#1f77b4";
       svg << "<line x1=\"" << tx(wire.points[i].x) << "\" y1=\"" << ty(wire.points[i].y)
           << "\" x2=\"" << tx(wire.points[i + 1].x) << "\" y2=\"" << ty(wire.points[i + 1].y)
-          << "\" stroke=\"" << color << "\" stroke-width=\"1\"/>\n";
+          << "\" stroke=\"" << color << "\" stroke-width=\"" << width << "\"/>\n";
     }
   }
   svg << "</svg>\n";

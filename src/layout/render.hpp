@@ -5,6 +5,7 @@
 
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "layout/layout.hpp"
 
@@ -15,7 +16,16 @@ struct RenderOptions {
   double scale = 4.0;
   /// Color wires by layer (otherwise all wires are drawn alike).
   bool color_by_layer = true;
+  /// Optional congestion overlay: one heat value in [0, 1] per wire,
+  /// index-aligned with layout.wires().  When set it overrides the layer
+  /// coloring — each wire is drawn on a blue → yellow → red ramp (heat_color)
+  /// with its stroke width scaled by heat, so hot links read at a glance.
+  const std::vector<double>* wire_heat = nullptr;
 };
+
+/// The heatmap color ramp: 0 → cool blue, 0.5 → yellow, 1 → red, as an SVG
+/// "#rrggbb" string.  Values outside [0, 1] are clamped.
+std::string heat_color(double t);
 
 /// Renders the layout as a standalone SVG document.
 std::string render_svg(const Layout& layout, const RenderOptions& options = {});

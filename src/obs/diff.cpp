@@ -1,0 +1,406 @@
+#include "obs/diff.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <unordered_map>
+
+#include "obs/metrics.hpp"
+
+namespace bfly::obs {
+
+namespace {
+
+[[noreturn]] void bad_report(const std::string& what) {
+  throw InvalidArgument("run report: " + what);
+}
+
+const json::Value& require_key(const json::Value& obj, std::string_view key,
+                               json::Value::Type type, const char* context) {
+  const json::Value* v = obj.find(key);
+  if (v == nullptr) bad_report(std::string(context) + " is missing key '" + std::string(key) + "'");
+  if (v->type() != type) {
+    bad_report(std::string(context) + " key '" + std::string(key) + "' has the wrong type");
+  }
+  return *v;
+}
+
+/// Percentile label: 0.5 -> "p50", 0.999 -> "p99.9".
+std::string percentile_label(double q) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%g", q * 100.0);
+  return std::string("p") + buf;
+}
+
+/// The flattened numeric surface of a report, in section order.
+struct FlatReport {
+  std::vector<std::pair<std::string, double>> entries;
+  std::unordered_map<std::string, double> index;
+
+  void add(std::string key, double value) {
+    index.emplace(key, value);
+    entries.emplace_back(std::move(key), value);
+  }
+};
+
+void flatten_artifact(const std::string& prefix, const json::Value& v, FlatReport* out) {
+  switch (v.type()) {
+    case json::Value::Type::kNumber: out->add(prefix, v.as_double()); return;
+    case json::Value::Type::kObject:
+      for (const auto& [key, member] : v.members()) {
+        flatten_artifact(prefix + "." + key, member, out);
+      }
+      return;
+    case json::Value::Type::kArray:
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        flatten_artifact(prefix + "." + std::to_string(i), v.at(i), out);
+      }
+      return;
+    default: return;  // strings / bools / nulls are not comparable metrics
+  }
+}
+
+FlatReport flatten(const RunReport& report, const DiffOptions& options) {
+  FlatReport flat;
+  const json::Value& metrics = report.doc.at("metrics");
+
+  for (const auto& [name, v] : metrics.at("counters").members()) {
+    flat.add("counters." + name, v.as_double());
+  }
+  for (const auto& [name, v] : metrics.at("gauges").members()) {
+    flat.add("gauges." + name, v.as_double());
+  }
+  for (const auto& [name, h] : metrics.at("histograms").members()) {
+    const std::string prefix = "histograms." + name;
+    flat.add(prefix + ".count", h.at("count").as_double());
+    const json::Value& bounds_json = h.at("bounds");
+    const json::Value& counts_json = h.at("counts");
+    std::vector<double> bounds(bounds_json.size());
+    std::vector<u64> counts(counts_json.size());
+    for (std::size_t i = 0; i < bounds.size(); ++i) bounds[i] = bounds_json.at(i).as_double();
+    for (std::size_t i = 0; i < counts.size(); ++i) counts[i] = counts_json.at(i).as_u64();
+    for (const double q : options.percentiles) {
+      flat.add(prefix + "." + percentile_label(q), estimate_percentile(bounds, counts, q));
+    }
+  }
+  const json::Value& spans = report.doc.at("spans");
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const json::Value& span = spans.at(i);
+    const std::string prefix = "spans." + span.at("name").as_string();
+    flat.add(prefix + ".count", span.at("count").as_double());
+    flat.add(prefix + ".total_us", span.at("total_us").as_double());
+    flat.add(prefix + ".max_us", span.at("max_us").as_double());
+  }
+  flatten_artifact("artifact_stats", report.doc.at("artifact_stats"), &flat);
+  return flat;
+}
+
+}  // namespace
+
+RunReport RunReport::parse(std::string_view text) {
+  RunReport report;
+  report.doc = json::Value::parse(text);
+  if (!report.doc.is_object()) bad_report("document is not an object");
+
+  const json::Value& version =
+      require_key(report.doc, "schema_version", json::Value::Type::kNumber, "document");
+  if (version.as_double() != 1) {
+    bad_report("unsupported schema_version " + version.dump() + " (expected 1)");
+  }
+  report.name =
+      require_key(report.doc, "name", json::Value::Type::kString, "document").as_string();
+  report.run_id =
+      require_key(report.doc, "run_id", json::Value::Type::kString, "document").as_string();
+  report.git_describe =
+      require_key(report.doc, "git_describe", json::Value::Type::kString, "document").as_string();
+  require_key(report.doc, "config", json::Value::Type::kObject, "document");
+  require_key(report.doc, "artifact_stats", json::Value::Type::kObject, "document");
+
+  const json::Value& metrics =
+      require_key(report.doc, "metrics", json::Value::Type::kObject, "document");
+  require_key(metrics, "counters", json::Value::Type::kObject, "metrics");
+  require_key(metrics, "gauges", json::Value::Type::kObject, "metrics");
+  const json::Value& histograms =
+      require_key(metrics, "histograms", json::Value::Type::kObject, "metrics");
+  for (const auto& [name, h] : histograms.members()) {
+    const char* ctx = "histogram";
+    if (!h.is_object()) bad_report("histogram '" + name + "' is not an object");
+    const json::Value& bounds = require_key(h, "bounds", json::Value::Type::kArray, ctx);
+    const json::Value& counts = require_key(h, "counts", json::Value::Type::kArray, ctx);
+    const json::Value& count = require_key(h, "count", json::Value::Type::kNumber, ctx);
+    require_key(h, "sum", json::Value::Type::kNumber, ctx);
+    if (counts.size() != bounds.size() + 1) {
+      bad_report("histogram '" + name + "' needs bounds.size() + 1 bucket counts");
+    }
+    u64 total = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) total += counts.at(i).as_u64();
+    if (total != count.as_u64()) {
+      bad_report("histogram '" + name + "' bucket counts do not sum to its count");
+    }
+  }
+
+  const json::Value& spans =
+      require_key(report.doc, "spans", json::Value::Type::kArray, "document");
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const json::Value& span = spans.at(i);
+    if (!span.is_object()) bad_report("span rows must be objects");
+    require_key(span, "name", json::Value::Type::kString, "span");
+    require_key(span, "count", json::Value::Type::kNumber, "span");
+    require_key(span, "total_us", json::Value::Type::kNumber, "span");
+    require_key(span, "max_us", json::Value::Type::kNumber, "span");
+  }
+  return report;
+}
+
+RunReport RunReport::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw InvalidArgument("run report: cannot open '" + path + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  try {
+    return parse(text.str());
+  } catch (const InvalidArgument& e) {
+    throw InvalidArgument(std::string(e.what()) + " (in '" + path + "')");
+  }
+}
+
+ReportDiff diff_reports(const RunReport& a, const RunReport& b, const DiffOptions& options) {
+  if (a.name != b.name) {
+    throw InvalidArgument("diff: reports name different runs ('" + a.name + "' vs '" + b.name +
+                          "')");
+  }
+  if (options.require_matching_config &&
+      a.doc.at("config").dump() != b.doc.at("config").dump()) {
+    throw InvalidArgument("diff: run configs differ for '" + a.name +
+                          "': " + a.doc.at("config").dump() + " vs " + b.doc.at("config").dump());
+  }
+
+  ReportDiff diff;
+  diff.name = a.name;
+  diff.run_a = a.run_id;
+  diff.run_b = b.run_id;
+  diff.git_a = a.git_describe;
+  diff.git_b = b.git_describe;
+
+  const FlatReport fa = flatten(a, options);
+  const FlatReport fb = flatten(b, options);
+  for (const auto& [key, before] : fa.entries) {
+    const auto it = fb.index.find(key);
+    if (it == fb.index.end()) {
+      diff.only_in_a.push_back(key);
+      continue;
+    }
+    MetricDelta d;
+    d.key = key;
+    d.before = before;
+    d.after = it->second;
+    d.abs_delta = d.after - d.before;
+    if (d.before != 0.0) {
+      d.rel_delta = d.abs_delta / std::abs(d.before);
+    } else if (d.abs_delta != 0.0) {
+      d.rel_delta = std::copysign(std::numeric_limits<double>::infinity(), d.abs_delta);
+    }
+    diff.deltas.push_back(std::move(d));
+  }
+  for (const auto& [key, value] : fb.entries) {
+    (void)value;
+    if (!fa.index.contains(key)) diff.only_in_b.push_back(key);
+  }
+  return diff;
+}
+
+double metric_value(const RunReport& report, const std::string& key,
+                    const DiffOptions& options) {
+  const FlatReport flat = flatten(report, options);
+  const auto it = flat.index.find(key);
+  if (it == flat.index.end()) {
+    throw InvalidArgument("report '" + report.name + "' has no metric '" + key + "'");
+  }
+  return it->second;
+}
+
+// --- thresholds --------------------------------------------------------------
+
+bool glob_match(std::string_view pattern, std::string_view key) {
+  std::size_t p = 0;
+  std::size_t k = 0;
+  std::size_t star = std::string_view::npos;
+  std::size_t mark = 0;
+  while (k < key.size()) {
+    if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      mark = k;
+    } else if (p < pattern.size() && pattern[p] == key[k]) {
+      ++p;
+      ++k;
+    } else if (star != std::string_view::npos) {
+      p = star + 1;
+      k = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+namespace {
+
+ThresholdRule parse_rule(const json::Value& v, const ThresholdRule& defaults) {
+  BFLY_REQUIRE(v.is_object(), "thresholds: rule must be an object");
+  ThresholdRule rule = defaults;
+  for (const auto& [key, value] : v.members()) {
+    if (key == "match") {
+      rule.match = value.as_string();
+    } else if (key == "warn_rel") {
+      rule.warn_rel = value.as_double();
+    } else if (key == "fail_rel") {
+      rule.fail_rel = value.as_double();
+    } else if (key == "abs_tol") {
+      rule.abs_tol = value.as_double();
+    } else if (key == "ignore") {
+      rule.ignore = value.as_bool();
+    } else {
+      throw InvalidArgument("thresholds: unknown rule key '" + key + "'");
+    }
+  }
+  BFLY_REQUIRE(rule.fail_rel >= rule.warn_rel,
+               "thresholds: fail_rel must be >= warn_rel for '" + rule.match + "'");
+  return rule;
+}
+
+}  // namespace
+
+Thresholds Thresholds::parse(const json::Value& doc) {
+  BFLY_REQUIRE(doc.is_object(), "thresholds: document must be an object");
+  Thresholds t;
+  if (const json::Value* fallback = doc.find("default")) {
+    t.fallback = parse_rule(*fallback, ThresholdRule{});
+  }
+  if (const json::Value* rules = doc.find("rules")) {
+    BFLY_REQUIRE(rules->is_array(), "thresholds: 'rules' must be an array");
+    for (std::size_t i = 0; i < rules->size(); ++i) {
+      t.rules.push_back(parse_rule(rules->at(i), ThresholdRule{}));
+    }
+  }
+  return t;
+}
+
+Thresholds Thresholds::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw InvalidArgument("thresholds: cannot open '" + path + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse(json::Value::parse(text.str()));
+}
+
+const ThresholdRule& Thresholds::rule_for(std::string_view key) const {
+  for (const ThresholdRule& rule : rules) {
+    if (glob_match(rule.match, key)) return rule;
+  }
+  return fallback;
+}
+
+Severity classify(const MetricDelta& delta, const ThresholdRule& rule) {
+  if (rule.ignore) return Severity::kPass;
+  if (std::abs(delta.abs_delta) <= rule.abs_tol) return Severity::kPass;
+  const double rel = std::abs(delta.rel_delta);
+  if (rel <= rule.warn_rel) return Severity::kPass;
+  if (rel <= rule.fail_rel) return Severity::kWarn;
+  return Severity::kFail;
+}
+
+CheckResult check_diff(const ReportDiff& diff, const Thresholds& thresholds) {
+  CheckResult result;
+  for (const MetricDelta& delta : diff.deltas) {
+    const ThresholdRule& rule = thresholds.rule_for(delta.key);
+    if (rule.ignore) continue;
+    CheckResult::Row row;
+    row.delta = delta;
+    row.severity = classify(delta, rule);
+    if (row.severity == Severity::kWarn) ++result.num_warn;
+    if (row.severity == Severity::kFail) ++result.num_fail;
+    result.rows.push_back(std::move(row));
+  }
+  for (const std::string& key : diff.only_in_a) {
+    if (thresholds.rule_for(key).ignore) continue;
+    result.missing_in_b.push_back(key);
+    ++result.num_fail;
+  }
+  for (const std::string& key : diff.only_in_b) {
+    if (thresholds.rule_for(key).ignore) continue;
+    result.new_in_b.push_back(key);
+    ++result.num_warn;
+  }
+  return result;
+}
+
+// --- rendering ---------------------------------------------------------------
+
+std::string format_metric_value(double v) {
+  char buf[40];
+  if (v == std::floor(v) && std::abs(v) < 9.007199254740992e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+  }
+  return buf;
+}
+
+namespace {
+
+std::string format_rel(double rel) {
+  if (std::isinf(rel)) return rel > 0 ? "new" : "gone";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%+.2f%%", rel * 100.0);
+  return buf;
+}
+
+const char* severity_label(Severity s) {
+  switch (s) {
+    case Severity::kPass: return "ok";
+    case Severity::kWarn: return "WARN";
+    case Severity::kFail: return "FAIL";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string render_diff_markdown(const ReportDiff& diff, const Thresholds* thresholds) {
+  std::ostringstream out;
+  out << "# bflyreport diff — " << diff.name << "\n\n";
+  out << "runs: `" << diff.run_a << "` (" << diff.git_a << ") → `" << diff.run_b << "` ("
+      << diff.git_b << ")\n\n";
+  out << "| metric | before | after | delta | delta% |";
+  if (thresholds != nullptr) out << " status |";
+  out << "\n|---|---:|---:|---:|---:|";
+  if (thresholds != nullptr) out << "---|";
+  out << "\n";
+  for (const MetricDelta& d : diff.deltas) {
+    const ThresholdRule* rule = thresholds != nullptr ? &thresholds->rule_for(d.key) : nullptr;
+    if (rule != nullptr && rule->ignore) continue;
+    out << "| " << d.key << " | " << format_metric_value(d.before) << " | "
+        << format_metric_value(d.after) << " | " << format_metric_value(d.abs_delta) << " | "
+        << format_rel(d.rel_delta) << " |";
+    if (rule != nullptr) out << ' ' << severity_label(classify(d, *rule)) << " |";
+    out << "\n";
+  }
+  for (const std::string& key : diff.only_in_a) {
+    if (thresholds != nullptr && thresholds->rule_for(key).ignore) continue;
+    out << "| " << key << " | present | missing | | |";
+    if (thresholds != nullptr) out << " FAIL |";
+    out << "\n";
+  }
+  for (const std::string& key : diff.only_in_b) {
+    if (thresholds != nullptr && thresholds->rule_for(key).ignore) continue;
+    out << "| " << key << " | missing | present | | |";
+    if (thresholds != nullptr) out << " WARN |";
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace bfly::obs

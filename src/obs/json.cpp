@@ -215,8 +215,13 @@ class Parser {
   }
 
  private:
+  // Containers nest recursively; bound the depth so adversarial input (a run
+  // report is often fetched from CI artifacts) cannot overflow the stack.
+  static constexpr int kMaxDepth = 192;
+
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 
   [[noreturn]] void fail(const std::string& what) const {
     throw InvalidArgument("json parse error at offset " + std::to_string(pos_) + ": " + what);
@@ -257,8 +262,14 @@ class Parser {
     skip_ws();
     const char c = peek();
     switch (c) {
-      case '{': return parse_object();
-      case '[': return parse_array();
+      case '{':
+      case '[': {
+        require(depth_ < kMaxDepth, "nesting too deep");
+        ++depth_;
+        Value v = c == '{' ? parse_object() : parse_array();
+        --depth_;
+        return v;
+      }
       case '"': return Value::string(parse_string());
       case 't':
         require(consume_literal("true"), "invalid literal");
@@ -286,6 +297,8 @@ class Parser {
       std::string key = parse_string();
       skip_ws();
       expect(':');
+      // Duplicate keys: last value wins (RFC 8259 leaves this to the
+      // implementation; set() overwrites in place, keeping first-seen order).
       obj.set(key, parse_value());
       skip_ws();
       const char c = next();
@@ -393,6 +406,12 @@ class Parser {
     if (end != token.c_str() + token.size()) {
       pos_ = start;
       fail("malformed number");
+    }
+    // Magnitudes beyond double range would round-trip as the non-JSON token
+    // "inf"; reject them instead of silently saturating.
+    if (std::isinf(d)) {
+      pos_ = start;
+      fail("number out of double range");
     }
     return Value::number(d);
   }

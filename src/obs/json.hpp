@@ -66,7 +66,10 @@ class Value {
   std::string dump(int indent = -1) const;
 
   /// Parses a complete JSON document; throws InvalidArgument with position
-  /// information on malformed input or trailing garbage.
+  /// information on malformed input or trailing garbage.  Implementation
+  /// limits (also rejected with InvalidArgument): container nesting beyond
+  /// 192 levels, and number literals outside double range.  Duplicate object
+  /// keys keep the last value at the first key's position.
   static Value parse(std::string_view text);
 
  private:

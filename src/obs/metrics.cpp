@@ -39,6 +39,37 @@ std::vector<u64> Histogram::bucket_counts() const {
   return out;
 }
 
+double Histogram::percentile(double q) const { return estimate_percentile(bounds_, bucket_counts(), q); }
+
+double estimate_percentile(std::span<const double> bounds, std::span<const u64> counts,
+                           double q) {
+  BFLY_REQUIRE(!bounds.empty() && counts.size() == bounds.size() + 1,
+               "percentile needs bounds.size() + 1 bucket counts");
+  BFLY_REQUIRE(q >= 0.0 && q <= 1.0, "percentile q must be in [0, 1]");
+  u64 total = 0;
+  for (const u64 c : counts) total += c;
+  if (total == 0) return 0.0;
+
+  // Find the bucket holding cumulative mass q * total, then place the result
+  // linearly within that bucket's value range.
+  const double target = q * static_cast<double>(total);
+  u64 cum_before = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double cum_after = static_cast<double>(cum_before + counts[i]);
+    if (cum_after >= target) {
+      if (i == bounds.size()) return bounds.back();  // unbounded overflow bucket
+      const double lo = i == 0 ? std::min(0.0, bounds[0]) : bounds[i - 1];
+      const double hi = bounds[i];
+      const double within =
+          std::max(0.0, target - static_cast<double>(cum_before)) / static_cast<double>(counts[i]);
+      return lo + (hi - lo) * within;
+    }
+    cum_before += counts[i];
+  }
+  return bounds.back();
+}
+
 std::vector<double> Histogram::linear_bounds(double start, double step, std::size_t count) {
   BFLY_REQUIRE(count >= 1 && step > 0, "linear bounds need count >= 1 and step > 0");
   std::vector<double> out(count);

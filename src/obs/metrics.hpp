@@ -84,6 +84,9 @@ class Histogram {
   u64 count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
 
+  /// estimate_percentile() over this histogram's current bucket counts.
+  double percentile(double q) const;
+
   /// [start, start+step, ..., start+(count-1)*step]
   static std::vector<double> linear_bounds(double start, double step, std::size_t count);
   /// [start, start*factor, ..., start*factor^(count-1)]
@@ -115,6 +118,16 @@ struct CompletedSpan {
   int depth = 0;  ///< nesting depth within its thread (0 = outermost)
 };
 
+/// Percentile estimate (q in [0, 1]) interpolated from fixed-bucket histogram
+/// data: `counts` has bounds.size() + 1 entries (trailing overflow bucket).
+/// The CDF is taken piecewise linear across each bucket's value range — the
+/// first bucket spans [min(0, bounds[0]), bounds[0]] — so distributions that
+/// land one distinct value per bucket are recovered exactly.  Mass in the
+/// unbounded overflow bucket is reported as bounds.back() (a lower bound on
+/// the true percentile).  Returns 0 when there are no observations.
+double estimate_percentile(std::span<const double> bounds, std::span<const u64> counts,
+                           double q);
+
 struct MetricsSnapshot {
   std::vector<std::pair<std::string, u64>> counters;
   std::vector<std::pair<std::string, double>> gauges;
@@ -124,6 +137,8 @@ struct MetricsSnapshot {
     std::vector<u64> counts;
     u64 count = 0;
     double sum = 0.0;
+
+    double percentile(double q) const { return estimate_percentile(bounds, counts, q); }
   };
   std::vector<Hist> histograms;
 };

@@ -9,11 +9,9 @@
 
 namespace bfly::obs {
 
-#ifndef BFLY_GIT_DESCRIBE
-#define BFLY_GIT_DESCRIBE "unknown"
-#endif
-
-const char* git_describe() { return BFLY_GIT_DESCRIBE; }
+// git_describe() is defined in a TU generated at build time by
+// cmake/git_describe.cmake (declared in report.hpp), so every build — not
+// just every configure — stamps reports with the current revision.
 
 std::string make_run_id() {
   // Time-seeded rather than fully random so ids sort roughly by run order;

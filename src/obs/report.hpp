@@ -7,7 +7,7 @@
 //     "schema_version": 1,
 //     "name":         "<tool or bench name>",
 //     "run_id":       "<16 hex chars, unique per process run>",
-//     "git_describe": "<git describe --always --dirty at configure time>",
+//     "git_describe": "<git describe --always --dirty at build time>",
 //     "config":       { ... caller-provided run parameters ... },
 //     "metrics": {
 //       "counters":   { "<name>": <u64>, ... },
@@ -49,8 +49,9 @@ struct ReportOptions {
   json::Value artifact_stats = json::Value::object();
 };
 
-/// The `git describe --always --dirty` of the source tree at configure time
-/// ("unknown" when the build was not configured inside a git checkout).
+/// The `git describe --always --dirty --tags` of the source tree, captured
+/// at *build* time (cmake/git_describe.cmake generates the defining TU on
+/// every build); "unknown" when the build is not inside a git checkout.
 const char* git_describe();
 
 /// 16 lowercase hex chars; unique across runs (time-seeded).

@@ -32,7 +32,8 @@ i64 butterfly_distance(int n, u64 r1, int s1, u64 r2, int s2) {
   return std::min(left_first, right_first);
 }
 
-LoadCensus measure_link_loads(int n, u64 packets, u64 seed, std::size_t threads) {
+LoadCensus measure_link_loads(int n, u64 packets, u64 seed, std::size_t threads,
+                              bool keep_link_loads) {
   BFLY_TRACE_SCOPE("routing.measure_link_loads");
   const Butterfly bf(n);
   const u64 rows = bf.rows();
@@ -74,12 +75,14 @@ LoadCensus measure_link_loads(int n, u64 packets, u64 seed, std::size_t threads)
 
   LoadCensus census;
   census.packets = packets;
+  if (keep_link_loads) census.link_loads.resize(links, 0);
   u64 total = 0;
   {
     BFLY_TRACE_SCOPE("routing.census.merge");
     for (u64 i = 0; i < links; ++i) {
       u64 load = 0;
       for (std::size_t t = 0; t < threads; ++t) load += partial[t][i];
+      if (keep_link_loads) census.link_loads[i] = load;
       census.max_link_load = std::max(census.max_link_load, load);
       total += load;
     }

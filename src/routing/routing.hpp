@@ -36,15 +36,23 @@ struct LoadCensus {
   double avg_link_load = 0.0;
   double imbalance = 0.0;      ///< max / avg (1.0 = perfectly balanced)
   double avg_distance = 0.0;   ///< hops per packet (= n for the DAG workload)
+  /// Per-link loads indexed by link_index(); empty unless the census was run
+  /// with keep_link_loads (n * 2^n * 2 entries — sized for rendering, not for
+  /// the big Monte-Carlo sweeps).
+  std::vector<u64> link_loads;
 };
 
 /// Routes `packets` uniform random (source row, destination row) pairs
 /// through the stage-0 -> stage-n DAG (bit-fixing: cross at stage s iff bit s
 /// differs) and censuses per-link loads.  Packet streams are seeded per
 /// fixed-size work chunk (not per thread), so the result is bitwise
-/// deterministic for a fixed seed regardless of the thread count.
+/// deterministic for a fixed seed regardless of the thread count.  With
+/// `keep_link_loads` the merged per-link totals are returned in
+/// LoadCensus::link_loads (for congestion heatmaps) instead of being
+/// discarded after the summary statistics.
 LoadCensus measure_link_loads(int n, u64 packets, u64 seed,
-                              std::size_t threads = 0 /* 0 = default */);
+                              std::size_t threads = 0 /* 0 = default */,
+                              bool keep_link_loads = false);
 
 /// Average shortest-path distance between uniformly random node pairs
 /// (arbitrary stages): the Theta(log R) quantity in Theorem 2.1.

@@ -154,7 +154,9 @@ TEST(Trace, SpansAreStrictlyNestedPerThread) {
   std::map<u64, double> last_ts;
   for (const obs::TraceEvent& ev : events) {
     auto it = last_ts.find(ev.tid);
-    if (it != last_ts.end()) EXPECT_GE(ev.ts_us, it->second);
+    if (it != last_ts.end()) {
+      EXPECT_GE(ev.ts_us, it->second);
+    }
     last_ts[ev.tid] = ev.ts_us;
     if (ev.phase == 'B') {
       open[ev.tid].push_back(&ev);

@@ -1,0 +1,283 @@
+// bflyreport — run-report analytics CLI over bfly::obs::diff.
+//
+//   bflyreport diff <a.json> <b.json> [--thresholds <file>] [--no-config-check]
+//       Markdown delta table between two schema-v1 run reports (counters,
+//       gauges, histogram percentiles, span timings, artifact stats).
+//
+//   bflyreport trend <reports.jsonl> --metric <key> [--threshold <rel>]
+//       Per-run series of one flattened metric across a JSONL trajectory
+//       (one report per line), with an ASCII sparkline and a regression flag
+//       comparing the newest run against the median of the earlier ones.
+//
+//   bflyreport check --baseline <dir> [--thresholds <file>] [--reports <dir>]
+//                    [--bench-dir <dir>]
+//       CI gate: for every <name>.json baseline in <dir>, obtain the current
+//       report — <reports>/<name>.run.json if present, otherwise by running
+//       <bench-dir>/<name> --benchmark_filter=none — diff it against the
+//       baseline, classify with the thresholds file (default
+//       <dir>/thresholds.json), and exit non-zero on any FAIL.
+//
+// Exit codes: 0 = ok (warnings allowed), 1 = regression / failed gate,
+// 2 = usage or I/O error.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/diff.hpp"
+
+namespace fs = std::filesystem;
+using namespace bfly;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  bflyreport diff <a.json> <b.json> [--thresholds <file>] [--no-config-check]\n"
+               "  bflyreport trend <reports.jsonl> --metric <key> [--threshold <rel>]\n"
+               "  bflyreport check --baseline <dir> [--thresholds <file>] [--reports <dir>]\n"
+               "                   [--bench-dir <dir>]\n");
+  return 2;
+}
+
+/// Pulls the value of `flag` out of args (mutating it); nullopt when absent.
+std::optional<std::string> take_option(std::vector<std::string>* args, const std::string& flag) {
+  for (std::size_t i = 0; i + 1 < args->size(); ++i) {
+    if ((*args)[i] == flag) {
+      std::string value = (*args)[i + 1];
+      args->erase(args->begin() + static_cast<std::ptrdiff_t>(i),
+                  args->begin() + static_cast<std::ptrdiff_t>(i) + 2);
+      return value;
+    }
+  }
+  return std::nullopt;
+}
+
+bool take_switch(std::vector<std::string>* args, const std::string& flag) {
+  const auto it = std::find(args->begin(), args->end(), flag);
+  if (it == args->end()) return false;
+  args->erase(it);
+  return true;
+}
+
+int run_diff(std::vector<std::string> args) {
+  std::optional<obs::Thresholds> thresholds;
+  if (const auto path = take_option(&args, "--thresholds")) {
+    thresholds = obs::Thresholds::load(*path);
+  }
+  obs::DiffOptions options;
+  options.require_matching_config = !take_switch(&args, "--no-config-check");
+  if (args.size() != 2) return usage();
+
+  const obs::RunReport a = obs::RunReport::load(args[0]);
+  const obs::RunReport b = obs::RunReport::load(args[1]);
+  const obs::ReportDiff diff = obs::diff_reports(a, b, options);
+  std::cout << obs::render_diff_markdown(diff, thresholds ? &*thresholds : nullptr);
+  if (thresholds) {
+    const obs::CheckResult result = obs::check_diff(diff, *thresholds);
+    std::cout << "\n" << result.rows.size() << " metrics compared: " << result.num_warn
+              << " warn, " << result.num_fail << " fail\n";
+    return result.ok() ? 0 : 1;
+  }
+  return 0;
+}
+
+/// Eight-level sparkline of the series, min..max normalized.
+std::string sparkline(const std::vector<double>& values) {
+  static const char* kLevels[] = {"▁", "▂", "▃", "▄", "▅", "▆", "▇", "█"};
+  double lo = values[0];
+  double hi = values[0];
+  for (const double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  std::string out;
+  for (const double v : values) {
+    const double t = hi > lo ? (v - lo) / (hi - lo) : 0.0;
+    out += kLevels[std::min<std::size_t>(7, static_cast<std::size_t>(t * 8.0))];
+  }
+  return out;
+}
+
+int run_trend(std::vector<std::string> args) {
+  const auto metric = take_option(&args, "--metric");
+  const double threshold = std::stod(take_option(&args, "--threshold").value_or("0.10"));
+  if (!metric || args.size() != 1) return usage();
+
+  std::ifstream in(args[0], std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "bflyreport: cannot open '%s'\n", args[0].c_str());
+    return 2;
+  }
+  struct Entry {
+    std::string run_id;
+    std::string git;
+    double value = 0.0;
+  };
+  std::vector<Entry> series;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    const obs::RunReport report = obs::RunReport::parse(line);
+    series.push_back({report.run_id, report.git_describe, obs::metric_value(report, *metric)});
+  }
+  if (series.empty()) {
+    std::fprintf(stderr, "bflyreport: '%s' holds no reports\n", args[0].c_str());
+    return 2;
+  }
+
+  std::cout << "# bflyreport trend — " << *metric << " (" << series.size() << " runs)\n\n";
+  std::cout << "| run | git | " << *metric << " | delta% |\n|---|---|---:|---:|\n";
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    std::cout << "| `" << series[i].run_id << "` | " << series[i].git << " | "
+              << obs::format_metric_value(series[i].value) << " | ";
+    if (i == 0 || series[i - 1].value == 0.0) {
+      std::cout << "— |\n";
+    } else {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%+.2f%%",
+                    (series[i].value - series[i - 1].value) / std::abs(series[i - 1].value) *
+                        100.0);
+      std::cout << buf << " |\n";
+    }
+  }
+  std::vector<double> values;
+  for (const Entry& e : series) values.push_back(e.value);
+  std::cout << "\n" << sparkline(values) << "\n";
+
+  if (series.size() >= 2) {
+    // Newest run vs the median of all earlier runs: robust to one noisy entry.
+    std::vector<double> prior(values.begin(), values.end() - 1);
+    std::nth_element(prior.begin(), prior.begin() + static_cast<std::ptrdiff_t>(prior.size() / 2),
+                     prior.end());
+    const double median = prior[prior.size() / 2];
+    const double last = values.back();
+    if (median != 0.0 && std::abs(last - median) / std::abs(median) > threshold) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%+.2f%%", (last - median) / std::abs(median) * 100.0);
+      std::cout << "\nREGRESSION FLAG: latest run is " << buf << " vs prior median "
+                << obs::format_metric_value(median) << " (threshold ±"
+                << static_cast<int>(threshold * 100.0) << "%)\n";
+    } else {
+      std::cout << "\nno regression: latest within ±" << static_cast<int>(threshold * 100.0)
+                << "% of prior median " << obs::format_metric_value(median) << "\n";
+    }
+  }
+  return 0;
+}
+
+/// Runs a bench binary with benchmarks filtered out and returns its stdout
+/// (the single-line JSON run report; tables stay on the inherited stderr).
+std::string capture_bench_report(const fs::path& binary) {
+  const std::string command = "'" + binary.string() + "' --benchmark_filter=none";
+  if (binary.string().find('\'') != std::string::npos) {
+    throw InvalidArgument("bench path must not contain quotes: " + binary.string());
+  }
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) throw InvalidArgument("cannot run " + command);
+  std::string out;
+  char buf[4096];
+  std::size_t got = 0;
+  while ((got = fread(buf, 1, sizeof(buf), pipe)) > 0) out.append(buf, got);
+  const int rc = pclose(pipe);
+  if (rc != 0) {
+    throw InvalidArgument(binary.string() + " exited with status " + std::to_string(rc));
+  }
+  return out;
+}
+
+int run_check(std::vector<std::string> args) {
+  const auto baseline_dir = take_option(&args, "--baseline");
+  const auto thresholds_path = take_option(&args, "--thresholds");
+  const auto reports_dir = take_option(&args, "--reports");
+  const std::string bench_dir = take_option(&args, "--bench-dir").value_or("build/bench");
+  if (!baseline_dir || !args.empty()) return usage();
+
+  obs::Thresholds thresholds;  // default: everything must match exactly
+  const fs::path default_thresholds = fs::path(*baseline_dir) / "thresholds.json";
+  if (thresholds_path) {
+    thresholds = obs::Thresholds::load(*thresholds_path);
+  } else if (fs::exists(default_thresholds)) {
+    thresholds = obs::Thresholds::load(default_thresholds.string());
+  }
+
+  std::vector<fs::path> baselines;
+  for (const fs::directory_entry& entry : fs::directory_iterator(*baseline_dir)) {
+    if (entry.path().extension() == ".json" && entry.path().filename() != "thresholds.json") {
+      baselines.push_back(entry.path());
+    }
+  }
+  std::sort(baselines.begin(), baselines.end());
+  if (baselines.empty()) {
+    std::fprintf(stderr, "bflyreport: no baselines under '%s'\n", baseline_dir->c_str());
+    return 2;
+  }
+
+  int total_fail = 0;
+  int total_warn = 0;
+  for (const fs::path& baseline_path : baselines) {
+    const std::string name = baseline_path.stem().string();
+    const obs::RunReport baseline = obs::RunReport::load(baseline_path.string());
+
+    obs::RunReport current = [&] {
+      if (reports_dir) {
+        const fs::path candidate = fs::path(*reports_dir) / (name + ".run.json");
+        if (fs::exists(candidate)) return obs::RunReport::load(candidate.string());
+      }
+      const fs::path binary = fs::path(bench_dir) / name;
+      if (!fs::exists(binary)) {
+        throw InvalidArgument("no current report for '" + name + "': " + binary.string() +
+                              " not found (build it, or pass --reports)");
+      }
+      return obs::RunReport::parse(capture_bench_report(binary));
+    }();
+
+    const obs::ReportDiff diff = obs::diff_reports(baseline, current);
+    const obs::CheckResult result = obs::check_diff(diff, thresholds);
+    total_fail += result.num_fail;
+    total_warn += result.num_warn;
+
+    std::cout << "## " << name << ": " << (result.ok() ? "ok" : "FAIL") << " ("
+              << result.rows.size() << " metrics, " << result.num_warn << " warn, "
+              << result.num_fail << " fail)\n";
+    for (const obs::CheckResult::Row& row : result.rows) {
+      if (row.severity == obs::Severity::kPass) continue;
+      std::cout << (row.severity == obs::Severity::kFail ? "  FAIL " : "  warn ")
+                << row.delta.key << ": " << obs::format_metric_value(row.delta.before) << " -> "
+                << obs::format_metric_value(row.delta.after) << "\n";
+    }
+    for (const std::string& key : result.missing_in_b) {
+      std::cout << "  FAIL " << key << ": present in baseline, missing in current run\n";
+    }
+    for (const std::string& key : result.new_in_b) {
+      std::cout << "  warn " << key << ": new metric, not in baseline (refresh baselines?)\n";
+    }
+  }
+  std::cout << "\nbaseline check: " << baselines.size() << " benches, " << total_warn
+            << " warn, " << total_fail << " fail -> " << (total_fail == 0 ? "PASS" : "FAIL")
+            << "\n";
+  return total_fail == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (command == "diff") return run_diff(std::move(args));
+    if (command == "trend") return run_trend(std::move(args));
+    if (command == "check") return run_check(std::move(args));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bflyreport: %s\n", e.what());
+    return 2;
+  }
+  return usage();
+}
