@@ -120,6 +120,38 @@ int main(int argc, char** argv) {
     std::printf("  wrote butterfly_heatmap.svg (wires colored by measured link load,\n");
     std::printf("        %llu packets; max/avg imbalance %.3f)\n",
                 static_cast<unsigned long long>(census.packets), census.imbalance);
+
+    // Degraded-mode heatmap: inject 2%% random link faults, re-census with
+    // the fault-tolerant router, and draw dead links dashed gray on top of
+    // the congestion ramp.
+    const FaultSet faults = FaultSet::random_links(n, 0.02, 99);
+    const FaultLoadCensus degraded =
+        measure_link_loads_faulty(n, 500'000, 99, faults, {}, 0, /*keep_link_loads=*/true);
+    const u64 dmin = *std::min_element(degraded.census.link_loads.begin(),
+                                       degraded.census.link_loads.end());
+    const u64 dspread = degraded.census.max_link_load - dmin;
+    std::vector<double> dheat(layout.wires().size(), 0.0);
+    std::vector<bool> dead(layout.wires().size(), false);
+    for (std::size_t wi = 0; wi < layout.wires().size(); ++wi) {
+      const Wire& wire = layout.wires()[wi];
+      if (!wire.from_node || !wire.to_node) continue;
+      const int s = static_cast<int>(*wire.from_node / rows);
+      const u64 r1 = net.rho(s, *wire.from_node % rows);
+      const u64 r2 = net.rho(s + 1, *wire.to_node % rows);
+      const u64 load = degraded.census.link_loads[link_index(bf, r1, s, r1 != r2)];
+      dheat[wi] = dspread > 0
+                      ? static_cast<double>(load - dmin) / static_cast<double>(dspread)
+                      : 0.0;
+      dead[wi] = !faults.link_alive(r1, s, r1 != r2);
+    }
+    heat_options.wire_heat = &dheat;
+    heat_options.wire_dead = &dead;
+    std::ofstream fault_svg("butterfly_heatmap_faults.svg");
+    fault_svg << render_svg(layout, heat_options);
+    std::printf("  wrote butterfly_heatmap_faults.svg (%llu dead links dashed gray;\n",
+                static_cast<unsigned long long>(faults.num_dead_links()));
+    std::printf("        %.2f%% of packets delivered by the fault-tolerant router)\n",
+                100.0 * degraded.delivered_fraction);
   }
 
   // --- 3. Packaging ---------------------------------------------------------

@@ -7,10 +7,14 @@
 // optimal butterfly layouts under the Thompson and multilayer grid models
 // (Sections 3-4), the partitioning/packaging schemes and the hierarchical
 // planner (Sections 2.3 and 5), the routing simulator behind the Theorem 2.1
-// lower bound, and the network FFT functional check.
+// lower bound, the fault-injection / fault-tolerant-routing / degradation
+// subsystem (bfly::fault), and the network FFT functional check.
 #pragma once
 
 #include "core/formulas.hpp"
+#include "fault/degradation.hpp"
+#include "fault/fault_routing.hpp"
+#include "fault/fault_set.hpp"
 #include "fft/isn_fft.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"

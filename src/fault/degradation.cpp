@@ -1,0 +1,131 @@
+#include "fault/degradation.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace bfly {
+
+std::vector<DegradationPoint> degradation_curve(int n, std::span<const double> rates, u64 seed,
+                                                const DegradationOptions& options) {
+  BFLY_REQUIRE(n >= 1 && n <= 30, "butterfly dimension must be in [1, 30]");
+  BFLY_TRACE_SCOPE("fault.degradation_curve");
+  std::vector<DegradationPoint> curve;
+  curve.reserve(rates.size());
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    const FaultSet faults =
+        FaultSet::random_links(n, rates[i], seed ^ (0x9e3779b97f4a7c15ULL * (i + 1)));
+
+    DegradationPoint pt;
+    pt.link_fault_rate = rates[i];
+    pt.dead_links = faults.num_dead_links();
+
+    const FaultLoadCensus census =
+        measure_link_loads_faulty(n, options.census_packets, seed, faults, options.routing,
+                                  options.census_threads);
+    pt.delivered_fraction = census.delivered_fraction;
+    pt.dropped_endpoint =
+        census.tally.dropped[drop_index(DropReason::kEndpointDead)];
+    pt.dropped_no_alive_link =
+        census.tally.dropped[drop_index(DropReason::kNoAliveLink)];
+    pt.dropped_budget =
+        census.tally.dropped[drop_index(DropReason::kBudgetExhausted)];
+    pt.misroutes = census.tally.misroutes;
+    pt.wraps = census.tally.wraps;
+    pt.imbalance = census.census.imbalance;
+
+    if (n <= options.exact_reachability_max_n) {
+      pt.reachability = exact_reachability(n, faults);
+      pt.reachability_exact = true;
+    } else {
+      pt.reachability = census.delivered_fraction;
+      pt.reachability_exact = false;
+    }
+
+    const FaultSaturationPoint sim = simulate_saturation_faulty(
+        n, options.offered_load, options.sim_cycles, seed, faults, options.routing,
+        options.sim_warmup, options.queue_capacity);
+    pt.throughput = sim.point.throughput;
+    pt.avg_latency = sim.point.avg_latency;
+    pt.sim_delivered = sim.point.delivered;
+    pt.sim_dropped_queue_full =
+        sim.tally.dropped[drop_index(DropReason::kQueueFull)];
+
+    obs::set(obs::get_gauge("fault.curve.reachability"), pt.reachability);
+    obs::set(obs::get_gauge("fault.curve.throughput"), pt.throughput);
+    curve.push_back(pt);
+  }
+  return curve;
+}
+
+ChipFaultImpact analyze_chip_fault(const HierarchicalPlan& plan, u64 chip,
+                                   bool with_reachability) {
+  BFLY_REQUIRE(!plan.k.empty(), "plan has no ISN parameters");
+  const SwapButterfly sb(plan.k);
+  const int n = sb.dimension();
+  const u64 rows = sb.rows();
+  const u64 chips = rows >> plan.rows_log2;
+  BFLY_REQUIRE(chip < chips, "chip index out of range");
+
+  ChipFaultImpact impact;
+  impact.chip = chip;
+
+  FaultSet faults(n);
+  faults.fail_chip(sb, plan.rows_log2, chip);
+  impact.nodes_lost = faults.num_dead_nodes();
+
+  // Distinct butterfly rows with at least one dead node, via the per-stage
+  // row maps rho_s of the chip's swap-butterfly row block.
+  std::vector<std::uint8_t> row_hit(rows, 0);
+  const u64 first_row = chip << plan.rows_log2;
+  const u64 last_row = first_row + pow2(plan.rows_log2);
+  for (int s = 0; s <= n; ++s) {
+    for (u64 v = first_row; v < last_row; ++v) row_hit[sb.rho(s, v)] = 1;
+  }
+  for (const std::uint8_t hit : row_hit) impact.rows_touched += hit;
+
+  // Off-module (swap) links incident to the chip become dead wires of the
+  // board channel: count every swap-butterfly link with exactly one endpoint
+  // in the chip's row block.
+  for (int s = 0; s < n; ++s) {
+    for (u64 v = 0; v < rows; ++v) {
+      const u64 module_v = v >> plan.rows_log2;
+      for (const u64 t : {sb.straight_target(v, s), sb.cross_target(v, s)}) {
+        const u64 module_t = t >> plan.rows_log2;
+        if ((module_v == chip) != (module_t == chip)) ++impact.dead_offmodule_links;
+      }
+    }
+  }
+
+  if (with_reachability) impact.reachability = exact_reachability(n, faults);
+  return impact;
+}
+
+SpareChipSummary spare_chip_sensitivity(const HierarchicalPlan& plan) {
+  BFLY_TRACE_SCOPE("fault.spare_chip_sensitivity");
+  SpareChipSummary summary;
+  summary.num_chips = plan.num_chips;
+  summary.nodes_per_chip = plan.nodes_per_chip;
+  summary.min_dead_offmodule_links = ~u64{0};
+  summary.best_reachability = 0.0;
+  summary.worst_reachability = 2.0;
+  for (u64 chip = 0; chip < plan.num_chips; ++chip) {
+    const ChipFaultImpact impact = analyze_chip_fault(plan, chip, /*with_reachability=*/true);
+    summary.min_dead_offmodule_links =
+        std::min(summary.min_dead_offmodule_links, impact.dead_offmodule_links);
+    summary.max_dead_offmodule_links =
+        std::max(summary.max_dead_offmodule_links, impact.dead_offmodule_links);
+    summary.best_reachability = std::max(summary.best_reachability, impact.reachability);
+    if (impact.reachability < summary.worst_reachability) {
+      summary.worst_reachability = impact.reachability;
+      summary.worst_chip = chip;
+    }
+  }
+  obs::set(obs::get_gauge("fault.spare_chip.worst_reachability"), summary.worst_reachability);
+  obs::set(obs::get_gauge("fault.spare_chip.max_dead_offmodule_links"),
+           static_cast<double>(summary.max_dead_offmodule_links));
+  return summary;
+}
+
+}  // namespace bfly

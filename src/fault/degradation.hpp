@@ -1,0 +1,95 @@
+// Graceful-degradation analysis: how much service a faulted butterfly still
+// delivers, and what a chip failure costs the Section 5 package.
+//
+//  * degradation_curve() sweeps link-fault rates and measures, per rate, the
+//    BFS-oracle reachability, the budgeted router's delivered fraction and
+//    drop breakdown (Monte-Carlo census), and saturation throughput/latency
+//    (queued simulator).  Everything is seeded and bitwise deterministic, so
+//    the curve can be gated as exact-match artifact stats in CI.
+//  * analyze_chip_fault() / spare_chip_sensitivity() quantify packaging
+//    robustness: killing one physical chip of the hierarchical plan's
+//    row-block packing (mapped through the swap-butterfly isomorphism) loses
+//    a fixed block of nodes and turns that chip's off-module links dead;
+//    the sweep over chips reports the spare-provisioning picture — how bad
+//    the worst single-chip failure is, measured by surviving reachability.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "fault/fault_routing.hpp"
+#include "fault/fault_set.hpp"
+#include "packaging/hierarchical.hpp"
+
+namespace bfly {
+
+struct DegradationOptions {
+  u64 census_packets = 200000;      ///< Monte-Carlo packets per rate
+  std::size_t census_threads = 0;   ///< 0 = default (result is thread-count invariant)
+  u64 sim_cycles = 2000;
+  u64 sim_warmup = 200;
+  double offered_load = 0.6;
+  u64 queue_capacity = 0;           ///< 0 = unbounded queues
+  FaultRoutingOptions routing{};
+  /// Use the exhaustive BFS oracle for reachability up to this dimension;
+  /// beyond it, reachability falls back to the census delivered fraction.
+  int exact_reachability_max_n = 12;
+};
+
+struct DegradationPoint {
+  double link_fault_rate = 0.0;
+  u64 dead_links = 0;
+  /// Fraction of (src, dst) pairs with *any* surviving path (BFS oracle when
+  /// exact, else the router's delivered fraction — a lower bound).
+  double reachability = 0.0;
+  bool reachability_exact = false;
+  /// Census (budgeted router, census_packets uniform random packets):
+  double delivered_fraction = 0.0;
+  u64 dropped_endpoint = 0;
+  u64 dropped_no_alive_link = 0;
+  u64 dropped_budget = 0;
+  u64 misroutes = 0;
+  u64 wraps = 0;
+  double imbalance = 0.0;
+  /// Queued saturation simulation at offered_load:
+  double throughput = 0.0;
+  double avg_latency = 0.0;
+  u64 sim_delivered = 0;
+  u64 sim_dropped_queue_full = 0;
+};
+
+/// One DegradationPoint per entry of `rates`; the fault set for rates[i] is
+/// FaultSet::random_links(n, rates[i], mix(seed, i)).  A rate of 0 reproduces
+/// the pristine instruments exactly.
+std::vector<DegradationPoint> degradation_curve(int n, std::span<const double> rates, u64 seed,
+                                                const DegradationOptions& options = {});
+
+struct ChipFaultImpact {
+  u64 chip = 0;
+  u64 nodes_lost = 0;            ///< butterfly nodes hosted on the chip
+  u64 rows_touched = 0;          ///< distinct butterfly rows losing >= 1 node
+  u64 dead_offmodule_links = 0;  ///< off-chip (swap) links with an endpoint on the chip
+  double reachability = 0.0;     ///< exact BFS reachability after the failure
+};
+
+/// Impact of failing one chip of the plan's row-block packing.  Reachability
+/// is computed exactly when with_reachability is set (O(4^n * n)).
+ChipFaultImpact analyze_chip_fault(const HierarchicalPlan& plan, u64 chip,
+                                   bool with_reachability = true);
+
+struct SpareChipSummary {
+  u64 num_chips = 0;
+  u64 nodes_per_chip = 0;
+  u64 min_dead_offmodule_links = 0;
+  u64 max_dead_offmodule_links = 0;
+  double best_reachability = 1.0;   ///< least damaging single-chip failure
+  double worst_reachability = 1.0;  ///< most damaging single-chip failure
+  u64 worst_chip = 0;
+};
+
+/// Single-chip failure sweep over every chip of the plan: the input to a
+/// spare-chip provisioning decision (how much service the worst single chip
+/// failure costs, and whether any chip is disproportionately critical).
+SpareChipSummary spare_chip_sensitivity(const HierarchicalPlan& plan);
+
+}  // namespace bfly

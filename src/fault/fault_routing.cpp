@@ -1,0 +1,385 @@
+#include "fault/fault_routing.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/parallel.hpp"
+#include "util/prng.hpp"
+
+namespace bfly {
+
+namespace {
+
+/// Dense forward-link index without a Butterfly instance (same layout as
+/// routing's link_index()).
+inline u64 dense_link(u64 rows, u64 row, int stage, bool cross) {
+  return (static_cast<u64>(stage) * rows + row) * 2 + (cross ? 1 : 0);
+}
+
+/// The single-packet walk shared by route_packet() and the census.  on_link
+/// is called with the dense index of every traversed link.
+template <typename OnLink>
+RouteResult route_one(int n, u64 rows, const FaultSet& faults, const FaultRoutingOptions& options,
+                      u64 src, u64 dst, OnLink&& on_link) {
+  RouteResult res;
+  if (!faults.node_alive(src, 0) || !faults.node_alive(dst, n)) {
+    res.reason = DropReason::kEndpointDead;
+    return res;
+  }
+  u64 row = src;
+  int stage = 0;
+  for (;;) {
+    if (stage == n) {
+      if (row == dst) {
+        res.delivered = true;
+        return res;
+      }
+      if (res.wraps >= options.wrap_budget) {
+        res.reason = DropReason::kBudgetExhausted;
+        return res;
+      }
+      if (!faults.node_alive(row, 0)) {
+        res.reason = DropReason::kNoAliveLink;
+        return res;
+      }
+      ++res.wraps;
+      stage = 0;
+      continue;
+    }
+    const bool want = ((row ^ dst) >> stage) & 1;
+    bool cross = want;
+    if (!faults.link_alive_index(dense_link(rows, row, stage, want))) {
+      if (!faults.link_alive_index(dense_link(rows, row, stage, !want))) {
+        res.reason = DropReason::kNoAliveLink;
+        return res;
+      }
+      if (res.misroutes >= options.misroute_budget) {
+        res.reason = DropReason::kBudgetExhausted;
+        return res;
+      }
+      ++res.misroutes;
+      cross = !want;
+    }
+    on_link(dense_link(rows, row, stage, cross));
+    ++res.hops;
+    if (cross) row ^= pow2(stage);
+    ++stage;
+  }
+}
+
+void export_tally_metrics(const FaultTally& tally) {
+  obs::add(obs::get_counter("fault.delivered"), tally.delivered);
+  obs::add(obs::get_counter("fault.dropped.endpoint"),
+           tally.dropped[drop_index(DropReason::kEndpointDead)]);
+  obs::add(obs::get_counter("fault.dropped.no_alive_link"),
+           tally.dropped[drop_index(DropReason::kNoAliveLink)]);
+  obs::add(obs::get_counter("fault.dropped.budget_exhausted"),
+           tally.dropped[drop_index(DropReason::kBudgetExhausted)]);
+  obs::add(obs::get_counter("fault.dropped.queue_full"),
+           tally.dropped[drop_index(DropReason::kQueueFull)]);
+  obs::add(obs::get_counter("fault.misroutes"), tally.misroutes);
+  obs::add(obs::get_counter("fault.wraps"), tally.wraps);
+}
+
+}  // namespace
+
+RouteResult route_packet(int n, const FaultSet& faults, const FaultRoutingOptions& options,
+                         u64 src, u64 dst, std::vector<u64>* path_links) {
+  BFLY_REQUIRE(faults.dimension() == n, "fault set dimension mismatch");
+  const u64 rows = pow2(n);
+  BFLY_REQUIRE(src < rows && dst < rows, "row out of range");
+  return route_one(n, rows, faults, options, src, dst, [&](u64 link) {
+    if (path_links != nullptr) path_links->push_back(link);
+  });
+}
+
+FaultLoadCensus measure_link_loads_faulty(int n, u64 packets, u64 seed, const FaultSet& faults,
+                                          const FaultRoutingOptions& options,
+                                          std::size_t threads, bool keep_link_loads) {
+  BFLY_REQUIRE(n >= 1 && n <= 30, "butterfly dimension must be in [1, 30]");
+  BFLY_REQUIRE(faults.dimension() == n, "fault set dimension mismatch");
+  BFLY_TRACE_SCOPE("fault.measure_link_loads");
+  const u64 rows = pow2(n);
+  const u64 links = static_cast<u64>(n) * rows * 2;
+  if (threads == 0) threads = default_thread_count();
+  obs::Counter* packet_counter = obs::get_counter("fault.census.packets");
+
+  // Identical fixed-chunk seeding to measure_link_loads(): packet streams are
+  // a function of (seed, chunk index) alone, so per-link sums and drop
+  // tallies are bitwise deterministic for any thread count — and, with an
+  // empty FaultSet, identical to the pristine census (every packet takes its
+  // preferred link for exactly n hops).
+  constexpr u64 kChunkPackets = u64{1} << 16;
+  const u64 num_chunks = (packets + kChunkPackets - 1) / kChunkPackets;
+  threads = std::min<std::size_t>(threads, std::max<u64>(num_chunks, 1));
+
+  std::vector<std::vector<u64>> partial(threads, std::vector<u64>(links, 0));
+  std::vector<FaultTally> partial_tally(threads);
+  parallel_for_chunked(
+      0, num_chunks, threads, [&](std::size_t lo, std::size_t hi, std::size_t tid) {
+        BFLY_TRACE_SCOPE("fault.census.worker");
+        std::vector<u64>& loads = partial[tid];
+        FaultTally& tally = partial_tally[tid];
+        u64 routed = 0;
+        for (std::size_t chunk = lo; chunk < hi; ++chunk) {
+          Xoshiro256 rng(seed ^ (0x9e3779b97f4a7c15ULL * (chunk + 1)));
+          const u64 begin = static_cast<u64>(chunk) * kChunkPackets;
+          const u64 end = std::min(packets, begin + kChunkPackets);
+          for (u64 p = begin; p < end; ++p) {
+            const u64 src = rng.below(rows);
+            const u64 dst = rng.below(rows);
+            const RouteResult res = route_one(n, rows, faults, options, src, dst,
+                                              [&](u64 link) { ++loads[link]; });
+            if (res.delivered) {
+              ++tally.delivered;
+            } else {
+              ++tally.dropped[drop_index(res.reason)];
+            }
+            tally.misroutes += static_cast<u64>(res.misroutes);
+            tally.wraps += static_cast<u64>(res.wraps);
+          }
+          routed += end - begin;
+        }
+        obs::add(packet_counter, routed);
+      });
+
+  FaultLoadCensus out;
+  out.census.packets = packets;
+  if (keep_link_loads) out.census.link_loads.resize(links, 0);
+  u64 total = 0;
+  {
+    BFLY_TRACE_SCOPE("fault.census.merge");
+    for (u64 i = 0; i < links; ++i) {
+      u64 load = 0;
+      for (std::size_t t = 0; t < threads; ++t) load += partial[t][i];
+      if (keep_link_loads) out.census.link_loads[i] = load;
+      out.census.max_link_load = std::max(out.census.max_link_load, load);
+      total += load;
+    }
+    for (const FaultTally& t : partial_tally) {
+      out.tally.delivered += t.delivered;
+      for (std::size_t r = 0; r < kNumDropReasons; ++r) out.tally.dropped[r] += t.dropped[r];
+      out.tally.misroutes += t.misroutes;
+      out.tally.wraps += t.wraps;
+    }
+  }
+  out.census.avg_link_load = static_cast<double>(total) / static_cast<double>(links);
+  out.census.imbalance =
+      out.census.avg_link_load > 0
+          ? static_cast<double>(out.census.max_link_load) / out.census.avg_link_load
+          : 0.0;
+  out.census.avg_distance =
+      packets > 0 ? static_cast<double>(total) / static_cast<double>(packets) : 0.0;
+  out.delivered_fraction =
+      packets > 0 ? static_cast<double>(out.tally.delivered) / static_cast<double>(packets)
+                  : 0.0;
+  export_tally_metrics(out.tally);
+  obs::set(obs::get_gauge("fault.census.delivered_fraction"), out.delivered_fraction);
+  obs::set(obs::get_gauge("fault.census.max_link_load"),
+           static_cast<double>(out.census.max_link_load));
+  return out;
+}
+
+FaultSaturationPoint simulate_saturation_faulty(int n, double offered_load, u64 cycles,
+                                                u64 seed, const FaultSet& faults,
+                                                const FaultRoutingOptions& options,
+                                                u64 warmup_cycles, u64 queue_capacity) {
+  BFLY_REQUIRE(n >= 1 && n <= 30, "butterfly dimension must be in [1, 30]");
+  BFLY_REQUIRE(offered_load >= 0.0 && offered_load <= 1.0, "offered load is a probability");
+  BFLY_REQUIRE(faults.dimension() == n, "fault set dimension mismatch");
+  BFLY_TRACE_SCOPE("fault.simulate_saturation");
+  const u64 rows = pow2(n);
+
+  obs::Counter* injected_ctr = obs::get_counter("fault.injected");
+  obs::LocalHistogram latency_hist(obs::get_histogram(
+      "fault.latency_cycles", obs::Histogram::exponential_bounds(1, 2, 16)));
+  obs::LocalHistogram depth_hist(obs::get_histogram(
+      "fault.queue_depth", obs::Histogram::exponential_bounds(1, 2, 24)));
+
+  struct Packet {
+    u64 dst;
+    u64 injected_at;
+    u32 misroutes;
+    u32 wraps;
+  };
+  std::vector<std::deque<Packet>> queues(static_cast<std::size_t>(n) * rows * 2);
+  Xoshiro256 rng(seed);
+
+  FaultSaturationPoint out;
+  SaturationPoint& result = out.point;
+  FaultTally& tally = out.tally;
+  result.offered_load = offered_load;
+  u64 measured_injections = 0;
+  u64 in_flight = 0;
+  double total_latency = 0.0;
+
+  const auto count_drop = [&](DropReason reason, bool measured) {
+    if (measured) ++tally.dropped[drop_index(reason)];
+  };
+
+  // Picks the stage-`stage` output link for a packet at `row` and enqueues it
+  // there, charging a misroute when the packet must deflect.  Returns false
+  // (after counting the drop) when the packet dies here instead.
+  const auto enqueue = [&](u64 row, int stage, Packet pkt, bool measured) -> bool {
+    const bool want = ((row ^ pkt.dst) >> stage) & 1;
+    bool cross = want;
+    if (!faults.link_alive(row, stage, want)) {
+      if (!faults.link_alive(row, stage, !want)) {
+        count_drop(DropReason::kNoAliveLink, measured);
+        return false;
+      }
+      if (pkt.misroutes >= static_cast<u32>(std::max(options.misroute_budget, 0))) {
+        count_drop(DropReason::kBudgetExhausted, measured);
+        return false;
+      }
+      ++pkt.misroutes;
+      if (measured) ++tally.misroutes;
+      cross = !want;
+    }
+    auto& q = queues[dense_link(rows, row, stage, cross)];
+    if (queue_capacity > 0 && q.size() >= queue_capacity) {
+      count_drop(DropReason::kQueueFull, measured);
+      return false;
+    }
+    q.push_back(pkt);
+    return true;
+  };
+
+  std::vector<std::pair<u64, Packet>> wrapped;  // (row, packet) awaiting re-entry
+  for (u64 cycle = 0; cycle < cycles; ++cycle) {
+    const bool measured = cycle >= warmup_cycles;
+    // Forward one packet per link, highest stage first so a packet moves at
+    // most one hop per cycle; wrapped packets re-enter at stage 0 only after
+    // the sweep, for the same reason.
+    wrapped.clear();
+    for (int s = n - 1; s >= 0; --s) {
+      for (u64 row = 0; row < rows; ++row) {
+        for (int c = 0; c < 2; ++c) {
+          auto& q = queues[dense_link(rows, row, s, c == 1)];
+          if (q.empty()) continue;
+          const Packet pkt = q.front();
+          q.pop_front();
+          const u64 next_row = c == 1 ? (row ^ pow2(s)) : row;
+          if (s + 1 == n) {
+            if (next_row == pkt.dst) {
+              --in_flight;
+              if (measured) {
+                ++result.delivered;
+                ++tally.delivered;
+                const double latency = static_cast<double>(cycle + 1 - pkt.injected_at);
+                total_latency += latency;
+                latency_hist.observe(latency);
+              }
+            } else if (pkt.wraps < static_cast<u32>(std::max(options.wrap_budget, 0)) &&
+                       faults.node_alive(next_row, 0)) {
+              Packet w = pkt;
+              ++w.wraps;
+              if (measured) ++tally.wraps;
+              wrapped.emplace_back(next_row, w);
+            } else {
+              --in_flight;
+              count_drop(pkt.wraps < static_cast<u32>(std::max(options.wrap_budget, 0))
+                             ? DropReason::kNoAliveLink
+                             : DropReason::kBudgetExhausted,
+                         measured);
+            }
+          } else if (!enqueue(next_row, s + 1, pkt, measured)) {
+            --in_flight;
+          }
+        }
+      }
+    }
+    for (const auto& [row, pkt] : wrapped) {
+      if (!enqueue(row, 0, pkt, measured)) --in_flight;
+    }
+    // Inject.
+    u64 cycle_injections = 0;
+    for (u64 row = 0; row < rows; ++row) {
+      if (rng.uniform() < offered_load) {
+        const Packet pkt{rng.below(rows), cycle, 0, 0};
+        if (!faults.node_alive(row, 0) || !faults.node_alive(pkt.dst, n)) {
+          count_drop(DropReason::kEndpointDead, measured);
+          continue;
+        }
+        if (enqueue(row, 0, pkt, measured)) {
+          ++cycle_injections;
+          if (measured) ++measured_injections;
+        }
+      }
+    }
+    in_flight += cycle_injections;
+    depth_hist.observe(static_cast<double>(in_flight));
+  }
+  latency_hist.flush();
+  depth_hist.flush();
+
+  for (const auto& q : queues) {
+    result.max_queue = std::max(result.max_queue, static_cast<u64>(q.size()));
+  }
+  const double measured_cycles = static_cast<double>(cycles - warmup_cycles);
+  result.throughput =
+      static_cast<double>(result.delivered) / (measured_cycles * static_cast<double>(rows));
+  result.per_node_injection = result.throughput / static_cast<double>(n + 1);
+  result.avg_latency =
+      result.delivered > 0 ? total_latency / static_cast<double>(result.delivered) : 0.0;
+  result.dropped_queue_full = tally.dropped[drop_index(DropReason::kQueueFull)];
+  obs::add(injected_ctr, measured_injections);
+  export_tally_metrics(tally);
+  obs::set(obs::get_gauge("fault.max_queue"), static_cast<double>(result.max_queue));
+  obs::set(obs::get_gauge("fault.throughput"), result.throughput);
+  return out;
+}
+
+std::vector<std::uint8_t> reachable_destinations(int n, const FaultSet& faults, u64 src_row) {
+  BFLY_REQUIRE(n >= 1 && n <= 30, "butterfly dimension must be in [1, 30]");
+  BFLY_REQUIRE(faults.dimension() == n, "fault set dimension mismatch");
+  const u64 rows = pow2(n);
+  BFLY_REQUIRE(src_row < rows, "row out of range");
+  std::vector<std::uint8_t> out(rows, 0);
+  if (!faults.node_alive(src_row, 0)) return out;
+
+  const u64 states = rows * static_cast<u64>(n + 1);
+  std::vector<std::uint8_t> seen(states, 0);
+  std::vector<u64> queue;
+  const auto push = [&](u64 row, int stage) {
+    const u64 id = static_cast<u64>(stage) * rows + row;
+    if (seen[id]) return;
+    seen[id] = 1;
+    queue.push_back(id);
+  };
+  push(src_row, 0);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const u64 id = queue[head];
+    const u64 row = id % rows;
+    const int stage = static_cast<int>(id / rows);
+    if (stage == n) {
+      out[row] = 1;
+      // Recirculation: a packet at an output can re-enter the fabric.
+      if (faults.node_alive(row, 0)) push(row, 0);
+      continue;
+    }
+    // Dead links never lead into dead nodes (node faults kill incident
+    // links), so link liveness alone gates the forward expansion.
+    if (faults.link_alive(row, stage, false)) push(row, stage + 1);
+    if (faults.link_alive(row, stage, true)) push(row ^ pow2(stage), stage + 1);
+  }
+  return out;
+}
+
+double exact_reachability(int n, const FaultSet& faults) {
+  BFLY_TRACE_SCOPE("fault.exact_reachability");
+  const u64 rows = pow2(n);
+  u64 reachable_pairs = 0;
+  for (u64 src = 0; src < rows; ++src) {
+    const std::vector<std::uint8_t> reach = reachable_destinations(n, faults, src);
+    for (const std::uint8_t r : reach) reachable_pairs += r;
+  }
+  const double fraction = static_cast<double>(reachable_pairs) /
+                          (static_cast<double>(rows) * static_cast<double>(rows));
+  obs::set(obs::get_gauge("fault.reachability"), fraction);
+  return fraction;
+}
+
+}  // namespace bfly

@@ -13,6 +13,7 @@ namespace bfly {
 namespace {
 constexpr std::array<const char*, 8> kLayerColors = {
     "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#17becf", "#e377c2"};
+constexpr const char* kDeadWireColor = "#9e9e9e";
 }
 
 std::string heat_color(double t) {
@@ -62,22 +63,27 @@ std::string render_svg(const Layout& layout, const RenderOptions& options) {
   const std::vector<Wire>& wires = layout.wires();
   for (std::size_t wi = 0; wi < wires.size(); ++wi) {
     const Wire& wire = wires[wi];
+    const bool dead =
+        options.wire_dead != nullptr && wi < options.wire_dead->size() && (*options.wire_dead)[wi];
     std::string heat;
     double width = 1.0;
-    if (options.wire_heat != nullptr && wi < options.wire_heat->size()) {
+    if (!dead && options.wire_heat != nullptr && wi < options.wire_heat->size()) {
       const double t = (*options.wire_heat)[wi];
       heat = heat_color(t);
       width = 1.0 + 1.5 * std::clamp(t, 0.0, 1.0);
     }
     for (std::size_t i = 0; i + 1 < wire.points.size(); ++i) {
       const char* color =
-          !heat.empty() ? heat.c_str()
+          dead          ? kDeadWireColor
+          : !heat.empty() ? heat.c_str()
           : options.color_by_layer
               ? kLayerColors[static_cast<std::size_t>(wire.layers[i]) % kLayerColors.size()]
               : "#1f77b4";
       svg << "<line x1=\"" << tx(wire.points[i].x) << "\" y1=\"" << ty(wire.points[i].y)
           << "\" x2=\"" << tx(wire.points[i + 1].x) << "\" y2=\"" << ty(wire.points[i + 1].y)
-          << "\" stroke=\"" << color << "\" stroke-width=\"" << width << "\"/>\n";
+          << "\" stroke=\"" << color << "\" stroke-width=\"" << width << "\"";
+      if (dead) svg << " stroke-dasharray=\"5 4\"";
+      svg << "/>\n";
     }
   }
   svg << "</svg>\n";

@@ -21,6 +21,11 @@ struct RenderOptions {
   /// coloring — each wire is drawn on a blue → yellow → red ramp (heat_color)
   /// with its stroke width scaled by heat, so hot links read at a glance.
   const std::vector<double>* wire_heat = nullptr;
+  /// Optional fault overlay: wires flagged here (index-aligned with
+  /// layout.wires()) are *dead links* and render distinctly — thin, dashed,
+  /// neutral gray — overriding heat and layer coloring, so failed hardware
+  /// is unmistakable next to the congestion ramp.
+  const std::vector<bool>* wire_dead = nullptr;
 };
 
 /// The heatmap color ramp: 0 → cool blue, 0.5 → yellow, 1 → red, as an SVG

@@ -34,6 +34,9 @@ i64 butterfly_distance(int n, u64 r1, int s1, u64 r2, int s2) {
 
 LoadCensus measure_link_loads(int n, u64 packets, u64 seed, std::size_t threads,
                               bool keep_link_loads) {
+  // n bounds the link-index space (n * 2^n * 2 dense ids): reject out-of-range
+  // dimensions here instead of letting the shifts below overflow silently.
+  BFLY_REQUIRE(n >= 1 && n <= 30, "butterfly dimension must be in [1, 30]");
   BFLY_TRACE_SCOPE("routing.measure_link_loads");
   const Butterfly bf(n);
   const u64 rows = bf.rows();
@@ -101,6 +104,8 @@ LoadCensus measure_link_loads(int n, u64 packets, u64 seed, std::size_t threads,
 }
 
 double average_node_distance(int n, u64 samples, u64 seed) {
+  BFLY_REQUIRE(n >= 1 && n <= 30, "butterfly dimension must be in [1, 30]");
+  BFLY_REQUIRE(samples >= 1, "need at least one sample");
   const u64 rows = pow2(n);
   Xoshiro256 rng(seed);
   i64 total = 0;
@@ -142,7 +147,8 @@ u64 bit_reversal_congestion(int n) {
 }
 
 SaturationPoint simulate_saturation(int n, double offered_load, u64 cycles, u64 seed,
-                                    u64 warmup_cycles) {
+                                    u64 warmup_cycles, u64 queue_capacity) {
+  BFLY_REQUIRE(n >= 1 && n <= 30, "butterfly dimension must be in [1, 30]");
   BFLY_REQUIRE(offered_load >= 0.0 && offered_load <= 1.0, "offered load is a probability");
   BFLY_TRACE_SCOPE("routing.simulate_saturation");
   const Butterfly bf(n);
@@ -174,12 +180,20 @@ SaturationPoint simulate_saturation(int n, double offered_load, u64 cycles, u64 
   u64 in_flight = 0;
   double total_latency = 0.0;
 
-  const auto enqueue = [&](u64 row, int stage, const Packet& pkt) {
+  // Returns false when the packet is dropped (bounded-queue mode only).
+  const auto enqueue = [&](u64 row, int stage, const Packet& pkt, bool measured) {
     const bool cross = ((row ^ pkt.dst) >> stage) & 1;
-    queues[link_index(bf, row, stage, cross)].push_back(pkt);
+    auto& q = queues[link_index(bf, row, stage, cross)];
+    if (queue_capacity > 0 && q.size() >= queue_capacity) {
+      if (measured) ++result.dropped_queue_full;
+      return false;
+    }
+    q.push_back(pkt);
+    return true;
   };
 
   for (u64 cycle = 0; cycle < cycles; ++cycle) {
+    const bool measured = cycle >= warmup_cycles;
     // Forward one packet per link, highest stage first so a packet moves at
     // most one hop per cycle.
     for (int s = n - 1; s >= 0; --s) {
@@ -192,14 +206,14 @@ SaturationPoint simulate_saturation(int n, double offered_load, u64 cycles, u64 
           const u64 next_row = c == 1 ? (row ^ pow2(s)) : row;
           if (s + 1 == n) {
             --in_flight;
-            if (cycle >= warmup_cycles) {
+            if (measured) {
               ++result.delivered;
               const double latency = static_cast<double>(cycle + 1 - pkt.injected_at);
               total_latency += latency;
               latency_hist.observe(latency);
             }
-          } else {
-            enqueue(next_row, s + 1, pkt);
+          } else if (!enqueue(next_row, s + 1, pkt, measured)) {
+            --in_flight;
           }
         }
       }
@@ -208,9 +222,10 @@ SaturationPoint simulate_saturation(int n, double offered_load, u64 cycles, u64 
     u64 cycle_injections = 0;
     for (u64 row = 0; row < rows; ++row) {
       if (rng.uniform() < offered_load) {
-        enqueue(row, 0, Packet{rng.below(rows), cycle});
-        ++cycle_injections;
-        if (cycle >= warmup_cycles) ++measured_injections;
+        if (enqueue(row, 0, Packet{rng.below(rows), cycle}, measured)) {
+          ++cycle_injections;
+          if (measured) ++measured_injections;
+        }
       }
     }
     in_flight += cycle_injections;
@@ -230,6 +245,9 @@ SaturationPoint simulate_saturation(int n, double offered_load, u64 cycles, u64 
       result.delivered > 0 ? total_latency / static_cast<double>(result.delivered) : 0.0;
   obs::add(injected_ctr, measured_injections);
   obs::add(delivered_ctr, result.delivered);
+  if (queue_capacity > 0) {
+    obs::add(obs::get_counter("routing.dropped.queue_full"), result.dropped_queue_full);
+  }
   obs::set(obs::get_gauge("routing.max_queue"), static_cast<double>(result.max_queue));
   obs::set(obs::get_gauge("routing.throughput"), result.throughput);
   return result;

@@ -65,13 +65,17 @@ struct SaturationPoint {
   double per_node_injection = 0.0;  ///< throughput * R / N = throughput / (n+1)
   u64 delivered = 0;
   u64 max_queue = 0;
+  u64 dropped_queue_full = 0;    ///< bounded-queue mode only (0 when unbounded)
 };
 
 /// Synchronous store-and-forward simulation: every link moves one packet per
-/// cycle; output queues are unbounded; packets are injected at stage-0 rows
-/// with probability `offered_load` per cycle and routed by bit-fixing.
+/// cycle; packets are injected at stage-0 rows with probability
+/// `offered_load` per cycle and routed by bit-fixing.  Output queues are
+/// unbounded by default; `queue_capacity > 0` bounds every output queue and
+/// drops on full (counted, post-warmup, in dropped_queue_full) — making the
+/// unbounded-queue assumption an explicit opt-in rather than an implicit one.
 SaturationPoint simulate_saturation(int n, double offered_load, u64 cycles, u64 seed,
-                                    u64 warmup_cycles = 0);
+                                    u64 warmup_cycles = 0, u64 queue_capacity = 0);
 
 /// Maximum link congestion when routing the *permutation* perm (one packet
 /// per row) by bit-fixing through the DAG.  Uniform random permutations stay

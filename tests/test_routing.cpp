@@ -147,5 +147,38 @@ TEST(Saturation, RejectsBadLoad) {
   EXPECT_THROW(simulate_saturation(4, 1.5, 100, 1), InvalidArgument);
 }
 
+TEST(Validation, RejectsOutOfRangeDimension) {
+  // n = 0 is degenerate and n = 31 would overflow the dense link-index space
+  // (n * 2^n * 2 links) long before exhausting u64 packet counts elsewhere.
+  EXPECT_THROW(measure_link_loads(0, 100, 1), InvalidArgument);
+  EXPECT_THROW(measure_link_loads(31, 100, 1), InvalidArgument);
+  EXPECT_THROW(simulate_saturation(0, 0.5, 100, 1), InvalidArgument);
+  EXPECT_THROW(simulate_saturation(31, 0.5, 100, 1), InvalidArgument);
+  EXPECT_THROW(average_node_distance(0, 100, 1), InvalidArgument);
+  EXPECT_THROW(average_node_distance(31, 100, 1), InvalidArgument);
+  EXPECT_THROW(average_node_distance(4, 0, 1), InvalidArgument);
+}
+
+TEST(Saturation, BoundedQueuesDropAndStayBounded) {
+  const SaturationPoint bounded = simulate_saturation(5, 0.95, 800, 3, 100, /*queue_capacity=*/2);
+  EXPECT_GT(bounded.dropped_queue_full, 0u);
+  EXPECT_LE(bounded.max_queue, 2u);
+  const SaturationPoint unbounded = simulate_saturation(5, 0.95, 800, 3, 100);
+  EXPECT_EQ(unbounded.dropped_queue_full, 0u);
+  // Dropping work cannot raise throughput.
+  EXPECT_LE(bounded.throughput, unbounded.throughput + 1e-9);
+}
+
+TEST(Saturation, HugeCapacityMatchesUnboundedBitwise) {
+  // A bound that is never hit must not perturb the simulation at all.
+  const SaturationPoint unbounded = simulate_saturation(5, 0.6, 1000, 7, 100);
+  const SaturationPoint huge = simulate_saturation(5, 0.6, 1000, 7, 100, u64{1} << 40);
+  EXPECT_DOUBLE_EQ(huge.throughput, unbounded.throughput);
+  EXPECT_DOUBLE_EQ(huge.avg_latency, unbounded.avg_latency);
+  EXPECT_EQ(huge.delivered, unbounded.delivered);
+  EXPECT_EQ(huge.max_queue, unbounded.max_queue);
+  EXPECT_EQ(huge.dropped_queue_full, 0u);
+}
+
 }  // namespace
 }  // namespace bfly
