@@ -53,6 +53,13 @@ class BenchSession {
   /// after the workload has populated the histogram; throws InvalidArgument
   /// when no histogram with that name was recorded.
   void artifact_percentiles(const std::string& key, const std::string& histogram) {
+#if !BFLY_OBS_ENABLED
+    // The instrumented hot paths record nothing when obs is compiled out, so
+    // the histogram cannot exist; keep the report valid-but-empty.
+    (void)key;
+    (void)histogram;
+    return;
+#endif
     const obs::MetricsSnapshot snap = registry_.metrics_snapshot();
     for (const obs::MetricsSnapshot::Hist& h : snap.histograms) {
       if (h.name != histogram) continue;

@@ -6,21 +6,42 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "core/bfly.hpp"
+#include "routing/reference_sim.hpp"
 #include "util/prng.hpp"
 
 namespace {
 
 using namespace bfly;
 
+constexpr double kCurveLoads[] = {0.1, 0.3, 0.5, 0.7, 0.9, 1.0};
+
+std::vector<SweepPoint> curve_points(int n) {
+  std::vector<SweepPoint> pts;
+  for (const double load : kCurveLoads) {
+    SweepPoint p;
+    p.n = n;
+    p.offered_load = load;
+    p.cycles = 4000;
+    p.seed = 2026;
+    p.warmup_cycles = 500;
+    pts.push_back(p);
+  }
+  return pts;
+}
+
 void print_saturation_curve(int n) {
   std::fprintf(stderr, "=== E13: saturation curve of B_%d (uniform random traffic) ===\n", n);
   std::fprintf(stderr, "%10s %12s %12s %14s %10s\n", "offered", "throughput", "latency", "inj/node",
               "max queue");
-  for (const double load : {0.1, 0.3, 0.5, 0.7, 0.9, 1.0}) {
-    const SaturationPoint p = simulate_saturation(n, load, 4000, 2026, 500);
+  // One batched sweep on the pool: outcomes are bitwise identical to the
+  // historical per-load simulate_saturation calls.
+  const std::vector<SweepPoint> pts = curve_points(n);
+  for (const SweepOutcome& o : saturation_sweep(pts)) {
+    const SaturationPoint& p = o.point;
     std::fprintf(stderr, "%10.2f %12.4f %12.2f %14.4f %10llu\n", p.offered_load, p.throughput,
                 p.avg_latency, p.per_node_injection,
                 static_cast<unsigned long long>(p.max_queue));
@@ -31,14 +52,59 @@ void print_saturation_curve(int n) {
 void print_injection_scaling() {
   std::fprintf(stderr, "--- per-node injection at saturation vs 1/(n+1) = Theta(1/log R) ---\n");
   std::fprintf(stderr, "%4s %14s %12s %10s\n", "n", "inj/node", "1/(n+1)", "ratio");
+  std::vector<SweepPoint> pts;
   for (const int n : {4, 6, 8, 10}) {
-    const SaturationPoint p = simulate_saturation(n, 1.0, 3000, 7, 500);
+    SweepPoint p;
+    p.n = n;
+    p.offered_load = 1.0;
+    p.cycles = 3000;
+    p.seed = 7;
+    p.warmup_cycles = 500;
+    pts.push_back(p);
+  }
+  const std::vector<SweepOutcome> outcomes = saturation_sweep(pts);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const int n = pts[i].n;
     const double bound = 1.0 / (n + 1);
-    std::fprintf(stderr, "%4d %14.4f %12.4f %10.3f\n", n, p.per_node_injection, bound,
-                p.per_node_injection / bound);
+    std::fprintf(stderr, "%4d %14.4f %12.4f %10.3f\n", n, outcomes[i].point.per_node_injection,
+                bound, outcomes[i].point.per_node_injection / bound);
   }
   std::fprintf(stderr, "paper: the maximum per-node injection rate is Theta(1/log R); the ratio\n");
   std::fprintf(stderr, "       to 1/(n+1) stays within a constant across n.\n\n");
+}
+
+/// Engine speedup: the seed deque simulator run serially over the B_8 curve
+/// vs the arena engine driven by saturation_sweep, both with the registry
+/// detached so only the engines are timed.  Machine-dependent (the baseline
+/// gate ignores it); the trajectory log tracks it across commits.
+double print_arena_speedup() {
+  std::fprintf(stderr, "--- arena sweep vs seed deque simulator (B_8 saturation curve) ---\n");
+  using Clock = std::chrono::steady_clock;
+  const std::vector<SweepPoint> pts = curve_points(8);
+  const obs::ScopedRegistry scoped(nullptr);
+  // Warm both engines (allocator + pool spin-up) before timing.
+  simulate_saturation_reference(8, 0.5, 200, 1, 50);
+  saturation_sweep(std::vector<SweepPoint>{pts[0]});
+  double reference_s = 1e300;
+  double arena_s = 1e300;
+  for (int rep = 0; rep < 2; ++rep) {
+    const auto t0 = Clock::now();
+    for (const SweepPoint& p : pts) {
+      const SaturationPoint r = simulate_saturation_reference(
+          p.n, p.offered_load, p.cycles, p.seed, p.warmup_cycles, p.queue_capacity);
+      benchmark::DoNotOptimize(r.delivered);
+    }
+    const auto t1 = Clock::now();
+    const std::vector<SweepOutcome> out = saturation_sweep(pts);
+    benchmark::DoNotOptimize(out.back().point.delivered);
+    const auto t2 = Clock::now();
+    reference_s = std::min(reference_s, std::chrono::duration<double>(t1 - t0).count());
+    arena_s = std::min(arena_s, std::chrono::duration<double>(t2 - t1).count());
+  }
+  const double speedup = reference_s / arena_s;
+  std::fprintf(stderr, "%14s %14s %10s\n", "deque (s)", "arena (s)", "speedup");
+  std::fprintf(stderr, "%14.4f %14.4f %9.2fx\n\n", reference_s, arena_s, speedup);
+  return speedup;
 }
 
 void print_load_balance() {
@@ -128,6 +194,7 @@ int main(int argc, char** argv) {
   print_load_balance();
   print_congestion_table();
   session.artifact("obs_overhead_percent", print_obs_overhead());
+  session.artifact("arena_sweep_speedup_b8", print_arena_speedup());
   session.artifact_percentiles("routing.latency_cycles", "routing.latency_cycles");
   session.run_benchmarks(argc, argv);
   session.emit_report();

@@ -7,12 +7,12 @@
 // optimal butterfly layouts under the Thompson and multilayer grid models
 // (Sections 3-4), the partitioning/packaging schemes and the hierarchical
 // planner (Sections 2.3 and 5), the routing simulator behind the Theorem 2.1
-// lower bound, the fault-injection / fault-tolerant-routing / degradation
-// subsystem (bfly::fault), and the network FFT functional check.
+// lower bound, the fault-injection / fault-tolerant-routing subsystem
+// (bfly::fault), the batched simulation sweeps and degradation analysis
+// (bfly::sim), and the network FFT functional check.
 #pragma once
 
 #include "core/formulas.hpp"
-#include "fault/degradation.hpp"
 #include "fault/fault_routing.hpp"
 #include "fault/fault_set.hpp"
 #include "fft/isn_fft.hpp"
@@ -27,6 +27,8 @@
 #include "packaging/hierarchical.hpp"
 #include "packaging/partition.hpp"
 #include "routing/routing.hpp"
+#include "sim/degradation.hpp"
+#include "sim/sweep.hpp"
 #include "layout/hypercube_layout.hpp"
 #include "layout/product_layout.hpp"
 #include "topology/basic_graphs.hpp"

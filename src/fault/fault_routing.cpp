@@ -1,10 +1,11 @@
 #include "fault/fault_routing.hpp"
 
 #include <algorithm>
-#include <deque>
+#include <utility>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "routing/packet_arena.hpp"
 #include "util/parallel.hpp"
 #include "util/prng.hpp"
 
@@ -151,12 +152,29 @@ FaultLoadCensus measure_link_loads_faulty(int n, u64 packets, u64 seed, const Fa
   u64 total = 0;
   {
     BFLY_TRACE_SCOPE("fault.census.merge");
-    for (u64 i = 0; i < links; ++i) {
-      u64 load = 0;
-      for (std::size_t t = 0; t < threads; ++t) load += partial[t][i];
-      if (keep_link_loads) out.census.link_loads[i] = load;
-      out.census.max_link_load = std::max(out.census.max_link_load, load);
-      total += load;
+    // Same pool-backed per-range reduction as the pristine census: u64
+    // max/total partials combined in range order keep the merged statistics
+    // bitwise deterministic for any pool size.
+    std::vector<u64> range_max(threads, 0);
+    std::vector<u64> range_total(threads, 0);
+    parallel_for_chunked(
+        0, static_cast<std::size_t>(links), threads,
+        [&](std::size_t lo, std::size_t hi, std::size_t tid) {
+          u64 max_load = 0;
+          u64 range_sum = 0;
+          for (std::size_t i = lo; i < hi; ++i) {
+            u64 load = 0;
+            for (std::size_t t = 0; t < threads; ++t) load += partial[t][i];
+            if (keep_link_loads) out.census.link_loads[i] = load;
+            max_load = std::max(max_load, load);
+            range_sum += load;
+          }
+          range_max[tid] = max_load;
+          range_total[tid] = range_sum;
+        });
+    for (std::size_t t = 0; t < threads; ++t) {
+      out.census.max_link_load = std::max(out.census.max_link_load, range_max[t]);
+      total += range_total[t];
     }
     for (const FaultTally& t : partial_tally) {
       out.tally.delivered += t.delivered;
@@ -198,13 +216,12 @@ FaultSaturationPoint simulate_saturation_faulty(int n, double offered_load, u64 
   obs::LocalHistogram depth_hist(obs::get_histogram(
       "fault.queue_depth", obs::Histogram::exponential_bounds(1, 2, 24)));
 
-  struct Packet {
-    u64 dst;
-    u64 injected_at;
-    u32 misroutes;
-    u32 wraps;
-  };
-  std::vector<std::deque<Packet>> queues(static_cast<std::size_t>(n) * rows * 2);
+  // Per-link FIFOs in the flat slot arena (budget lanes enabled), same
+  // push_back/pop_front semantics as the seed's per-link deques — the
+  // *_reference oracle asserts bit-identical results.
+  using Packet = PacketArena::Packet;
+  const u64 links = static_cast<u64>(n) * rows * 2;
+  PacketArena arena(links, /*with_budgets=*/true);
   Xoshiro256 rng(seed);
 
   FaultSaturationPoint out;
@@ -238,12 +255,12 @@ FaultSaturationPoint simulate_saturation_faulty(int n, double offered_load, u64 
       if (measured) ++tally.misroutes;
       cross = !want;
     }
-    auto& q = queues[dense_link(rows, row, stage, cross)];
-    if (queue_capacity > 0 && q.size() >= queue_capacity) {
+    const u64 link = dense_link(rows, row, stage, cross);
+    if (queue_capacity > 0 && arena.size(link) >= queue_capacity) {
       count_drop(DropReason::kQueueFull, measured);
       return false;
     }
-    q.push_back(pkt);
+    arena.push(link, pkt);
     return true;
   };
 
@@ -255,41 +272,61 @@ FaultSaturationPoint simulate_saturation_faulty(int n, double offered_load, u64 
     // the sweep, for the same reason.
     wrapped.clear();
     for (int s = n - 1; s >= 0; --s) {
-      for (u64 row = 0; row < rows; ++row) {
-        for (int c = 0; c < 2; ++c) {
-          auto& q = queues[dense_link(rows, row, s, c == 1)];
-          if (q.empty()) continue;
-          const Packet pkt = q.front();
-          q.pop_front();
-          const u64 next_row = c == 1 ? (row ^ pow2(s)) : row;
-          if (s + 1 == n) {
-            if (next_row == pkt.dst) {
+      // For a fixed stage the dense link ids are contiguous, so the
+      // occupancy bitmap walks non-empty links in exactly the (row, c)
+      // order of the seed's full scan — and skips the empty ones for free.
+      const u64 stage_base = static_cast<u64>(s) * rows * 2;
+      arena.for_each_occupied(stage_base, stage_base + rows * 2, [&](u64 link) {
+        const u64 row = (link - stage_base) >> 1;
+        const bool cross = (link & 1) != 0;
+        const u64 next_row = cross ? (row ^ pow2(s)) : row;
+        if (s + 1 < n) {
+          // Intermediate hop on an alive wanted link leaves the payload
+          // (dst, injected_at, budgets) unchanged: relink the slot instead of
+          // popping and re-pushing.  Misroutes fall through to the seed's
+          // full enqueue path below.
+          const u64 dst = arena.front_dst(link);
+          const bool want = ((next_row ^ dst) >> (s + 1)) & 1;
+          if (faults.link_alive(next_row, s + 1, want)) {
+            const u64 next_link = dense_link(rows, next_row, s + 1, want);
+            if (queue_capacity > 0 && arena.size(next_link) >= queue_capacity) {
+              arena.pop(link);
+              count_drop(DropReason::kQueueFull, measured);
               --in_flight;
-              if (measured) {
-                ++result.delivered;
-                ++tally.delivered;
-                const double latency = static_cast<double>(cycle + 1 - pkt.injected_at);
-                total_latency += latency;
-                latency_hist.observe(latency);
-              }
-            } else if (pkt.wraps < static_cast<u32>(std::max(options.wrap_budget, 0)) &&
-                       faults.node_alive(next_row, 0)) {
-              Packet w = pkt;
-              ++w.wraps;
-              if (measured) ++tally.wraps;
-              wrapped.emplace_back(next_row, w);
             } else {
-              --in_flight;
-              count_drop(pkt.wraps < static_cast<u32>(std::max(options.wrap_budget, 0))
-                             ? DropReason::kNoAliveLink
-                             : DropReason::kBudgetExhausted,
-                         measured);
+              arena.move_front(link, next_link);
             }
-          } else if (!enqueue(next_row, s + 1, pkt, measured)) {
-            --in_flight;
+            return;
           }
         }
-      }
+        const Packet pkt = arena.pop(link);
+        if (s + 1 == n) {
+          if (next_row == pkt.dst) {
+            --in_flight;
+            if (measured) {
+              ++result.delivered;
+              ++tally.delivered;
+              const double latency = static_cast<double>(cycle + 1 - pkt.injected_at);
+              total_latency += latency;
+              latency_hist.observe(latency);
+            }
+          } else if (pkt.wraps < static_cast<u32>(std::max(options.wrap_budget, 0)) &&
+                     faults.node_alive(next_row, 0)) {
+            Packet w = pkt;
+            ++w.wraps;
+            if (measured) ++tally.wraps;
+            wrapped.emplace_back(next_row, w);
+          } else {
+            --in_flight;
+            count_drop(pkt.wraps < static_cast<u32>(std::max(options.wrap_budget, 0))
+                           ? DropReason::kNoAliveLink
+                           : DropReason::kBudgetExhausted,
+                       measured);
+          }
+        } else if (!enqueue(next_row, s + 1, pkt, measured)) {
+          --in_flight;
+        }
+      });
     }
     for (const auto& [row, pkt] : wrapped) {
       if (!enqueue(row, 0, pkt, measured)) --in_flight;
@@ -315,9 +352,7 @@ FaultSaturationPoint simulate_saturation_faulty(int n, double offered_load, u64 
   latency_hist.flush();
   depth_hist.flush();
 
-  for (const auto& q : queues) {
-    result.max_queue = std::max(result.max_queue, static_cast<u64>(q.size()));
-  }
+  result.max_queue = arena.max_size();
   const double measured_cycles = static_cast<double>(cycles - warmup_cycles);
   result.throughput =
       static_cast<double>(result.delivered) / (measured_cycles * static_cast<double>(rows));
@@ -371,11 +406,25 @@ std::vector<std::uint8_t> reachable_destinations(int n, const FaultSet& faults, 
 double exact_reachability(int n, const FaultSet& faults) {
   BFLY_TRACE_SCOPE("fault.exact_reachability");
   const u64 rows = pow2(n);
+  // Each source row's BFS is independent; pool threads claim contiguous row
+  // ranges and the u64 per-range pair counts are summed in range order, so
+  // the fraction is bitwise identical for any pool size.
+  const std::size_t threads =
+      std::min<std::size_t>(default_thread_count(), static_cast<std::size_t>(rows));
+  std::vector<u64> partial(threads, 0);
+  parallel_for_chunked(
+      0, static_cast<std::size_t>(rows), threads,
+      [&](std::size_t lo, std::size_t hi, std::size_t tid) {
+        u64 pairs = 0;
+        for (std::size_t src = lo; src < hi; ++src) {
+          const std::vector<std::uint8_t> reach =
+              reachable_destinations(n, faults, static_cast<u64>(src));
+          for (const std::uint8_t r : reach) pairs += r;
+        }
+        partial[tid] = pairs;
+      });
   u64 reachable_pairs = 0;
-  for (u64 src = 0; src < rows; ++src) {
-    const std::vector<std::uint8_t> reach = reachable_destinations(n, faults, src);
-    for (const std::uint8_t r : reach) reachable_pairs += r;
-  }
+  for (const u64 p : partial) reachable_pairs += p;
   const double fraction = static_cast<double>(reachable_pairs) /
                           (static_cast<double>(rows) * static_cast<double>(rows));
   obs::set(obs::get_gauge("fault.reachability"), fraction);

@@ -1,0 +1,23 @@
+// The seed deque-based saturation simulator, kept verbatim (minus obs
+// instrumentation, which never influenced the returned statistics) as the
+// determinism oracle for the arena engine: simulate_saturation() must
+// reproduce simulate_saturation_reference() bit for bit — every
+// SaturationPoint field, for every (seed, load, queue_capacity) — which
+// tests/test_routing.cpp asserts across seeds and modes.  bench_routing also
+// times this reference serially against the arena-backed saturation_sweep to
+// measure the engine speedup it records in bench/trajectories/.
+//
+// Do not "improve" this file: its value is that it does not change.
+#pragma once
+
+#include "routing/routing.hpp"
+
+namespace bfly {
+
+/// The seed implementation of simulate_saturation (per-link std::deque
+/// FIFOs, single-threaded).  Same contract and RNG streams as the arena
+/// engine; intentionally unoptimized.
+SaturationPoint simulate_saturation_reference(int n, double offered_load, u64 cycles, u64 seed,
+                                              u64 warmup_cycles = 0, u64 queue_capacity = 0);
+
+}  // namespace bfly

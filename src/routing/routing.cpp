@@ -1,10 +1,10 @@
 #include "routing/routing.hpp"
 
 #include <algorithm>
-#include <deque>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "routing/packet_arena.hpp"
 #include "util/parallel.hpp"
 #include "util/prng.hpp"
 
@@ -12,17 +12,12 @@ namespace bfly {
 
 i64 butterfly_distance(int n, u64 r1, int s1, u64 r2, int s2) {
   BFLY_REQUIRE(n >= 1 && s1 >= 0 && s1 <= n && s2 >= 0 && s2 <= n, "bad node coordinates");
-  const u64 diff = r1 ^ r2;
+  // Bit b is fixed by traversing transition b (between stages b and b+1);
+  // only the low n bits name transitions, so mask before scanning.
+  const u64 diff = extract_bits(r1 ^ r2, 0, n);
   if (diff == 0) return std::abs(s1 - s2);
-  // Bit b is fixed by traversing transition b (between stages b and b+1).
-  int lo_bit = 63;
-  int hi_bit = 0;
-  for (int b = 0; b < n; ++b) {
-    if ((diff >> b) & 1) {
-      lo_bit = std::min(lo_bit, b);
-      hi_bit = std::max(hi_bit, b);
-    }
-  }
+  const int lo_bit = lowest_set_bit(diff);
+  const int hi_bit = highest_set_bit(diff);
   // The walk must cover the stage interval [lo_bit, hi_bit + 1]; the cheapest
   // sweep goes to one end first, then across, then to s2.
   const i64 a = std::min<i64>(lo_bit, std::min(s1, s2));
@@ -82,12 +77,29 @@ LoadCensus measure_link_loads(int n, u64 packets, u64 seed, std::size_t threads,
   u64 total = 0;
   {
     BFLY_TRACE_SCOPE("routing.census.merge");
-    for (u64 i = 0; i < links; ++i) {
-      u64 load = 0;
-      for (std::size_t t = 0; t < threads; ++t) load += partial[t][i];
-      if (keep_link_loads) census.link_loads[i] = load;
-      census.max_link_load = std::max(census.max_link_load, load);
-      total += load;
+    // The per-link reduction runs on the pool too; per-range max/total
+    // partials are combined in range order (u64 arithmetic), so the merged
+    // statistics stay bitwise deterministic for any pool size.
+    std::vector<u64> range_max(threads, 0);
+    std::vector<u64> range_total(threads, 0);
+    parallel_for_chunked(
+        0, static_cast<std::size_t>(links), threads,
+        [&](std::size_t lo, std::size_t hi, std::size_t tid) {
+          u64 max_load = 0;
+          u64 range_sum = 0;
+          for (std::size_t i = lo; i < hi; ++i) {
+            u64 load = 0;
+            for (std::size_t t = 0; t < threads; ++t) load += partial[t][i];
+            if (keep_link_loads) census.link_loads[i] = load;
+            max_load = std::max(max_load, load);
+            range_sum += load;
+          }
+          range_max[tid] = max_load;
+          range_total[tid] = range_sum;
+        });
+    for (std::size_t t = 0; t < threads; ++t) {
+      census.max_link_load = std::max(census.max_link_load, range_max[t]);
+      total += range_total[t];
     }
   }
   census.avg_link_load = static_cast<double>(total) / static_cast<double>(links);
@@ -103,23 +115,46 @@ LoadCensus measure_link_loads(int n, u64 packets, u64 seed, std::size_t threads,
   return census;
 }
 
-double average_node_distance(int n, u64 samples, u64 seed) {
+double average_node_distance(int n, u64 samples, u64 seed, std::size_t threads) {
   BFLY_REQUIRE(n >= 1 && n <= 30, "butterfly dimension must be in [1, 30]");
   BFLY_REQUIRE(samples >= 1, "need at least one sample");
+  BFLY_TRACE_SCOPE("routing.average_node_distance");
   const u64 rows = pow2(n);
-  Xoshiro256 rng(seed);
+  if (threads == 0) threads = default_thread_count();
+
+  // Same fixed-chunk seeding scheme as measure_link_loads: the sample stream
+  // is a function of (seed, chunk index) alone and the i64 chunk totals are
+  // merged in chunk-range order, so the average is bitwise identical for any
+  // thread count.
+  constexpr u64 kChunkSamples = u64{1} << 16;
+  const u64 num_chunks = (samples + kChunkSamples - 1) / kChunkSamples;
+  threads = std::min<std::size_t>(threads, std::max<u64>(num_chunks, 1));
+
+  std::vector<i64> partial(threads, 0);
+  parallel_for_chunked(
+      0, num_chunks, threads, [&](std::size_t lo, std::size_t hi, std::size_t tid) {
+        i64 total = 0;
+        for (std::size_t chunk = lo; chunk < hi; ++chunk) {
+          Xoshiro256 rng(seed ^ (0x9e3779b97f4a7c15ULL * (chunk + 1)));
+          const u64 begin = static_cast<u64>(chunk) * kChunkSamples;
+          const u64 end = std::min(samples, begin + kChunkSamples);
+          for (u64 i = begin; i < end; ++i) {
+            const u64 r1 = rng.below(rows);
+            const u64 r2 = rng.below(rows);
+            const int s1 = static_cast<int>(rng.below(static_cast<u64>(n) + 1));
+            const int s2 = static_cast<int>(rng.below(static_cast<u64>(n) + 1));
+            total += butterfly_distance(n, r1, s1, r2, s2);
+          }
+        }
+        partial[tid] = total;
+      });
   i64 total = 0;
-  for (u64 i = 0; i < samples; ++i) {
-    const u64 r1 = rng.below(rows);
-    const u64 r2 = rng.below(rows);
-    const int s1 = static_cast<int>(rng.below(static_cast<u64>(n) + 1));
-    const int s2 = static_cast<int>(rng.below(static_cast<u64>(n) + 1));
-    total += butterfly_distance(n, r1, s1, r2, s2);
-  }
+  for (const i64 t : partial) total += t;
   return static_cast<double>(total) / static_cast<double>(samples);
 }
 
 u64 permutation_congestion(int n, std::span<const u64> perm) {
+  BFLY_REQUIRE(n >= 1 && n <= 30, "butterfly dimension must be in [1, 30]");
   const Butterfly bf(n);
   const u64 rows = bf.rows();
   BFLY_REQUIRE(perm.size() == rows, "permutation must cover all rows");
@@ -140,6 +175,7 @@ u64 permutation_congestion(int n, std::span<const u64> perm) {
 }
 
 u64 bit_reversal_congestion(int n) {
+  BFLY_REQUIRE(n >= 1 && n <= 30, "butterfly dimension must be in [1, 30]");
   const u64 rows = pow2(n);
   std::vector<u64> perm(rows);
   for (u64 r = 0; r < rows; ++r) perm[r] = bit_reverse(r, n);
@@ -153,6 +189,7 @@ SaturationPoint simulate_saturation(int n, double offered_load, u64 cycles, u64 
   BFLY_TRACE_SCOPE("routing.simulate_saturation");
   const Butterfly bf(n);
   const u64 rows = bf.rows();
+  const u64 links = static_cast<u64>(n) * rows * 2;
 
   // Hoisted metric handles: one registry lookup per call.  The simulator is
   // single-threaded, so per-delivery latency observations go through a
@@ -166,12 +203,10 @@ SaturationPoint simulate_saturation(int n, double offered_load, u64 cycles, u64 
   obs::LocalHistogram depth_hist(obs::get_histogram(
       "routing.queue_depth", obs::Histogram::exponential_bounds(1, 2, 24)));
 
-  struct Packet {
-    u64 dst;
-    u64 injected_at;
-  };
-  // One FIFO per forward link.
-  std::vector<std::deque<Packet>> queues(static_cast<std::size_t>(n) * rows * 2);
+  // Per-link FIFOs live in the flat slot arena: same push_back/pop_front
+  // semantics as the seed's per-link deques (the *_reference oracle), zero
+  // per-cycle heap traffic.
+  PacketArena arena(links);
   Xoshiro256 rng(seed);
 
   SaturationPoint result;
@@ -181,48 +216,61 @@ SaturationPoint simulate_saturation(int n, double offered_load, u64 cycles, u64 
   double total_latency = 0.0;
 
   // Returns false when the packet is dropped (bounded-queue mode only).
-  const auto enqueue = [&](u64 row, int stage, const Packet& pkt, bool measured) {
-    const bool cross = ((row ^ pkt.dst) >> stage) & 1;
-    auto& q = queues[link_index(bf, row, stage, cross)];
-    if (queue_capacity > 0 && q.size() >= queue_capacity) {
+  const auto enqueue = [&](u64 row, int stage, u64 dst, u64 injected_at, bool measured) {
+    const bool cross = ((row ^ dst) >> stage) & 1;
+    const u64 link = (static_cast<u64>(stage) * rows + row) * 2 + (cross ? 1 : 0);
+    if (queue_capacity > 0 && arena.size(link) >= queue_capacity) {
       if (measured) ++result.dropped_queue_full;
       return false;
     }
-    q.push_back(pkt);
+    arena.push(link, {dst, injected_at, 0, 0});
     return true;
   };
 
   for (u64 cycle = 0; cycle < cycles; ++cycle) {
     const bool measured = cycle >= warmup_cycles;
     // Forward one packet per link, highest stage first so a packet moves at
-    // most one hop per cycle.
+    // most one hop per cycle.  For a fixed stage the dense link ids are the
+    // contiguous range [stage * rows * 2, (stage + 1) * rows * 2), so the
+    // occupancy bitmap walks non-empty links in exactly the (row, c) order
+    // of the seed's full scan — and skips the empty ones for free.
     for (int s = n - 1; s >= 0; --s) {
-      for (u64 row = 0; row < rows; ++row) {
-        for (int c = 0; c < 2; ++c) {
-          auto& q = queues[link_index(bf, row, s, c == 1)];
-          if (q.empty()) continue;
-          const Packet pkt = q.front();
-          q.pop_front();
-          const u64 next_row = c == 1 ? (row ^ pow2(s)) : row;
-          if (s + 1 == n) {
-            --in_flight;
-            if (measured) {
-              ++result.delivered;
-              const double latency = static_cast<double>(cycle + 1 - pkt.injected_at);
-              total_latency += latency;
-              latency_hist.observe(latency);
-            }
-          } else if (!enqueue(next_row, s + 1, pkt, measured)) {
-            --in_flight;
+      const u64 stage_base = static_cast<u64>(s) * rows * 2;
+      arena.for_each_occupied(stage_base, stage_base + rows * 2, [&](u64 link) {
+        const u64 row = (link - stage_base) >> 1;
+        const bool cross = (link & 1) != 0;
+        const u64 next_row = cross ? (row ^ pow2(s)) : row;
+        if (s + 1 == n) {
+          const PacketArena::Packet pkt = arena.pop(link);
+          --in_flight;
+          if (measured) {
+            ++result.delivered;
+            const double latency = static_cast<double>(cycle + 1 - pkt.injected_at);
+            total_latency += latency;
+            latency_hist.observe(latency);
           }
+          return;
         }
-      }
+        // Intermediate hop: the payload is invariant, so relink the slot onto
+        // the next stage's FIFO instead of popping and re-pushing it.
+        const u64 dst = arena.front_dst(link);
+        const bool next_cross = ((next_row ^ dst) >> (s + 1)) & 1;
+        const u64 next_link =
+            (static_cast<u64>(s + 1) * rows + next_row) * 2 + (next_cross ? 1 : 0);
+        if (queue_capacity > 0 && arena.size(next_link) >= queue_capacity) {
+          arena.pop(link);
+          if (measured) ++result.dropped_queue_full;
+          --in_flight;
+        } else {
+          arena.move_front(link, next_link);
+        }
+      });
     }
     // Inject.
     u64 cycle_injections = 0;
     for (u64 row = 0; row < rows; ++row) {
       if (rng.uniform() < offered_load) {
-        if (enqueue(row, 0, Packet{rng.below(rows), cycle}, measured)) {
+        if (enqueue(row, 0, rng.below(rows), cycle, measured)) {
           ++cycle_injections;
           if (measured) ++measured_injections;
         }
@@ -234,9 +282,7 @@ SaturationPoint simulate_saturation(int n, double offered_load, u64 cycles, u64 
   latency_hist.flush();
   depth_hist.flush();
 
-  for (const auto& q : queues) {
-    result.max_queue = std::max(result.max_queue, static_cast<u64>(q.size()));
-  }
+  result.max_queue = arena.max_size();
   const double measured_cycles = static_cast<double>(cycles - warmup_cycles);
   result.throughput =
       static_cast<double>(result.delivered) / (measured_cycles * static_cast<double>(rows));

@@ -55,8 +55,12 @@ LoadCensus measure_link_loads(int n, u64 packets, u64 seed,
                               bool keep_link_loads = false);
 
 /// Average shortest-path distance between uniformly random node pairs
-/// (arbitrary stages): the Theta(log R) quantity in Theorem 2.1.
-double average_node_distance(int n, u64 samples, u64 seed);
+/// (arbitrary stages): the Theta(log R) quantity in Theorem 2.1.  Samples are
+/// drawn in fixed-size chunks seeded by (seed, chunk index) and the integer
+/// chunk totals are merged in chunk order, so the result is bitwise identical
+/// for every thread count (0 = default).
+double average_node_distance(int n, u64 samples, u64 seed,
+                             std::size_t threads = 0);
 
 struct SaturationPoint {
   double offered_load = 0.0;     ///< injection probability per stage-0 row per cycle

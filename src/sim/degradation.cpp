@@ -1,4 +1,4 @@
-#include "fault/degradation.hpp"
+#include "sim/degradation.hpp"
 
 #include <algorithm>
 
@@ -11,11 +11,35 @@ std::vector<DegradationPoint> degradation_curve(int n, std::span<const double> r
                                                 const DegradationOptions& options) {
   BFLY_REQUIRE(n >= 1 && n <= 30, "butterfly dimension must be in [1, 30]");
   BFLY_TRACE_SCOPE("fault.degradation_curve");
+
+  // Build every rate's fault set up front (serial, deterministic), then run
+  // all per-rate queued simulations as one batched sweep on the pool — the
+  // simulations dominate the curve's wall clock and are independent.  The
+  // outcomes are bitwise identical to the seed's serial per-rate calls.
+  std::vector<FaultSet> fault_sets;
+  fault_sets.reserve(rates.size());
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    fault_sets.push_back(
+        FaultSet::random_links(n, rates[i], seed ^ (0x9e3779b97f4a7c15ULL * (i + 1))));
+  }
+  std::vector<SweepPoint> sweep_points(rates.size());
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    SweepPoint& sp = sweep_points[i];
+    sp.n = n;
+    sp.offered_load = options.offered_load;
+    sp.cycles = options.sim_cycles;
+    sp.seed = seed;
+    sp.warmup_cycles = options.sim_warmup;
+    sp.queue_capacity = options.queue_capacity;
+    sp.faults = &fault_sets[i];
+    sp.routing = options.routing;
+  }
+  const std::vector<SweepOutcome> sims = saturation_sweep(sweep_points);
+
   std::vector<DegradationPoint> curve;
   curve.reserve(rates.size());
   for (std::size_t i = 0; i < rates.size(); ++i) {
-    const FaultSet faults =
-        FaultSet::random_links(n, rates[i], seed ^ (0x9e3779b97f4a7c15ULL * (i + 1)));
+    const FaultSet& faults = fault_sets[i];
 
     DegradationPoint pt;
     pt.link_fault_rate = rates[i];
@@ -43,9 +67,7 @@ std::vector<DegradationPoint> degradation_curve(int n, std::span<const double> r
       pt.reachability_exact = false;
     }
 
-    const FaultSaturationPoint sim = simulate_saturation_faulty(
-        n, options.offered_load, options.sim_cycles, seed, faults, options.routing,
-        options.sim_warmup, options.queue_capacity);
+    const SweepOutcome& sim = sims[i];
     pt.throughput = sim.point.throughput;
     pt.avg_latency = sim.point.avg_latency;
     pt.sim_delivered = sim.point.delivered;

@@ -12,6 +12,9 @@
 //    a fixed block of nodes and turns that chip's off-module links dead;
 //    the sweep over chips reports the spare-provisioning picture — how bad
 //    the worst single-chip failure is, measured by surviving reachability.
+//
+// Lives in bfly::sim (above fault + packaging) so the per-rate queued
+// simulations can run as one batched saturation_sweep() on the shared pool.
 #pragma once
 
 #include <span>
@@ -20,6 +23,7 @@
 #include "fault/fault_routing.hpp"
 #include "fault/fault_set.hpp"
 #include "packaging/hierarchical.hpp"
+#include "sim/sweep.hpp"
 
 namespace bfly {
 

@@ -1,0 +1,60 @@
+#include "sim/sweep.hpp"
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/parallel.hpp"
+
+namespace bfly {
+
+std::vector<SweepOutcome> saturation_sweep(std::span<const SweepPoint> points,
+                                           std::size_t threads) {
+  BFLY_TRACE_SCOPE("sim.saturation_sweep");
+  std::vector<SweepOutcome> outcomes(points.size());
+  if (points.empty()) return outcomes;
+  if (threads == 0) threads = default_thread_count();
+
+  // Element-wise chunking: each pool range runs its points in request order,
+  // writing into the outcome slot for that index.  Counter/histogram traffic
+  // from concurrent engines merges commutatively in the registry.
+  parallel_for_chunked(0, points.size(), std::min(threads, points.size()),
+                       [&](std::size_t lo, std::size_t hi, std::size_t /*tid*/) {
+                         for (std::size_t i = lo; i < hi; ++i) {
+                           const SweepPoint& p = points[i];
+                           if (p.faults == nullptr) {
+                             outcomes[i].point = simulate_saturation(
+                                 p.n, p.offered_load, p.cycles, p.seed, p.warmup_cycles,
+                                 p.queue_capacity);
+                           } else {
+                             const FaultSaturationPoint fsp = simulate_saturation_faulty(
+                                 p.n, p.offered_load, p.cycles, p.seed, *p.faults, p.routing,
+                                 p.warmup_cycles, p.queue_capacity);
+                             outcomes[i].point = fsp.point;
+                             outcomes[i].tally = fsp.tally;
+                           }
+                         }
+                       });
+
+  // The engines' gauges are last-write-wins, which a parallel phase would
+  // leave to the scheduler.  Re-set them from the last pristine / faulty
+  // point in request order so the registry ends exactly as a serial
+  // point-by-point run would leave it.
+  for (std::size_t i = points.size(); i-- > 0;) {
+    if (points[i].faults == nullptr) {
+      obs::set(obs::get_gauge("routing.max_queue"),
+               static_cast<double>(outcomes[i].point.max_queue));
+      obs::set(obs::get_gauge("routing.throughput"), outcomes[i].point.throughput);
+      break;
+    }
+  }
+  for (std::size_t i = points.size(); i-- > 0;) {
+    if (points[i].faults != nullptr) {
+      obs::set(obs::get_gauge("fault.max_queue"),
+               static_cast<double>(outcomes[i].point.max_queue));
+      obs::set(obs::get_gauge("fault.throughput"), outcomes[i].point.throughput);
+      break;
+    }
+  }
+  return outcomes;
+}
+
+}  // namespace bfly

@@ -1,0 +1,50 @@
+// Batched saturation sweeps: run many (offered_load, seed, FaultSet) queued
+// simulations concurrently on the shared thread pool.
+//
+// Each sweep point is an independent simulation with its own RNG stream, so
+// the outcome vector is bitwise identical to calling simulate_saturation /
+// simulate_saturation_faulty point by point in order — for any pool size
+// (tests/test_sim.cpp asserts both).  The only shared state the simulators
+// touch is the obs registry: counter and histogram merges are commutative,
+// and the engines' last-write-wins gauges (routing.max_queue,
+// routing.throughput, fault.max_queue, fault.throughput) are re-set
+// deterministically after the parallel phase from the last pristine / faulty
+// point in request order, exactly as a serial run would leave them.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "fault/fault_routing.hpp"
+#include "fault/fault_set.hpp"
+#include "routing/routing.hpp"
+
+namespace bfly {
+
+/// One queued-simulation request.  `faults == nullptr` runs the pristine
+/// engine (simulate_saturation); otherwise the budgeted faulty engine runs
+/// against *faults, which must outlive the sweep call.
+struct SweepPoint {
+  int n = 0;
+  double offered_load = 0.0;
+  u64 cycles = 0;
+  u64 seed = 0;
+  u64 warmup_cycles = 0;
+  u64 queue_capacity = 0;
+  const FaultSet* faults = nullptr;
+  FaultRoutingOptions routing{};
+};
+
+/// Result of one sweep point.  `tally` is all-zero for pristine points.
+struct SweepOutcome {
+  SaturationPoint point;
+  FaultTally tally;
+};
+
+/// Runs every point (in parallel, `threads` = max concurrency, 0 = default)
+/// and returns outcomes indexed like `points`.
+std::vector<SweepOutcome> saturation_sweep(std::span<const SweepPoint> points,
+                                           std::size_t threads = 0);
+
+}  // namespace bfly

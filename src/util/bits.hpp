@@ -11,6 +11,13 @@
 
 #include "util/check.hpp"
 
+/// Best-effort cache prefetch hint; a no-op on compilers without the builtin.
+#if defined(__GNUC__) || defined(__clang__)
+#define BFLY_PREFETCH(addr) __builtin_prefetch(addr)
+#else
+#define BFLY_PREFETCH(addr) ((void)0)
+#endif
+
 namespace bfly {
 
 using u64 = std::uint64_t;
@@ -25,6 +32,16 @@ constexpr u64 pow2(int e) {
 /// floor(log2(x)) for x > 0.
 constexpr int ilog2(u64 x) {
   return 63 - std::countl_zero(x);
+}
+
+/// Index of the least-significant set bit for x > 0 (std::countr_zero).
+constexpr int lowest_set_bit(u64 x) {
+  return std::countr_zero(x);
+}
+
+/// Index of the most-significant set bit for x > 0 (std::bit_width - 1).
+constexpr int highest_set_bit(u64 x) {
+  return static_cast<int>(std::bit_width(x)) - 1;
 }
 
 /// True iff x is a power of two (x > 0).

@@ -1,8 +1,6 @@
 #include "util/parallel.hpp"
 
-#include <algorithm>
-#include <exception>
-#include <mutex>
+#include "util/thread_pool.hpp"
 
 namespace bfly {
 
@@ -13,35 +11,7 @@ std::size_t default_thread_count() {
 
 void parallel_for_chunked(std::size_t begin, std::size_t end, std::size_t threads,
                           const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
-  BFLY_REQUIRE(begin <= end, "parallel_for_chunked: begin must not exceed end");
-  const std::size_t n = end - begin;
-  if (n == 0) return;
-  threads = std::max<std::size_t>(1, std::min(threads, n));
-  if (threads == 1) {
-    body(begin, end, 0);
-    return;
-  }
-
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  std::vector<std::thread> workers;
-  workers.reserve(threads);
-  const std::size_t chunk = (n + threads - 1) / threads;
-  for (std::size_t t = 0; t < threads; ++t) {
-    const std::size_t lo = begin + t * chunk;
-    const std::size_t hi = std::min(end, lo + chunk);
-    if (lo >= hi) break;
-    workers.emplace_back([&, lo, hi, t] {
-      try {
-        body(lo, hi, t);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-      }
-    });
-  }
-  for (auto& w : workers) w.join();
-  if (first_error) std::rethrow_exception(first_error);
+  ThreadPool::shared().run_chunked(begin, end, threads, body);
 }
 
 void parallel_for(std::size_t begin, std::size_t end,

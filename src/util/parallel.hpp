@@ -1,8 +1,12 @@
-// Minimal fork-join parallelism for the routing simulator and bulk verifiers.
+// Fork-join parallelism for the routing simulators and bulk verifiers.
 //
-// We deliberately avoid a global thread pool singleton: callers create a
-// ThreadTeam where they need one (C++ Core Guidelines I.3) and its lifetime
-// scopes the workers.  parallel_for is a convenience over a one-shot team.
+// parallel_for_chunked keeps its historical contract — contiguous ceil-divided
+// ranges, tid = range index, first exception wins — but since the sweep work
+// it executes on the persistent process-wide ThreadPool (util/thread_pool.hpp)
+// instead of spawning fresh std::threads per call.  `threads` therefore bounds
+// the number of *ranges* (and so the partition handed to `body`), not the
+// worker count; the pool supplies the concurrency.  Callers that need a pool
+// with its own lifetime construct a ThreadPool directly.
 #pragma once
 
 #include <cstddef>
@@ -18,8 +22,11 @@ namespace bfly {
 std::size_t default_thread_count();
 
 /// Statically partitions [begin, end) into `threads` contiguous chunks and
-/// runs `body(chunk_begin, chunk_end, thread_index)` on each in parallel.
-/// Exceptions thrown by any chunk are rethrown (first one wins).
+/// runs `body(chunk_begin, chunk_end, chunk_index)` on each, in parallel on
+/// the shared ThreadPool.  Blocks until every chunk completes; exceptions
+/// thrown by any chunk are rethrown (first one wins).  The partition is a
+/// pure function of (begin, end, threads), so fixed-chunk-seeded callers are
+/// bitwise deterministic for any pool size.
 void parallel_for_chunked(std::size_t begin, std::size_t end, std::size_t threads,
                           const std::function<void(std::size_t, std::size_t, std::size_t)>& body);
 

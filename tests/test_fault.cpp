@@ -14,9 +14,10 @@
 #include <string>
 #include <vector>
 
-#include "fault/degradation.hpp"
+#include "sim/degradation.hpp"
 #include "fault/fault_routing.hpp"
 #include "fault/fault_set.hpp"
+#include "fault/reference_fault_sim.hpp"
 #include "layout/butterfly_layout.hpp"
 #include "layout/render.hpp"
 #include "packaging/hierarchical.hpp"
@@ -327,6 +328,38 @@ TEST(FaultSaturation, BoundedQueuesMatchPristineBoundedMode) {
             pristine.dropped_queue_full);
   EXPECT_GT(pristine.dropped_queue_full, 0u);
   EXPECT_LE(pristine.max_queue, capacity);
+}
+
+TEST(FaultSaturation, ArenaMatchesReferenceBitwise) {
+  // The tentpole contract for the faulty engine: the flat-arena FIFOs (with
+  // misroute/wrap budget lanes) replicate the seed deque simulator bit for
+  // bit — every SaturationPoint field and every FaultTally counter — across
+  // seeds, fault rates, and both unbounded and bounded-queue modes.
+  const int n = 5;
+  for (const u64 seed : {u64{3}, u64{9}, u64{2026}}) {
+    for (const double rate : {0.0, 0.02, 0.08}) {
+      for (const u64 capacity : {u64{0}, u64{3}}) {
+        SCOPED_TRACE(::testing::Message()
+                     << "seed=" << seed << " rate=" << rate << " capacity=" << capacity);
+        const FaultSet faults = FaultSet::random_links(n, rate, seed + 100);
+        const FaultSaturationPoint ref = simulate_saturation_faulty_reference(
+            n, 0.6, 800, seed, faults, {}, 100, capacity);
+        const FaultSaturationPoint arena =
+            simulate_saturation_faulty(n, 0.6, 800, seed, faults, {}, 100, capacity);
+        EXPECT_DOUBLE_EQ(arena.point.offered_load, ref.point.offered_load);
+        EXPECT_DOUBLE_EQ(arena.point.throughput, ref.point.throughput);
+        EXPECT_DOUBLE_EQ(arena.point.avg_latency, ref.point.avg_latency);
+        EXPECT_DOUBLE_EQ(arena.point.per_node_injection, ref.point.per_node_injection);
+        EXPECT_EQ(arena.point.delivered, ref.point.delivered);
+        EXPECT_EQ(arena.point.max_queue, ref.point.max_queue);
+        EXPECT_EQ(arena.point.dropped_queue_full, ref.point.dropped_queue_full);
+        EXPECT_EQ(arena.tally.delivered, ref.tally.delivered);
+        EXPECT_EQ(arena.tally.dropped, ref.tally.dropped);
+        EXPECT_EQ(arena.tally.misroutes, ref.tally.misroutes);
+        EXPECT_EQ(arena.tally.wraps, ref.tally.wraps);
+      }
+    }
+  }
 }
 
 // --- input validation -------------------------------------------------------

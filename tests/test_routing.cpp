@@ -2,7 +2,12 @@
 // Theorem 2.1's lower-bound argument.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
+#include "routing/reference_sim.hpp"
 #include "routing/routing.hpp"
+#include "util/prng.hpp"
 
 namespace bfly {
 namespace {
@@ -167,6 +172,68 @@ TEST(Saturation, BoundedQueuesDropAndStayBounded) {
   EXPECT_EQ(unbounded.dropped_queue_full, 0u);
   // Dropping work cannot raise throughput.
   EXPECT_LE(bounded.throughput, unbounded.throughput + 1e-9);
+}
+
+TEST(Saturation, ArenaMatchesReferenceBitwise) {
+  // The tentpole contract of the flat-arena engine: identical FIFO semantics,
+  // RNG stream, and accumulation order as the seed deque simulator, so every
+  // SaturationPoint field matches bit for bit — across seeds, loads, and both
+  // unbounded and bounded-queue modes.
+  for (const u64 seed : {u64{3}, u64{9}, u64{2026}}) {
+    for (const double load : {0.2, 0.6, 0.95}) {
+      for (const u64 capacity : {u64{0}, u64{2}, u64{8}}) {
+        SCOPED_TRACE(::testing::Message()
+                     << "seed=" << seed << " load=" << load << " capacity=" << capacity);
+        const SaturationPoint ref =
+            simulate_saturation_reference(5, load, 800, seed, 100, capacity);
+        const SaturationPoint arena = simulate_saturation(5, load, 800, seed, 100, capacity);
+        EXPECT_DOUBLE_EQ(arena.offered_load, ref.offered_load);
+        EXPECT_DOUBLE_EQ(arena.throughput, ref.throughput);
+        EXPECT_DOUBLE_EQ(arena.avg_latency, ref.avg_latency);
+        EXPECT_DOUBLE_EQ(arena.per_node_injection, ref.per_node_injection);
+        EXPECT_EQ(arena.delivered, ref.delivered);
+        EXPECT_EQ(arena.max_queue, ref.max_queue);
+        EXPECT_EQ(arena.dropped_queue_full, ref.dropped_queue_full);
+      }
+    }
+  }
+}
+
+TEST(Distance, AverageMatchesSerialChunkOracle) {
+  // average_node_distance draws samples in 2^16-sample chunks seeded by
+  // (seed, chunk index).  Recompute the n = 6 value with a plain serial loop
+  // over the same chunk scheme: the parallel version must match it exactly,
+  // for every thread count.
+  const int n = 6;
+  const u64 samples = 150000;  // spans multiple chunks
+  const u64 seed = 17;
+  constexpr u64 kChunkSamples = u64{1} << 16;
+  const u64 rows = pow2(n);
+  i64 total = 0;
+  for (u64 chunk = 0; chunk * kChunkSamples < samples; ++chunk) {
+    Xoshiro256 rng(seed ^ (0x9e3779b97f4a7c15ULL * (chunk + 1)));
+    const u64 end = std::min(samples, (chunk + 1) * kChunkSamples);
+    for (u64 i = chunk * kChunkSamples; i < end; ++i) {
+      const u64 r1 = rng.below(rows);
+      const u64 r2 = rng.below(rows);
+      const int s1 = static_cast<int>(rng.below(static_cast<u64>(n) + 1));
+      const int s2 = static_cast<int>(rng.below(static_cast<u64>(n) + 1));
+      total += butterfly_distance(n, r1, s1, r2, s2);
+    }
+  }
+  const double expected = static_cast<double>(total) / static_cast<double>(samples);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{0}}) {
+    EXPECT_DOUBLE_EQ(average_node_distance(n, samples, seed, threads), expected)
+        << "threads=" << threads;
+  }
+}
+
+TEST(Validation, CongestionRejectsOutOfRangeDimension) {
+  const std::vector<u64> empty_perm;
+  EXPECT_THROW(permutation_congestion(0, empty_perm), InvalidArgument);
+  EXPECT_THROW(permutation_congestion(31, empty_perm), InvalidArgument);
+  EXPECT_THROW(bit_reversal_congestion(0), InvalidArgument);
+  EXPECT_THROW(bit_reversal_congestion(31), InvalidArgument);
 }
 
 TEST(Saturation, HugeCapacityMatchesUnboundedBitwise) {

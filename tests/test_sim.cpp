@@ -1,0 +1,141 @@
+// bfly::sim: batched saturation sweeps on the shared pool.
+//
+// The load-bearing contract: a sweep is *only* a scheduler.  Its outcomes
+// must equal calling the engines point by point, bit for bit, for any pool
+// size — the sweep buys wall clock, never different numbers.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fault/fault_routing.hpp"
+#include "fault/fault_set.hpp"
+#include "routing/routing.hpp"
+#include "sim/degradation.hpp"
+#include "sim/sweep.hpp"
+
+namespace bfly {
+namespace {
+
+void expect_point_eq(const SaturationPoint& a, const SaturationPoint& b) {
+  EXPECT_DOUBLE_EQ(a.offered_load, b.offered_load);
+  EXPECT_DOUBLE_EQ(a.throughput, b.throughput);
+  EXPECT_DOUBLE_EQ(a.avg_latency, b.avg_latency);
+  EXPECT_DOUBLE_EQ(a.per_node_injection, b.per_node_injection);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.max_queue, b.max_queue);
+  EXPECT_EQ(a.dropped_queue_full, b.dropped_queue_full);
+}
+
+void expect_tally_eq(const FaultTally& a, const FaultTally& b) {
+  EXPECT_EQ(a.delivered, b.delivered);
+  for (std::size_t r = 0; r < kNumDropReasons; ++r) {
+    EXPECT_EQ(a.dropped[r], b.dropped[r]) << "drop reason " << r;
+  }
+  EXPECT_EQ(a.misroutes, b.misroutes);
+  EXPECT_EQ(a.wraps, b.wraps);
+}
+
+/// A mixed batch: pristine points across loads/seeds plus faulty points
+/// (bounded and unbounded queues) against two fault sets.
+std::vector<SweepPoint> mixed_points(const FaultSet& light, const FaultSet& heavy) {
+  std::vector<SweepPoint> pts;
+  for (const u64 seed : {u64{3}, u64{9}, u64{2026}}) {
+    for (const double load : {0.3, 0.8}) {
+      SweepPoint p;
+      p.n = 5;
+      p.offered_load = load;
+      p.cycles = 600;
+      p.seed = seed;
+      p.warmup_cycles = 100;
+      pts.push_back(p);
+    }
+  }
+  for (const FaultSet* fs : {&light, &heavy}) {
+    SweepPoint p;
+    p.n = 5;
+    p.offered_load = 0.6;
+    p.cycles = 600;
+    p.seed = 11;
+    p.warmup_cycles = 100;
+    p.faults = fs;
+    pts.push_back(p);
+    p.queue_capacity = 3;
+    pts.push_back(p);
+  }
+  return pts;
+}
+
+TEST(Sweep, MatchesPointwiseEngineCalls) {
+  const FaultSet light = FaultSet::random_links(5, 0.01, 77);
+  const FaultSet heavy = FaultSet::random_links(5, 0.08, 78);
+  const std::vector<SweepPoint> pts = mixed_points(light, heavy);
+  const std::vector<SweepOutcome> out = saturation_sweep(pts);
+  ASSERT_EQ(out.size(), pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const SweepPoint& p = pts[i];
+    SCOPED_TRACE(i);
+    if (p.faults == nullptr) {
+      const SaturationPoint direct = simulate_saturation(
+          p.n, p.offered_load, p.cycles, p.seed, p.warmup_cycles, p.queue_capacity);
+      expect_point_eq(out[i].point, direct);
+      expect_tally_eq(out[i].tally, FaultTally{});
+    } else {
+      const FaultSaturationPoint direct = simulate_saturation_faulty(
+          p.n, p.offered_load, p.cycles, p.seed, *p.faults, p.routing, p.warmup_cycles,
+          p.queue_capacity);
+      expect_point_eq(out[i].point, direct.point);
+      expect_tally_eq(out[i].tally, direct.tally);
+    }
+  }
+}
+
+TEST(Sweep, PoolSizeInvariant) {
+  const FaultSet light = FaultSet::random_links(5, 0.01, 77);
+  const FaultSet heavy = FaultSet::random_links(5, 0.08, 78);
+  const std::vector<SweepPoint> pts = mixed_points(light, heavy);
+  const std::vector<SweepOutcome> one = saturation_sweep(pts, 1);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{0}}) {
+    const std::vector<SweepOutcome> other = saturation_sweep(pts, threads);
+    ASSERT_EQ(other.size(), one.size());
+    for (std::size_t i = 0; i < one.size(); ++i) {
+      SCOPED_TRACE(::testing::Message() << "threads=" << threads << " point=" << i);
+      expect_point_eq(other[i].point, one[i].point);
+      expect_tally_eq(other[i].tally, one[i].tally);
+    }
+  }
+}
+
+TEST(Sweep, EmptyBatchIsANoOp) {
+  EXPECT_TRUE(saturation_sweep({}).empty());
+}
+
+TEST(Degradation, CurveUnchangedByBatchedSweep) {
+  // degradation_curve now routes its per-rate simulations through
+  // saturation_sweep; the curve must still be bitwise deterministic and its
+  // sim-derived fields must equal direct engine calls.
+  const std::vector<double> rates = {0.0, 0.02, 0.08};
+  DegradationOptions opt;
+  opt.census_packets = 20000;
+  opt.sim_cycles = 500;
+  opt.sim_warmup = 100;
+  const std::vector<DegradationPoint> a = degradation_curve(5, rates, 2026, opt);
+  const std::vector<DegradationPoint> b = degradation_curve(5, rates, 2026, opt);
+  ASSERT_EQ(a.size(), rates.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].sim_delivered, b[i].sim_delivered);
+    EXPECT_DOUBLE_EQ(a[i].throughput, b[i].throughput);
+    EXPECT_DOUBLE_EQ(a[i].avg_latency, b[i].avg_latency);
+
+    const FaultSet faults = FaultSet::random_links(
+        5, rates[i], 2026 ^ (0x9e3779b97f4a7c15ULL * (i + 1)));
+    const FaultSaturationPoint direct = simulate_saturation_faulty(
+        5, opt.offered_load, opt.sim_cycles, 2026, faults, opt.routing, opt.sim_warmup,
+        opt.queue_capacity);
+    EXPECT_EQ(a[i].sim_delivered, direct.point.delivered);
+    EXPECT_DOUBLE_EQ(a[i].throughput, direct.point.throughput);
+    EXPECT_DOUBLE_EQ(a[i].avg_latency, direct.point.avg_latency);
+  }
+}
+
+}  // namespace
+}  // namespace bfly

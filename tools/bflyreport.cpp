@@ -122,17 +122,28 @@ int run_trend(std::vector<std::string> args) {
   };
   std::vector<Entry> series;
   std::string line;
+  std::size_t without_metric = 0;
   while (std::getline(in, line)) {
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
     const obs::RunReport report = obs::RunReport::parse(line);
-    series.push_back({report.run_id, report.git_describe, obs::metric_value(report, *metric)});
+    try {
+      series.push_back({report.run_id, report.git_describe, obs::metric_value(report, *metric)});
+    } catch (const InvalidArgument&) {
+      // Runs that predate the metric are expected in a long-lived trajectory;
+      // the series starts at the first run that records it.
+      ++without_metric;
+    }
   }
   if (series.empty()) {
-    std::fprintf(stderr, "bflyreport: '%s' holds no reports\n", args[0].c_str());
+    std::fprintf(stderr, "bflyreport: no report in '%s' has metric '%s'\n", args[0].c_str(),
+                 metric->c_str());
     return 2;
   }
 
   std::cout << "# bflyreport trend — " << *metric << " (" << series.size() << " runs)\n\n";
+  if (without_metric > 0) {
+    std::cout << "_skipped " << without_metric << " earlier run(s) without this metric_\n\n";
+  }
   std::cout << "| run | git | " << *metric << " | delta% |\n|---|---|---:|---:|\n";
   for (std::size_t i = 0; i < series.size(); ++i) {
     std::cout << "| `" << series[i].run_id << "` | " << series[i].git << " | "
