@@ -10,10 +10,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <iostream>
+#include <span>
+#include <sstream>
+#include <string>
+#include <vector>
 
+#include "exec/exec.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
+#include "util/fileio.hpp"
 
 namespace bfly::bench {
 
@@ -70,7 +77,43 @@ class BenchSession {
       artifact(key, std::move(percentiles));
       return;
     }
+    // A resumed sweep replays outcomes from the checkpoint without re-running
+    // the engines, so an instrumented histogram can legitimately be absent
+    // (or thin).  Skip the export instead of aborting the bench; the gate
+    // runs without $BFLY_CHECKPOINT_DIR, so CI always gets the full metrics.
+    if (sweep_replayed_) return;
     throw InvalidArgument("no histogram named '" + histogram + "' in this run");
+  }
+
+  /// Drives a sweep grid through exec::run_sweep_resumable — checkpointed
+  /// under $BFLY_CHECKPOINT_DIR/<bench>.<tag>.ckpt when that variable is set,
+  /// plain otherwise — folds the run's status into the report, and returns
+  /// the outcome vector (bitwise identical to saturation_sweep when the run
+  /// completes).  `tag` distinguishes a bench's sweeps from each other.
+  std::vector<SweepOutcome> resilient_sweep(const std::string& tag,
+                                            std::span<const SweepPoint> points) {
+    exec::SweepRunOptions opt;
+    if (const char* dir = std::getenv("BFLY_CHECKPOINT_DIR")) {
+      if (dir[0] != '\0') {
+        opt.checkpoint_path = std::string(dir) + "/" + options_.name + "." + tag + ".ckpt";
+      }
+    }
+    exec::SweepRun run = exec::run_sweep_resumable(points, opt);
+    sweep_status(run);
+    return std::move(run.outcomes);
+  }
+
+  /// Folds a resilient sweep's outcome into the report's status triple:
+  /// point counts accumulate across sweeps, and the status only ever gets
+  /// worse (complete < partial < cancelled).  Call once per
+  /// exec::run_sweep_resumable the bench drives.
+  void sweep_status(const exec::SweepRun& run) {
+    options_.points_completed += run.num_completed;
+    options_.points_total += static_cast<u64>(run.outcomes.size());
+    if (run.num_replayed > 0) sweep_replayed_ = true;
+    const auto rank = [](const std::string& s) { return s == "cancelled" ? 2 : s == "partial" ? 1 : 0; };
+    const std::string next = exec::to_string(run.status);
+    if (rank(next) > rank(options_.status)) options_.status = next;
   }
 
   /// google-benchmark with its console output redirected to stderr so the
@@ -83,13 +126,32 @@ class BenchSession {
     benchmark::RunSpecifiedBenchmarks(&reporter);
   }
 
-  /// The single-line JSON run report on stdout.  Call last.
-  void emit_report() { obs::write_report_line(std::cout, registry_, options_); }
+  /// The single-line JSON run report on stdout.  Call last.  When the
+  /// BFLY_REPORT_FILE environment variable names a path, the same line is
+  /// also written there crash-safely (atomic tmp+rename) — shell redirection
+  /// of stdout cannot be torn-proof, the atomic file is.
+  void emit_report() {
+    std::ostringstream line;
+    obs::write_report_line(line, registry_, options_);
+    std::cout << line.str();
+    if (const char* path = std::getenv("BFLY_REPORT_FILE")) {
+      if (path[0] != '\0') util::atomic_write_file(path, line.str());
+    }
+  }
+
+  /// The report written crash-safely to `path` (atomic tmp+rename) instead
+  /// of stdout.
+  void emit_report_file(const std::string& path) {
+    std::ostringstream line;
+    obs::write_report_line(line, registry_, options_);
+    util::atomic_write_file(path, line.str());
+  }
 
  private:
   obs::Registry registry_;
   obs::ScopedRegistry scoped_;
   obs::ReportOptions options_;
+  bool sweep_replayed_ = false;
 };
 
 }  // namespace bfly::bench

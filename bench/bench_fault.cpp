@@ -40,13 +40,22 @@ const std::vector<double>& curve_rates() {
   return rates;
 }
 
-std::vector<DegradationPoint> print_degradation_curve() {
+std::vector<DegradationPoint> print_degradation_curve(bfly::bench::BenchSession* session) {
   std::fprintf(stderr, "=== F1: graceful degradation of B_%d under random link faults ===\n",
                kCurveN);
   std::fprintf(stderr, "%8s %6s %8s %11s %9s %9s %10s %10s %9s\n", "rate", "dead", "reach",
                "delivered", "misroute", "wraps", "dropped", "thruput", "latency");
-  const std::vector<DegradationPoint> curve =
-      degradation_curve(kCurveN, curve_rates(), kCurveSeed, curve_options());
+  // The split degradation API: the per-rate queued simulations run through the
+  // resilient driver (checkpointed under $BFLY_CHECKPOINT_DIR), then the
+  // serial census/reachability instruments assemble the curve.  Bitwise
+  // identical to the degradation_curve() convenience wrapper.
+  BFLY_TRACE_SCOPE("fault.degradation_curve");
+  const DegradationSweep sweep =
+      degradation_sweep(kCurveN, curve_rates(), kCurveSeed, curve_options());
+  const std::vector<SweepOutcome> sims =
+      session->resilient_sweep("degradation", sweep.sweep_points);
+  const std::vector<DegradationPoint> curve = degradation_curve_from(
+      kCurveN, curve_rates(), kCurveSeed, curve_options(), sweep, sims);
   for (const DegradationPoint& pt : curve) {
     const u64 dropped = pt.dropped_endpoint + pt.dropped_no_alive_link + pt.dropped_budget;
     std::fprintf(stderr, "%8.3f %6llu %8.4f %10.2f%% %9llu %9llu %10llu %10.4f %9.2f\n",
@@ -159,7 +168,7 @@ int main(int argc, char** argv) {
   session.config("sim_cycles", 2000);
   session.config("offered_load", 0.6);
 
-  const std::vector<DegradationPoint> curve = print_degradation_curve();
+  const std::vector<DegradationPoint> curve = print_degradation_curve(&session);
   const HierarchicalPlan plan = plan_hierarchical(9, {});
   const SpareChipSummary spare = print_spare_chip_table(plan);
 

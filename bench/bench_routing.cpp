@@ -33,14 +33,15 @@ std::vector<SweepPoint> curve_points(int n) {
   return pts;
 }
 
-void print_saturation_curve(int n) {
+void print_saturation_curve(int n, bfly::bench::BenchSession* session) {
   std::fprintf(stderr, "=== E13: saturation curve of B_%d (uniform random traffic) ===\n", n);
   std::fprintf(stderr, "%10s %12s %12s %14s %10s\n", "offered", "throughput", "latency", "inj/node",
               "max queue");
-  // One batched sweep on the pool: outcomes are bitwise identical to the
-  // historical per-load simulate_saturation calls.
+  // One batched sweep through the resilient driver: outcomes stay bitwise
+  // identical to the historical per-load simulate_saturation calls, and a
+  // killed bench resumes from $BFLY_CHECKPOINT_DIR instead of starting over.
   const std::vector<SweepPoint> pts = curve_points(n);
-  for (const SweepOutcome& o : saturation_sweep(pts)) {
+  for (const SweepOutcome& o : session->resilient_sweep("curve", pts)) {
     const SaturationPoint& p = o.point;
     std::fprintf(stderr, "%10.2f %12.4f %12.2f %14.4f %10llu\n", p.offered_load, p.throughput,
                 p.avg_latency, p.per_node_injection,
@@ -49,7 +50,7 @@ void print_saturation_curve(int n) {
   std::fprintf(stderr, "\n");
 }
 
-void print_injection_scaling() {
+void print_injection_scaling(bfly::bench::BenchSession* session) {
   std::fprintf(stderr, "--- per-node injection at saturation vs 1/(n+1) = Theta(1/log R) ---\n");
   std::fprintf(stderr, "%4s %14s %12s %10s\n", "n", "inj/node", "1/(n+1)", "ratio");
   std::vector<SweepPoint> pts;
@@ -62,7 +63,7 @@ void print_injection_scaling() {
     p.warmup_cycles = 500;
     pts.push_back(p);
   }
-  const std::vector<SweepOutcome> outcomes = saturation_sweep(pts);
+  const std::vector<SweepOutcome> outcomes = session->resilient_sweep("injection", pts);
   for (std::size_t i = 0; i < pts.size(); ++i) {
     const int n = pts[i].n;
     const double bound = 1.0 / (n + 1);
@@ -189,8 +190,8 @@ int main(int argc, char** argv) {
   session.config("saturation_n", 8);
   session.config("saturation_cycles", 4000);
   session.config("census_packets", 2'000'000);
-  print_saturation_curve(8);
-  print_injection_scaling();
+  print_saturation_curve(8, &session);
+  print_injection_scaling(&session);
   print_load_balance();
   print_congestion_table();
   session.artifact("obs_overhead_percent", print_obs_overhead());

@@ -18,11 +18,11 @@
 //       hypercube grid layout metrics vs the (N/2)^2 bound
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <numeric>
 #include <string>
 
 #include "core/bfly.hpp"
+#include "util/fileio.hpp"
 #include "util/prng.hpp"
 
 namespace {
@@ -104,8 +104,8 @@ int cmd_render(int argc, char** argv) {
   }
   const ButterflyLayoutOptions opt = parse_layout_options(argc, argv, 4);
   const ButterflyLayoutPlan plan(ButterflyLayoutPlan::choose_parameters(n), opt);
-  std::ofstream out(argv[3]);
-  out << render_svg(plan.materialize(), {n <= 6 ? 4.0 : 1.0, true});
+  // Atomic write: a crashed render never leaves a truncated SVG behind.
+  util::atomic_write_file(argv[3], render_svg(plan.materialize(), {n <= 6 ? 4.0 : 1.0, true}));
   std::printf("wrote %s\n", argv[3]);
   return 0;
 }

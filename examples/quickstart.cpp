@@ -8,18 +8,26 @@
 //      its measured link load under uniform random routing.
 //   3. Partition the network for packaging (Sec. 2.3) and count off-module
 //      links.
-//   4. Record the whole run with bfly::obs — every step above lands in the
+//   4. Run a small saturation sweep through bfly::exec — checkpointed to
+//      quickstart.sweep.ckpt, so a killed run resumes where it stopped with
+//      bitwise-identical results.
+//   5. Record the whole run with bfly::obs — every step above lands in the
 //      installed registry, and the end of main() writes a structured JSON
 //      run report plus a Chrome trace (load quickstart.trace.json in
 //      https://ui.perfetto.dev to see the phase spans).
+//
+// Every artifact is written crash-safely (util::atomic_write_file: tmp +
+// fsync + rename), so readers never observe a torn file.
 //
 // Run:  ./quickstart [n]    (default n = 6)
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
+#include <sstream>
+#include <vector>
 
 #include "core/bfly.hpp"
+#include "util/fileio.hpp"
 
 int main(int argc, char** argv) {
   using namespace bfly;
@@ -49,8 +57,7 @@ int main(int argc, char** argv) {
   // A Fig. 1/2-style diagram of the underlying ISN.
   if (n <= 6) {
     const IndirectSwapNetwork& isn = sb.isn();
-    std::ofstream diagram("isn_diagram.svg");
-    diagram << render_multistage_svg(
+    util::atomic_write_file("isn_diagram.svg", render_multistage_svg(
         isn.rows(), isn.num_stages(), [&](const std::function<void(u64, int, u64)>& emit) {
           for (int t = 1; t <= isn.num_steps(); ++t) {
             for (u64 u = 0; u < isn.rows(); ++u) {
@@ -63,7 +70,7 @@ int main(int argc, char** argv) {
               }
             }
           }
-        });
+        }));
     std::printf("wrote isn_diagram.svg (Fig. 1/2 style)\n");
   }
 
@@ -85,8 +92,7 @@ int main(int argc, char** argv) {
     const LegalityReport multilayer = check_multilayer(layout);
     std::printf("  legality: Thompson %s; multilayer %s\n", thompson.summary().c_str(),
                 multilayer.summary().c_str());
-    std::ofstream svg("butterfly_layout.svg");
-    svg << render_svg(layout, {n <= 6 ? 4.0 : 1.0, true});
+    util::atomic_write_file("butterfly_layout.svg", render_svg(layout, {n <= 6 ? 4.0 : 1.0, true}));
     std::printf("  wrote butterfly_layout.svg\n");
 
     // Congestion heatmap: census the per-link loads of B_n under uniform
@@ -115,8 +121,7 @@ int main(int argc, char** argv) {
     RenderOptions heat_options;
     heat_options.scale = n <= 6 ? 4.0 : 1.0;
     heat_options.wire_heat = &heat;
-    std::ofstream heat_svg("butterfly_heatmap.svg");
-    heat_svg << render_svg(layout, heat_options);
+    util::atomic_write_file("butterfly_heatmap.svg", render_svg(layout, heat_options));
     std::printf("  wrote butterfly_heatmap.svg (wires colored by measured link load,\n");
     std::printf("        %llu packets; max/avg imbalance %.3f)\n",
                 static_cast<unsigned long long>(census.packets), census.imbalance);
@@ -146,8 +151,7 @@ int main(int argc, char** argv) {
     }
     heat_options.wire_heat = &dheat;
     heat_options.wire_dead = &dead;
-    std::ofstream fault_svg("butterfly_heatmap_faults.svg");
-    fault_svg << render_svg(layout, heat_options);
+    util::atomic_write_file("butterfly_heatmap_faults.svg", render_svg(layout, heat_options));
     std::printf("  wrote butterfly_heatmap_faults.svg (%llu dead links dashed gray;\n",
                 static_cast<unsigned long long>(faults.num_dead_links()));
     std::printf("        %.2f%% of packets delivered by the fault-tolerant router)\n",
@@ -164,20 +168,55 @@ int main(int argc, char** argv) {
               stats.avg_offmodule_links_per_node,
               formulas::offmodule_links_per_node_general(k));
 
-  // --- 4. The run report ----------------------------------------------------
+  // --- 4. Resilient saturation sweep ---------------------------------------
+  // Three queued simulations through exec::run_sweep_resumable.  Each finished
+  // point is journaled to quickstart.sweep.ckpt (durable single-line appends);
+  // kill the process mid-sweep and rerun, and the finished points replay from
+  // the checkpoint — the outcome vector is bitwise identical either way.
+  std::vector<SweepPoint> sweep_points;
+  for (const double load : {0.3, 0.6, 0.9}) {
+    SweepPoint p;
+    p.n = n;
+    p.offered_load = load;
+    p.cycles = 600;
+    p.seed = 7;
+    p.warmup_cycles = 100;
+    sweep_points.push_back(p);
+  }
+  exec::SweepRunOptions sweep_options;
+  sweep_options.checkpoint_path = "quickstart.sweep.ckpt";
+  const exec::SweepRun sweep = exec::run_sweep_resumable(sweep_points, sweep_options);
+  std::printf("\nResilient sweep (checkpoint quickstart.sweep.ckpt): %s, %llu/%llu points"
+              " (%llu replayed from checkpoint)\n",
+              exec::to_string(sweep.status), static_cast<unsigned long long>(sweep.num_completed),
+              static_cast<unsigned long long>(sweep_points.size()),
+              static_cast<unsigned long long>(sweep.num_replayed));
+  for (std::size_t i = 0; i < sweep.outcomes.size(); ++i) {
+    if (!sweep.completed[i]) continue;
+    std::printf("  load %.1f -> throughput %.4f, avg latency %.2f cycles\n",
+                sweep_points[i].offered_load, sweep.outcomes[i].point.throughput,
+                sweep.outcomes[i].point.avg_latency);
+  }
+
+  // --- 5. The run report ----------------------------------------------------
   obs::ReportOptions report;
   report.name = "quickstart";
+  report.status = exec::to_string(sweep.status);
+  report.points_completed = sweep.num_completed;
+  report.points_total = static_cast<u64>(sweep_points.size());
   report.config.set("n", json::Value::number(n));
   report.artifact_stats.set("area", json::Value::number(m.area));
   report.artifact_stats.set("max_wire_length", json::Value::number(m.max_wire_length));
   report.artifact_stats.set("num_modules", json::Value::number(stats.num_modules));
   {
-    std::ofstream out("quickstart.run.json");
+    std::ostringstream out;
     obs::write_report_pretty(out, registry, report);
+    util::atomic_write_file("quickstart.run.json", out.str());
   }
   {
-    std::ofstream out("quickstart.trace.json");
+    std::ostringstream out;
     obs::write_chrome_trace(out, registry);
+    util::atomic_write_file("quickstart.trace.json", out.str());
   }
   std::printf("\nwrote quickstart.run.json (schema-v1 run report) and\n");
   std::printf("      quickstart.trace.json (open in https://ui.perfetto.dev)\n");

@@ -9,10 +9,13 @@
 // planner (Sections 2.3 and 5), the routing simulator behind the Theorem 2.1
 // lower bound, the fault-injection / fault-tolerant-routing subsystem
 // (bfly::fault), the batched simulation sweeps and degradation analysis
-// (bfly::sim), and the network FFT functional check.
+// (bfly::sim), the resilient execution layer (bfly::exec — cancellation,
+// checkpoint/resume, retry), and the network FFT functional check.
 #pragma once
 
 #include "core/formulas.hpp"
+#include "exec/checkpoint.hpp"
+#include "exec/exec.hpp"
 #include "fault/fault_routing.hpp"
 #include "fault/fault_set.hpp"
 #include "fft/isn_fft.hpp"

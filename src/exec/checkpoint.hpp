@@ -1,0 +1,62 @@
+// Sweep checkpoint journal: the persistence half of exec::run_sweep_resumable.
+//
+// A checkpoint is a JSONL file — one self-contained record per completed
+// sweep point, appended durably (util::append_line_durable) the moment the
+// point finishes:
+//
+//   {"v": 1, "key": "<16 hex>", "outcome": {"point": {...}, "tally": {...}}}
+//
+// The key is a *content hash* of the SweepPoint (every routing-relevant
+// field, including the full fault-set liveness map), not a grid index: a
+// restart matches records to the current request grid by content, so a
+// checkpoint survives reordering or extending the grid and can never replay
+// an outcome onto a point whose parameters changed.
+//
+// Bit-exactness: every numeric field is emitted through json::Value, whose
+// writer prints non-integral doubles with %.17g — enough digits to round-trip
+// IEEE-754 exactly — and all u64 fields an engine can produce are < 2^53,
+// where doubles are exact.  Replayed outcomes are therefore bitwise identical
+// to the originals, which is what makes the resume-equals-uninterrupted
+// guarantee (docs/resilience.md) possible.
+//
+// Durability: a crash tears at most the final line (single-write O_APPEND +
+// fsync discipline).  The loader skips anything unparsable — torn tail,
+// stray garbage, records from a future schema version — and reports how many
+// lines it skipped, so a damaged journal degrades to re-running a point
+// instead of poisoning the resume.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+
+#include "sim/sweep.hpp"
+
+namespace bfly::exec {
+
+/// Checkpoint record schema version.
+inline constexpr u64 kCheckpointVersion = 1;
+
+/// Content hash of `point` as 16 lowercase hex digits: FNV-1a over a
+/// version tag and every field that affects the outcome (n, offered_load
+/// bits, cycles, seed, warmup, queue capacity, routing budgets, and the full
+/// fault liveness map when faults are attached).  Two points hash equal iff
+/// an engine run would be indistinguishable.
+std::string sweep_point_key(const SweepPoint& point);
+
+/// One completed outcome as a single-line checkpoint record (no newline).
+std::string encode_checkpoint_line(const std::string& key, const SweepOutcome& outcome);
+
+struct CheckpointLoad {
+  /// Recorded outcomes by sweep-point content key (last record wins; records
+  /// for points no longer in the grid are harmless and stay unused).
+  std::unordered_map<std::string, SweepOutcome> outcomes;
+  std::size_t lines_read = 0;     ///< non-blank lines seen
+  std::size_t lines_skipped = 0;  ///< torn / corrupt / wrong-version lines
+};
+
+/// Reads a checkpoint journal; a missing file is an empty (fresh) checkpoint.
+/// Unparsable lines are counted in lines_skipped and otherwise ignored.
+CheckpointLoad load_checkpoint(const std::string& path);
+
+}  // namespace bfly::exec

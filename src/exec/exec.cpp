@@ -1,0 +1,215 @@
+#include "exec/exec.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "exec/checkpoint.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/fileio.hpp"
+#include "util/parallel.hpp"
+#include "util/prng.hpp"
+
+namespace bfly::exec {
+
+const char* to_string(SweepStatus status) {
+  switch (status) {
+    case SweepStatus::kComplete:
+      return "complete";
+    case SweepStatus::kPartial:
+      return "partial";
+    case SweepStatus::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Backoff before attempt `attempt + 1`, given 1-based `attempt` just failed:
+/// min(cap, base * factor^(attempt-1)) scaled by jitter in [0.5, 1.5) drawn
+/// from (jitter_seed, point index, attempt) — deterministic across runs.
+double backoff_ms(const RetryPolicy& retry, std::size_t index, int attempt) {
+  double delay = retry.backoff_base_ms;
+  for (int i = 1; i < attempt; ++i) {
+    delay *= retry.backoff_factor;
+    if (delay >= retry.backoff_cap_ms) break;
+  }
+  delay = std::clamp(delay, 0.0, retry.backoff_cap_ms);
+  SplitMix64 sm(retry.jitter_seed ^ (0x9e3779b97f4a7c15ULL * (index + 1)) ^
+                static_cast<u64>(attempt));
+  const double jitter = 0.5 + static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+  return delay * jitter;
+}
+
+/// Sleeps ~`ms` in <= 10 ms slices, polling the token between slices: a
+/// backoff must never delay cancellation by more than one slice.  Returns
+/// false when the token tripped.
+bool interruptible_sleep_ms(double ms, const CancelToken* token) {
+  using clock = std::chrono::steady_clock;
+  const auto until = clock::now() + std::chrono::duration_cast<clock::duration>(
+                                        std::chrono::duration<double, std::milli>(ms));
+  while (clock::now() < until) {
+    if (CancelToken::cancelled(token)) return false;
+    const auto left = until - clock::now();
+    std::this_thread::sleep_for(std::min<clock::duration>(left, std::chrono::milliseconds(10)));
+  }
+  return !CancelToken::cancelled(token);
+}
+
+}  // namespace
+
+SweepRun run_sweep_resumable(std::span<const SweepPoint> points,
+                             const SweepRunOptions& options) {
+  BFLY_TRACE_SCOPE("exec.run_sweep_resumable");
+  BFLY_REQUIRE(options.retry.max_attempts >= 1, "retry.max_attempts must be >= 1");
+  BFLY_REQUIRE(options.deadline_seconds >= 0.0, "deadline_seconds must be >= 0");
+  for (std::size_t i = 0; i < points.size(); ++i) validate_sweep_point(points[i], i);
+
+  // Hoist every exec.* handle up front: get_counter creates the counter at 0,
+  // so a run report built after any resumable sweep carries the full metric
+  // family even when nothing was retried or cancelled.
+  obs::Counter* retries_ctr = obs::get_counter("exec.retries");
+  obs::Counter* cancelled_ctr = obs::get_counter("exec.cancelled");
+  obs::Counter* expired_ctr = obs::get_counter("exec.expired");
+  obs::Counter* replayed_ctr = obs::get_counter("exec.replayed");
+  obs::Counter* failed_ctr = obs::get_counter("exec.failed");
+
+  CancelToken local_token;
+  CancelToken* token = options.cancel != nullptr ? options.cancel : &local_token;
+  if (options.deadline_seconds > 0.0) {
+    token->set_deadline_after(std::chrono::duration<double>(options.deadline_seconds));
+  }
+
+  SweepRun run;
+  run.outcomes.resize(points.size());
+  run.completed.assign(points.size(), 0);
+
+  // Resume: match checkpoint records to the grid by content key and replay.
+  std::vector<std::string> keys(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) keys[i] = sweep_point_key(points[i]);
+  if (!options.checkpoint_path.empty()) {
+    const CheckpointLoad ckpt = load_checkpoint(options.checkpoint_path);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const auto it = ckpt.outcomes.find(keys[i]);
+      if (it == ckpt.outcomes.end()) continue;
+      run.outcomes[i] = it->second;
+      run.completed[i] = 1;
+      ++run.num_replayed;
+    }
+    obs::add(replayed_ctr, run.num_replayed);
+  }
+
+  std::vector<std::size_t> pending;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (run.completed[i] == 0) pending.push_back(i);
+  }
+
+  std::mutex journal_mu;
+  std::size_t journal_appends = 0;
+  std::mutex error_mu;
+  std::atomic<u64> retries{0};
+  std::atomic<u64> failed{0};
+
+  // Runs one grid point to completion: attempt -> backoff -> attempt, until
+  // success, exhaustion, or cancellation.  Success records the outcome and
+  // (durably) the checkpoint line; cancellation mid-engine discards the
+  // partial outcome so only full, replay-safe results are ever recorded.
+  const auto run_point = [&](std::size_t i) {
+    const SweepPoint& p = points[i];
+    for (int attempt = 1;; ++attempt) {
+      if (token->cancelled()) return;
+      SweepOutcome outcome;
+      try {
+        if (options.before_point) options.before_point(i, attempt);
+        if (p.faults == nullptr) {
+          outcome.point = simulate_saturation(p.n, p.offered_load, p.cycles, p.seed,
+                                              p.warmup_cycles, p.queue_capacity, token);
+        } else {
+          const FaultSaturationPoint fsp =
+              simulate_saturation_faulty(p.n, p.offered_load, p.cycles, p.seed, *p.faults,
+                                         p.routing, p.warmup_cycles, p.queue_capacity, token);
+          outcome.point = fsp.point;
+          outcome.tally = fsp.tally;
+        }
+        // The token may have tripped mid-simulation, leaving a partial (or
+        // even complete but indistinguishable) outcome: discard it.  The
+        // point reruns on resume — cheap, and the only way to guarantee a
+        // checkpoint never holds a truncated result.
+        if (token->cancelled()) return;
+      } catch (const std::exception& e) {
+        {
+          const std::lock_guard<std::mutex> lock(error_mu);
+          if (run.first_error.empty()) run.first_error = e.what();
+        }
+        if (attempt >= options.retry.max_attempts) {
+          failed.fetch_add(1, std::memory_order_relaxed);
+          obs::add(failed_ctr, 1);
+          return;
+        }
+        retries.fetch_add(1, std::memory_order_relaxed);
+        obs::add(retries_ctr, 1);
+        if (!interruptible_sleep_ms(backoff_ms(options.retry, i, attempt), token)) return;
+        continue;
+      }
+      run.outcomes[i] = outcome;
+      run.completed[i] = 1;
+      if (!options.checkpoint_path.empty() || options.after_checkpoint) {
+        // Serialize appends so records never interleave; I/O failures here
+        // propagate (a dead journal is a run-level error, not a point retry).
+        const std::lock_guard<std::mutex> lock(journal_mu);
+        if (!options.checkpoint_path.empty()) {
+          util::append_line_durable(options.checkpoint_path,
+                                    encode_checkpoint_line(keys[i], outcome));
+        }
+        ++journal_appends;
+        if (options.after_checkpoint) options.after_checkpoint(journal_appends);
+      }
+      return;
+    }
+  };
+
+  if (!pending.empty()) {
+    std::size_t threads = options.threads != 0 ? options.threads : default_thread_count();
+    threads = std::min(threads, pending.size());
+    parallel_for_chunked(
+        0, pending.size(), threads,
+        [&](std::size_t lo, std::size_t hi, std::size_t /*tid*/) {
+          for (std::size_t j = lo; j < hi; ++j) {
+            if (token->cancelled()) return;
+            run_point(pending[j]);
+          }
+        },
+        token);
+  }
+
+  run.num_retries = retries.load(std::memory_order_relaxed);
+  run.num_failed = failed.load(std::memory_order_relaxed);
+  for (const std::uint8_t c : run.completed) run.num_completed += c;
+
+  const u64 total = static_cast<u64>(points.size());
+  if (run.num_completed == total) {
+    run.status = SweepStatus::kComplete;
+  } else if (token->cancelled()) {
+    run.status = SweepStatus::kCancelled;
+    // Per-reason accounting over the points the stop abandoned: a tripped
+    // deadline counts as expired, an explicit request as cancelled.
+    const u64 abandoned = total - run.num_completed;
+    obs::add(token->expired() ? expired_ctr : cancelled_ctr, abandoned);
+  } else {
+    run.status = SweepStatus::kPartial;
+  }
+
+  // Leave the registry exactly as a serial run over the completed points
+  // would: last-write-wins gauges re-set in request order, plus the run-level
+  // progress gauges the report's "status" line summarizes.
+  reset_sweep_gauges(points, run.outcomes, &run.completed);
+  obs::set(obs::get_gauge("exec.points_completed"), static_cast<double>(run.num_completed));
+  obs::set(obs::get_gauge("exec.points_total"), static_cast<double>(total));
+  return run;
+}
+
+}  // namespace bfly::exec

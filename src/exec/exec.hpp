@@ -1,0 +1,122 @@
+// bfly::exec — resilient execution for batched saturation sweeps.
+//
+// saturation_sweep() (sim/sweep.hpp) is the fast path: run every point, all
+// or nothing.  run_sweep_resumable() wraps it in the machinery a long batch
+// job needs to survive the real world:
+//
+//   * Cancellation & deadlines.  A CancelToken (caller-supplied or internal,
+//     optionally armed with a wall-clock budget) is threaded through the
+//     thread pool *and* into both packet engines, which poll it every
+//     kCancelPollCycles cycles — so a cancelled sweep stops within one poll
+//     batch per in-flight worker and returns whatever completed, instead of
+//     hanging until SIGKILL loses everything.
+//   * Checkpoint / resume.  Each completed outcome is appended durably to a
+//     JSONL journal keyed by a content hash of its SweepPoint
+//     (exec/checkpoint.hpp).  A restarted run replays recorded outcomes and
+//     simulates only the remainder; the combined result — outcome vector,
+//     status, counts, and outcome-derived gauges — is bitwise identical to
+//     an uninterrupted run (the contract tests/test_exec.cpp enforces for
+//     every kill point).
+//   * Retry with bounded backoff.  A point that throws is retried up to
+//     RetryPolicy::max_attempts times with exponential backoff and seeded
+//     jitter; sleeps poll the token so cancellation is never delayed by a
+//     backoff.  Exhausted points are recorded per-reason, and the run
+//     degrades to kPartial rather than aborting the grid.
+//   * Accounting.  exec.retries / exec.cancelled / exec.expired /
+//     exec.replayed / exec.failed counters and exec.points_completed /
+//     exec.points_total gauges land in the obs registry (created even when
+//     zero, so run reports always carry them), and the run's SweepStatus
+//     feeds the report-level "status" field (obs/report.hpp).
+//
+// See docs/resilience.md for the full contract.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/sweep.hpp"
+#include "util/cancel.hpp"
+
+namespace bfly::exec {
+
+/// How a resumable sweep ended.  Mirrored (lower-cased) in the run report's
+/// "status" field.
+enum class SweepStatus {
+  kComplete,   ///< every point has an outcome
+  kPartial,    ///< some points permanently failed (retries exhausted)
+  kCancelled,  ///< stopped early by cancellation or deadline expiry
+};
+
+/// "complete" / "partial" / "cancelled".
+const char* to_string(SweepStatus status);
+
+/// Bounded exponential backoff between attempts of one failing point.
+/// Attempt k (1-based) sleeps min(cap, base * factor^(k-1)) scaled by a
+/// jitter factor in [0.5, 1.5) drawn deterministically from
+/// (jitter_seed, point index, k) — seeded jitter, so two runs of the same
+/// grid back off identically.
+struct RetryPolicy {
+  int max_attempts = 3;           ///< total tries per point (>= 1)
+  double backoff_base_ms = 10.0;  ///< first retry delay
+  double backoff_factor = 2.0;
+  double backoff_cap_ms = 1000.0;
+  u64 jitter_seed = 0;
+};
+
+struct SweepRunOptions {
+  std::size_t threads = 0;  ///< max concurrency, 0 = default (as saturation_sweep)
+
+  /// JSONL checkpoint journal; empty disables checkpointing (the run is
+  /// still cancellable and retried, just not resumable).
+  std::string checkpoint_path;
+
+  /// Caller-owned cancellation control; null gives the run a private token
+  /// (needed when deadline_seconds is set).  Must outlive the call.
+  CancelToken* cancel = nullptr;
+
+  /// Wall-clock budget for the whole run; > 0 arms the token's deadline.
+  double deadline_seconds = 0.0;
+
+  RetryPolicy retry;
+
+  /// Test/instrumentation hook, run before every engine attempt with
+  /// (point index, 1-based attempt).  Exceptions it throws are treated as
+  /// point failures — the fault-injection surface the retry tests use.
+  std::function<void(std::size_t, int)> before_point;
+
+  /// Hook run (under the checkpoint lock) right after a point's record is
+  /// durably appended, with the number of points checkpointed so far in
+  /// *this* process.  The kill-after-k resume tests abort the run here.
+  std::function<void(std::size_t)> after_checkpoint;
+};
+
+struct SweepRun {
+  SweepStatus status = SweepStatus::kComplete;
+  /// Indexed like the request grid; slots with completed[i] == 0 are
+  /// default-constructed (the point never finished).
+  std::vector<SweepOutcome> outcomes;
+  std::vector<std::uint8_t> completed;
+  u64 num_completed = 0;  ///< points with an outcome (simulated + replayed)
+  u64 num_replayed = 0;   ///< completed via checkpoint replay, not simulation
+  u64 num_retries = 0;    ///< extra attempts across all points
+  u64 num_failed = 0;     ///< points that exhausted their attempts
+  std::string first_error;  ///< what() of the first point failure, if any
+
+  bool complete() const { return status == SweepStatus::kComplete; }
+};
+
+/// Runs `points` like saturation_sweep but resiliently: validates the grid
+/// up front, replays checkpointed outcomes, simulates the rest in parallel
+/// under the cancellation token, retries failures per `options.retry`, and
+/// leaves the registry's sweep gauges exactly as a serial run over the
+/// completed points would.  Never throws for per-point failures (they are
+/// status/accounting); still throws InvalidArgument for a malformed grid or
+/// an unwritable checkpoint.
+SweepRun run_sweep_resumable(std::span<const SweepPoint> points,
+                             const SweepRunOptions& options = {});
+
+}  // namespace bfly::exec

@@ -203,7 +203,8 @@ FaultLoadCensus measure_link_loads_faulty(int n, u64 packets, u64 seed, const Fa
 FaultSaturationPoint simulate_saturation_faulty(int n, double offered_load, u64 cycles,
                                                 u64 seed, const FaultSet& faults,
                                                 const FaultRoutingOptions& options,
-                                                u64 warmup_cycles, u64 queue_capacity) {
+                                                u64 warmup_cycles, u64 queue_capacity,
+                                                const CancelToken* cancel) {
   BFLY_REQUIRE(n >= 1 && n <= 30, "butterfly dimension must be in [1, 30]");
   BFLY_REQUIRE(offered_load >= 0.0 && offered_load <= 1.0, "offered load is a probability");
   BFLY_REQUIRE(faults.dimension() == n, "fault set dimension mismatch");
@@ -265,7 +266,12 @@ FaultSaturationPoint simulate_saturation_faulty(int n, double offered_load, u64 
   };
 
   std::vector<std::pair<u64, Packet>> wrapped;  // (row, packet) awaiting re-entry
+  u64 simulated = cycles;
   for (u64 cycle = 0; cycle < cycles; ++cycle) {
+    if (cycle % kCancelPollCycles == 0 && CancelToken::cancelled(cancel)) {
+      simulated = cycle;
+      break;
+    }
     const bool measured = cycle >= warmup_cycles;
     // Forward one packet per link, highest stage first so a packet moves at
     // most one hop per cycle; wrapped packets re-enter at stage 0 only after
@@ -353,9 +359,14 @@ FaultSaturationPoint simulate_saturation_faulty(int n, double offered_load, u64 
   depth_hist.flush();
 
   result.max_queue = arena.max_size();
-  const double measured_cycles = static_cast<double>(cycles - warmup_cycles);
+  // Same partial-result convention as simulate_saturation: average over the
+  // cycles actually simulated when the token tripped mid-run.
+  const double measured_cycles =
+      simulated > warmup_cycles ? static_cast<double>(simulated - warmup_cycles) : 0.0;
   result.throughput =
-      static_cast<double>(result.delivered) / (measured_cycles * static_cast<double>(rows));
+      measured_cycles > 0.0
+          ? static_cast<double>(result.delivered) / (measured_cycles * static_cast<double>(rows))
+          : 0.0;
   result.per_node_injection = result.throughput / static_cast<double>(n + 1);
   result.avg_latency =
       result.delivered > 0 ? total_latency / static_cast<double>(result.delivered) : 0.0;

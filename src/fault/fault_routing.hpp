@@ -105,12 +105,16 @@ struct FaultSaturationPoint {
 /// stream as simulate_saturation(); with an empty FaultSet and
 /// queue_capacity == 0 the embedded SaturationPoint is bitwise identical to
 /// it.  queue_capacity > 0 bounds every output queue (drop-on-full, counted
-/// as kQueueFull).
+/// as kQueueFull).  A non-null `cancel` is polled every kCancelPollCycles
+/// cycles exactly like simulate_saturation: the run stops at the poll and
+/// averages over the cycles actually simulated; an uncancelled run is
+/// bitwise unchanged.
 FaultSaturationPoint simulate_saturation_faulty(int n, double offered_load, u64 cycles,
                                                 u64 seed, const FaultSet& faults,
                                                 const FaultRoutingOptions& options = {},
                                                 u64 warmup_cycles = 0,
-                                                u64 queue_capacity = 0);
+                                                u64 queue_capacity = 0,
+                                                const CancelToken* cancel = nullptr);
 
 /// BFS oracle on the faulted fabric (alive forward links plus stage-n ->
 /// stage-0 recirculation): out[d] != 0 iff (d, stage n) is reachable from

@@ -23,6 +23,7 @@
 // check` against bench/baselines/.
 #pragma once
 
+#include <iosfwd>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -37,15 +38,36 @@ struct RunReport {
   std::string name;
   std::string run_id;
   std::string git_describe;
+  /// Run completion status ("complete" / "partial" / "cancelled") and sweep
+  /// progress.  Optional on input for back-compat with reports written
+  /// before the field existed: missing keys parse as "complete" / 0 / 0.
+  std::string status = "complete";
+  u64 points_completed = 0;
+  u64 points_total = 0;
+
+  bool is_complete() const { return status == "complete"; }
 
   /// Parses + validates one report document (the compact or pretty form).
   /// Throws InvalidArgument naming the offending key on structural problems:
-  /// wrong schema version, missing/mistyped top-level keys, or histograms
-  /// whose bucket counts do not sum to their count.
+  /// wrong schema version, missing/mistyped top-level keys, an unknown
+  /// status value, or histograms whose bucket counts do not sum to their
+  /// count.
   static RunReport parse(std::string_view text);
   /// parse() on the full contents of `path`.
   static RunReport load(const std::string& path);
 };
+
+/// Loads a JSONL trajectory (one report per line) tolerantly: blank lines
+/// are ignored, and lines that fail to parse — the torn tail a crash leaves
+/// behind, or stray corruption — are skipped with a warning on `warnings`
+/// (when non-null) naming the 1-based line number.  `num_skipped` (when
+/// non-null) receives the skip count.  Throws InvalidArgument only when the
+/// file cannot be opened; an all-corrupt file simply returns an empty vector
+/// and lets the caller decide (bflyreport exits nonzero only when *nothing*
+/// parses).
+std::vector<RunReport> load_report_lines(const std::string& path,
+                                         std::ostream* warnings = nullptr,
+                                         std::size_t* num_skipped = nullptr);
 
 /// One compared metric.  `rel_delta` is (after - before) / |before|: 0 when
 /// both sides are 0, and +-infinity when the baseline is 0 but the value
@@ -150,6 +172,13 @@ struct CheckResult {
 };
 
 CheckResult check_diff(const ReportDiff& diff, const Thresholds& thresholds);
+
+/// Graceful degradation for non-complete candidates: returns `result` with
+/// every FAIL row downgraded to WARN (counts re-tallied).  `bflyreport
+/// check`/`diff` apply this when the candidate report's status is "partial"
+/// or "cancelled" — an interrupted run legitimately moves or loses metrics,
+/// so the baseline gate should flag it, not explode.
+CheckResult degrade_failures_to_warnings(CheckResult result);
 
 // --- rendering ---------------------------------------------------------------
 

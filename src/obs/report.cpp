@@ -87,6 +87,9 @@ json::Value build_run_report(const Registry& registry, const ReportOptions& opti
   report.set("name", json::Value::string(options.name));
   report.set("run_id", json::Value::string(make_run_id()));
   report.set("git_describe", json::Value::string(git_describe()));
+  report.set("status", json::Value::string(options.status));
+  report.set("points_completed", json::Value::number(options.points_completed));
+  report.set("points_total", json::Value::number(options.points_total));
   report.set("config", options.config);
   report.set("metrics", std::move(metrics));
   report.set("spans", std::move(spans));

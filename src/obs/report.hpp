@@ -8,6 +8,9 @@
 //     "name":         "<tool or bench name>",
 //     "run_id":       "<16 hex chars, unique per process run>",
 //     "git_describe": "<git describe --always --dirty at build time>",
+//     "status":       "complete" | "partial" | "cancelled",
+//     "points_completed": <u64>,   // sweep points with a real outcome
+//     "points_total":     <u64>,   // sweep points requested (0 = no sweeps)
 //     "config":       { ... caller-provided run parameters ... },
 //     "metrics": {
 //       "counters":   { "<name>": <u64>, ... },
@@ -27,6 +30,14 @@
 // overflow bucket) and sums to count — consumers can reconstruct totals
 // without trusting a separate field.
 //
+// The "status" triple is how graceful degradation surfaces in the schema: a
+// run whose sweeps were cancelled or lost points reports "cancelled" /
+// "partial" (fed from exec::SweepStatus), and diff consumers downgrade
+// failures against such reports to warnings (obs/diff.hpp,
+// degrade_failures_to_warnings).  Reports written before the field existed
+// parse as "complete" with zero counts — the keys are optional on input,
+// always present on output.
+//
 // Writers: write_report_line() emits the compact single-line form (JSONL:
 // append one line per run to a log and every line is a complete document);
 // write_report_pretty() emits the same document indented for humans.
@@ -43,6 +54,12 @@ namespace bfly::obs {
 struct ReportOptions {
   /// Tool/bench name, e.g. "bench_routing".
   std::string name;
+  /// Run completion status: "complete", "partial", or "cancelled" (see the
+  /// schema comment; exec::to_string(SweepStatus) produces these).
+  std::string status = "complete";
+  /// Sweep-point progress behind `status`; both 0 when the run had no sweeps.
+  u64 points_completed = 0;
+  u64 points_total = 0;
   /// Run parameters (free-form object; keep it flat and stable).
   json::Value config = json::Value::object();
   /// Measured facts about constructed artifacts (areas, track counts, ...).

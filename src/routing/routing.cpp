@@ -183,7 +183,8 @@ u64 bit_reversal_congestion(int n) {
 }
 
 SaturationPoint simulate_saturation(int n, double offered_load, u64 cycles, u64 seed,
-                                    u64 warmup_cycles, u64 queue_capacity) {
+                                    u64 warmup_cycles, u64 queue_capacity,
+                                    const CancelToken* cancel) {
   BFLY_REQUIRE(n >= 1 && n <= 30, "butterfly dimension must be in [1, 30]");
   BFLY_REQUIRE(offered_load >= 0.0 && offered_load <= 1.0, "offered load is a probability");
   BFLY_TRACE_SCOPE("routing.simulate_saturation");
@@ -227,7 +228,12 @@ SaturationPoint simulate_saturation(int n, double offered_load, u64 cycles, u64 
     return true;
   };
 
+  u64 simulated = cycles;
   for (u64 cycle = 0; cycle < cycles; ++cycle) {
+    if (cycle % kCancelPollCycles == 0 && CancelToken::cancelled(cancel)) {
+      simulated = cycle;
+      break;
+    }
     const bool measured = cycle >= warmup_cycles;
     // Forward one packet per link, highest stage first so a packet moves at
     // most one hop per cycle.  For a fixed stage the dense link ids are the
@@ -283,9 +289,15 @@ SaturationPoint simulate_saturation(int n, double offered_load, u64 cycles, u64 
   depth_hist.flush();
 
   result.max_queue = arena.max_size();
-  const double measured_cycles = static_cast<double>(cycles - warmup_cycles);
+  // Average over the cycles actually simulated so a cancelled run still
+  // reports meaningful (if noisier) rates; zero when the token tripped before
+  // the first measured cycle.
+  const double measured_cycles =
+      simulated > warmup_cycles ? static_cast<double>(simulated - warmup_cycles) : 0.0;
   result.throughput =
-      static_cast<double>(result.delivered) / (measured_cycles * static_cast<double>(rows));
+      measured_cycles > 0.0
+          ? static_cast<double>(result.delivered) / (measured_cycles * static_cast<double>(rows))
+          : 0.0;
   result.per_node_injection = result.throughput / static_cast<double>(n + 1);
   result.avg_latency =
       result.delivered > 0 ? total_latency / static_cast<double>(result.delivered) : 0.0;

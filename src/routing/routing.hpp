@@ -17,6 +17,7 @@
 
 #include "topology/butterfly.hpp"
 #include "util/bits.hpp"
+#include "util/cancel.hpp"
 
 namespace bfly {
 
@@ -72,14 +73,26 @@ struct SaturationPoint {
   u64 dropped_queue_full = 0;    ///< bounded-queue mode only (0 when unbounded)
 };
 
+/// How often the saturation engines poll their CancelToken: once per
+/// kCancelPollCycles simulated cycles, so cancellation lands within one poll
+/// batch per in-flight engine (the exec layer's latency bound).
+inline constexpr u64 kCancelPollCycles = 64;
+
 /// Synchronous store-and-forward simulation: every link moves one packet per
 /// cycle; packets are injected at stage-0 rows with probability
 /// `offered_load` per cycle and routed by bit-fixing.  Output queues are
 /// unbounded by default; `queue_capacity > 0` bounds every output queue and
 /// drops on full (counted, post-warmup, in dropped_queue_full) — making the
 /// unbounded-queue assumption an explicit opt-in rather than an implicit one.
+///
+/// A non-null `cancel` is polled every kCancelPollCycles cycles; on
+/// cancellation the simulation stops at the poll and returns rates averaged
+/// over the cycles actually simulated (all-zero when cancelled before any
+/// measured cycle).  A run that completes without the token tripping is
+/// bitwise identical to one with cancel == nullptr.
 SaturationPoint simulate_saturation(int n, double offered_load, u64 cycles, u64 seed,
-                                    u64 warmup_cycles = 0, u64 queue_capacity = 0);
+                                    u64 warmup_cycles = 0, u64 queue_capacity = 0,
+                                    const CancelToken* cancel = nullptr);
 
 /// Maximum link congestion when routing the *permutation* perm (one packet
 /// per row) by bit-fixing through the DAG.  Uniform random permutations stay

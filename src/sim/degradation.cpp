@@ -7,39 +7,47 @@
 
 namespace bfly {
 
-std::vector<DegradationPoint> degradation_curve(int n, std::span<const double> rates, u64 seed,
-                                                const DegradationOptions& options) {
+DegradationSweep degradation_sweep(int n, std::span<const double> rates, u64 seed,
+                                   const DegradationOptions& options) {
   BFLY_REQUIRE(n >= 1 && n <= 30, "butterfly dimension must be in [1, 30]");
-  BFLY_TRACE_SCOPE("fault.degradation_curve");
-
-  // Build every rate's fault set up front (serial, deterministic), then run
-  // all per-rate queued simulations as one batched sweep on the pool — the
-  // simulations dominate the curve's wall clock and are independent.  The
-  // outcomes are bitwise identical to the seed's serial per-rate calls.
-  std::vector<FaultSet> fault_sets;
-  fault_sets.reserve(rates.size());
+  // Build every rate's fault set up front (serial, deterministic); the
+  // per-rate queued simulations are independent and can then run as one
+  // batched sweep on any driver.  The outcomes are bitwise identical to the
+  // seed's serial per-rate calls.
+  DegradationSweep sweep;
+  sweep.fault_sets.reserve(rates.size());
   for (std::size_t i = 0; i < rates.size(); ++i) {
-    fault_sets.push_back(
+    sweep.fault_sets.push_back(
         FaultSet::random_links(n, rates[i], seed ^ (0x9e3779b97f4a7c15ULL * (i + 1))));
   }
-  std::vector<SweepPoint> sweep_points(rates.size());
+  sweep.sweep_points.resize(rates.size());
   for (std::size_t i = 0; i < rates.size(); ++i) {
-    SweepPoint& sp = sweep_points[i];
+    SweepPoint& sp = sweep.sweep_points[i];
     sp.n = n;
     sp.offered_load = options.offered_load;
     sp.cycles = options.sim_cycles;
     sp.seed = seed;
     sp.warmup_cycles = options.sim_warmup;
     sp.queue_capacity = options.queue_capacity;
-    sp.faults = &fault_sets[i];
+    sp.faults = &sweep.fault_sets[i];
     sp.routing = options.routing;
   }
-  const std::vector<SweepOutcome> sims = saturation_sweep(sweep_points);
+  return sweep;
+}
 
+std::vector<DegradationPoint> degradation_curve_from(int n, std::span<const double> rates,
+                                                     u64 seed,
+                                                     const DegradationOptions& options,
+                                                     const DegradationSweep& sweep,
+                                                     std::span<const SweepOutcome> sims) {
+  BFLY_REQUIRE(sweep.fault_sets.size() == rates.size(),
+               "degradation_curve_from: sweep does not match rates");
+  BFLY_REQUIRE(sims.size() == rates.size(),
+               "degradation_curve_from: outcome count does not match rates");
   std::vector<DegradationPoint> curve;
   curve.reserve(rates.size());
   for (std::size_t i = 0; i < rates.size(); ++i) {
-    const FaultSet& faults = fault_sets[i];
+    const FaultSet& faults = sweep.fault_sets[i];
 
     DegradationPoint pt;
     pt.link_fault_rate = rates[i];
@@ -79,6 +87,14 @@ std::vector<DegradationPoint> degradation_curve(int n, std::span<const double> r
     curve.push_back(pt);
   }
   return curve;
+}
+
+std::vector<DegradationPoint> degradation_curve(int n, std::span<const double> rates, u64 seed,
+                                                const DegradationOptions& options) {
+  BFLY_TRACE_SCOPE("fault.degradation_curve");
+  const DegradationSweep sweep = degradation_sweep(n, rates, seed, options);
+  const std::vector<SweepOutcome> sims = saturation_sweep(sweep.sweep_points);
+  return degradation_curve_from(n, rates, seed, options, sweep, sims);
 }
 
 ChipFaultImpact analyze_chip_fault(const HierarchicalPlan& plan, u64 chip,

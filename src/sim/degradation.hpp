@@ -62,9 +62,35 @@ struct DegradationPoint {
   u64 sim_dropped_queue_full = 0;
 };
 
+/// The queued-simulation half of a degradation curve, split out so callers
+/// can route the simulations through a resilient driver (e.g.
+/// exec::run_sweep_resumable) instead of the plain saturation_sweep the
+/// convenience wrapper uses.  Owns the per-rate fault sets; sweep_points[i]
+/// references fault_sets[i], so keep the struct alive (moves are fine —
+/// vector moves preserve element addresses) until the sweep has run.
+struct DegradationSweep {
+  std::vector<FaultSet> fault_sets;
+  std::vector<SweepPoint> sweep_points;
+};
+
+/// Builds the fault set and queued-simulation request for every rate; the
+/// fault set for rates[i] is FaultSet::random_links(n, rates[i], mix(seed, i)).
+DegradationSweep degradation_sweep(int n, std::span<const double> rates, u64 seed,
+                                   const DegradationOptions& options = {});
+
+/// Assembles the curve from a degradation_sweep()'s simulation outcomes plus
+/// the (serial, deterministic) census and reachability instruments.  `sims`
+/// must be the outcome vector of running `sweep.sweep_points` (any driver).
+std::vector<DegradationPoint> degradation_curve_from(int n, std::span<const double> rates,
+                                                     u64 seed,
+                                                     const DegradationOptions& options,
+                                                     const DegradationSweep& sweep,
+                                                     std::span<const SweepOutcome> sims);
+
 /// One DegradationPoint per entry of `rates`; the fault set for rates[i] is
 /// FaultSet::random_links(n, rates[i], mix(seed, i)).  A rate of 0 reproduces
-/// the pristine instruments exactly.
+/// the pristine instruments exactly.  Convenience wrapper: degradation_sweep
+/// -> saturation_sweep -> degradation_curve_from.
 std::vector<DegradationPoint> degradation_curve(int n, std::span<const double> rates, u64 seed,
                                                 const DegradationOptions& options = {});
 

@@ -1,14 +1,34 @@
 #include "sim/sweep.hpp"
 
+#include <cmath>
+#include <string>
+
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/parallel.hpp"
 
 namespace bfly {
 
+void validate_sweep_point(const SweepPoint& point, std::size_t index) {
+  const std::string where = "sweep point " + std::to_string(index) + ": ";
+  BFLY_REQUIRE(point.n >= 1 && point.n <= 30,
+               where + "butterfly dimension must be in [1, 30]");
+  BFLY_REQUIRE(point.cycles > 0, where + "cycles must be positive");
+  BFLY_REQUIRE(point.warmup_cycles < point.cycles,
+               where + "warmup_cycles must be less than cycles");
+  BFLY_REQUIRE(std::isfinite(point.offered_load), where + "offered_load must be finite");
+  BFLY_REQUIRE(point.offered_load >= 0.0 && point.offered_load <= 1.0,
+               where + "offered_load is a probability (must be in [0, 1])");
+  if (point.faults != nullptr) {
+    BFLY_REQUIRE(point.faults->dimension() == point.n,
+                 where + "fault set dimension does not match n");
+  }
+}
+
 std::vector<SweepOutcome> saturation_sweep(std::span<const SweepPoint> points,
                                            std::size_t threads) {
   BFLY_TRACE_SCOPE("sim.saturation_sweep");
+  for (std::size_t i = 0; i < points.size(); ++i) validate_sweep_point(points[i], i);
   std::vector<SweepOutcome> outcomes(points.size());
   if (points.empty()) return outcomes;
   if (threads == 0) threads = default_thread_count();
@@ -34,12 +54,24 @@ std::vector<SweepOutcome> saturation_sweep(std::span<const SweepPoint> points,
                          }
                        });
 
+  reset_sweep_gauges(points, outcomes);
+  return outcomes;
+}
+
+void reset_sweep_gauges(std::span<const SweepPoint> points,
+                        std::span<const SweepOutcome> outcomes,
+                        const std::vector<std::uint8_t>* completed) {
+  BFLY_REQUIRE(points.size() == outcomes.size(),
+               "reset_sweep_gauges: points/outcomes size mismatch");
   // The engines' gauges are last-write-wins, which a parallel phase would
-  // leave to the scheduler.  Re-set them from the last pristine / faulty
-  // point in request order so the registry ends exactly as a serial
-  // point-by-point run would leave it.
+  // leave to the scheduler.  Re-set them from the last completed pristine /
+  // faulty point in request order so the registry ends exactly as a serial
+  // point-by-point run over the completed set would leave it.
+  const auto is_completed = [&](std::size_t i) {
+    return completed == nullptr || (*completed)[i] != 0;
+  };
   for (std::size_t i = points.size(); i-- > 0;) {
-    if (points[i].faults == nullptr) {
+    if (points[i].faults == nullptr && is_completed(i)) {
       obs::set(obs::get_gauge("routing.max_queue"),
                static_cast<double>(outcomes[i].point.max_queue));
       obs::set(obs::get_gauge("routing.throughput"), outcomes[i].point.throughput);
@@ -47,14 +79,13 @@ std::vector<SweepOutcome> saturation_sweep(std::span<const SweepPoint> points,
     }
   }
   for (std::size_t i = points.size(); i-- > 0;) {
-    if (points[i].faults != nullptr) {
+    if (points[i].faults != nullptr && is_completed(i)) {
       obs::set(obs::get_gauge("fault.max_queue"),
                static_cast<double>(outcomes[i].point.max_queue));
       obs::set(obs::get_gauge("fault.throughput"), outcomes[i].point.throughput);
       break;
     }
   }
-  return outcomes;
 }
 
 }  // namespace bfly

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -42,9 +43,27 @@ struct SweepOutcome {
   FaultTally tally;
 };
 
+/// Rejects malformed requests before any engine runs: cycles == 0,
+/// warmup_cycles >= cycles, non-finite or out-of-[0,1] offered_load, and n
+/// outside [1, 30] all throw InvalidArgument naming the offending point
+/// index — instead of failing deep inside an engine or silently producing an
+/// all-zero outcome.  Called by saturation_sweep and exec::run_sweep_resumable
+/// on every point up front.
+void validate_sweep_point(const SweepPoint& point, std::size_t index);
+
 /// Runs every point (in parallel, `threads` = max concurrency, 0 = default)
 /// and returns outcomes indexed like `points`.
 std::vector<SweepOutcome> saturation_sweep(std::span<const SweepPoint> points,
                                            std::size_t threads = 0);
+
+/// Re-sets the engines' last-write-wins gauges (routing.max_queue,
+/// routing.throughput, fault.max_queue, fault.throughput) from the last
+/// pristine / faulty outcome in request order, exactly as a serial
+/// point-by-point run would leave them.  `completed`, when non-null, marks
+/// which outcome slots hold real results (resumable runs skip the rest);
+/// null means all of them.  Shared by saturation_sweep and the exec layer.
+void reset_sweep_gauges(std::span<const SweepPoint> points,
+                        std::span<const SweepOutcome> outcomes,
+                        const std::vector<std::uint8_t>* completed = nullptr);
 
 }  // namespace bfly

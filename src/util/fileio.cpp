@@ -1,0 +1,87 @@
+#include "util/fileio.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace bfly::util {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what, const std::string& path) {
+  throw InvalidArgument(what + " '" + path + "': " + std::strerror(errno));
+}
+
+/// write(2) until everything is out, retrying on EINTR.
+void write_all(int fd, std::string_view bytes, const std::string& path) {
+  const char* p = bytes.data();
+  std::size_t left = bytes.size();
+  while (left > 0) {
+    const ssize_t wrote = ::write(fd, p, left);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("cannot write", path);
+    }
+    p += wrote;
+    left -= static_cast<std::size_t>(wrote);
+  }
+}
+
+/// RAII fd so the throw paths below cannot leak descriptors.
+struct Fd {
+  int fd = -1;
+  ~Fd() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+}  // namespace
+
+void atomic_write_file(const std::string& path, std::string_view contents) {
+  BFLY_REQUIRE(!path.empty(), "atomic_write_file: empty path");
+  const std::string tmp = path + ".tmp";
+  {
+    Fd f;
+    f.fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (f.fd < 0) throw_errno("cannot create", tmp);
+    write_all(f.fd, contents, tmp);
+    // Flush the data before the rename publishes the name; otherwise a crash
+    // can leave the *new* name pointing at zero-length content.
+    if (::fsync(f.fd) != 0) throw_errno("cannot fsync", tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) throw_errno("cannot rename into", path);
+}
+
+void append_line_durable(const std::string& path, std::string_view line) {
+  BFLY_REQUIRE(!path.empty(), "append_line_durable: empty path");
+  Fd f;
+  f.fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (f.fd < 0) throw_errno("cannot open for append", path);
+  std::string buf;
+  buf.reserve(line.size() + 1);
+  buf.append(line);
+  buf.push_back('\n');
+  // One write(2) call for line+'\n': O_APPEND makes the offset update atomic,
+  // and a single buffer means a crash tears at most the final line instead of
+  // interleaving two.
+  write_all(f.fd, buf, path);
+  if (::fsync(f.fd) != 0) throw_errno("cannot fsync", path);
+}
+
+std::string to_hex16(std::uint64_t value) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[value & 0xF];
+    value >>= 4;
+  }
+  return out;
+}
+
+}  // namespace bfly::util

@@ -1,0 +1,56 @@
+// Crash-safe file I/O for run reports, SVG artifacts, and sweep checkpoints.
+//
+// The failure mode these helpers close off: a process killed mid-write leaves
+// a torn file — a half-written SVG, or a truncated JSON line that poisons the
+// baseline gate.  atomic_write_file gives all-or-nothing replacement (readers
+// see the old contents or the new, never a prefix); append_line_durable gives
+// at-most-one-torn-tail appends for checkpoint journals, which the torn-line-
+// tolerant readers in exec/checkpoint and bflyreport then skip.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace bfly::util {
+
+/// Writes `contents` to `path` atomically: writes `path` + ".tmp", fsyncs,
+/// then renames over `path`.  On any failure the destination is untouched
+/// (the temp file may remain) and InvalidArgument is thrown.  The rename is
+/// atomic only within one filesystem, which holds for the sibling temp path.
+void atomic_write_file(const std::string& path, std::string_view contents);
+
+/// Appends `line` + '\n' to `path` (creating it if absent) and fsyncs before
+/// returning, so a completed call survives an immediate crash.  A crash *
+/// during* the call can leave a torn final line; readers of such journals
+/// must tolerate exactly that (see exec::load_checkpoint).  Throws
+/// InvalidArgument on I/O failure.
+void append_line_durable(const std::string& path, std::string_view line);
+
+/// Streaming FNV-1a 64-bit hash — the checkpoint keying hash.  Stable across
+/// platforms and runs (no seeding), cheap, and good enough to distinguish
+/// sweep points within one grid; not cryptographic.
+class Fnv1a64 {
+ public:
+  Fnv1a64& update(std::string_view bytes) {
+    for (const char c : bytes) mix(static_cast<unsigned char>(c));
+    return *this;
+  }
+  Fnv1a64& update(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) mix(static_cast<unsigned char>(v >> (8 * i)));
+    return *this;
+  }
+  std::uint64_t digest() const { return state_; }
+
+ private:
+  void mix(unsigned char byte) {
+    state_ ^= byte;
+    state_ *= 0x100000001b3ULL;
+  }
+  std::uint64_t state_ = 0xcbf29ce484222325ULL;
+};
+
+/// digest() formatted as 16 lowercase hex digits (the checkpoint key format).
+std::string to_hex16(std::uint64_t value);
+
+}  // namespace bfly::util

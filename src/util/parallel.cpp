@@ -10,8 +10,9 @@ std::size_t default_thread_count() {
 }
 
 void parallel_for_chunked(std::size_t begin, std::size_t end, std::size_t threads,
-                          const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
-  ThreadPool::shared().run_chunked(begin, end, threads, body);
+                          const std::function<void(std::size_t, std::size_t, std::size_t)>& body,
+                          const CancelToken* cancel) {
+  ThreadPool::shared().run_chunked(begin, end, threads, body, cancel);
 }
 
 void parallel_for(std::size_t begin, std::size_t end,

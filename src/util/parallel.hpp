@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "util/cancel.hpp"
 #include "util/check.hpp"
 
 namespace bfly {
@@ -26,9 +27,11 @@ std::size_t default_thread_count();
 /// the shared ThreadPool.  Blocks until every chunk completes; exceptions
 /// thrown by any chunk are rethrown (first one wins).  The partition is a
 /// pure function of (begin, end, threads), so fixed-chunk-seeded callers are
-/// bitwise deterministic for any pool size.
+/// bitwise deterministic for any pool size.  When `cancel` trips, chunks not
+/// yet started are skipped (see ThreadPool::run_chunked for the contract).
 void parallel_for_chunked(std::size_t begin, std::size_t end, std::size_t threads,
-                          const std::function<void(std::size_t, std::size_t, std::size_t)>& body);
+                          const std::function<void(std::size_t, std::size_t, std::size_t)>& body,
+                          const CancelToken* cancel = nullptr);
 
 /// Element-wise parallel for with default thread count.
 void parallel_for(std::size_t begin, std::size_t end,

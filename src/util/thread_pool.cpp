@@ -51,10 +51,12 @@ bool ThreadPool::try_run_one() {
 
 void ThreadPool::run_chunked(
     std::size_t begin, std::size_t end, std::size_t max_chunks,
-    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body,
+    const CancelToken* cancel) {
   BFLY_REQUIRE(begin <= end, "run_chunked: begin must not exceed end");
   const std::size_t n = end - begin;
   if (n == 0) return;
+  if (CancelToken::cancelled(cancel)) return;  // nothing starts after cancel
   const std::size_t chunks = std::max<std::size_t>(1, std::min(max_chunks, n));
   if (chunks == 1) {
     body(begin, end, 0);
@@ -86,9 +88,13 @@ void ThreadPool::run_chunked(
     const std::lock_guard<std::mutex> lock(mu_);
     for (std::size_t t = 0; t < ranges.size(); ++t) {
       const auto [lo, hi] = ranges[t];
-      queue_.emplace_back([&region, &body, lo, hi, t] {
+      queue_.emplace_back([&region, &body, cancel, lo, hi, t] {
         try {
-          body(lo, hi, t);
+          // The cancellation gate: a range that dequeues after the token
+          // trips is skipped — no new work starts after cancel.  It still
+          // runs the completion epilogue below so the waiting caller's
+          // region resolves normally.
+          if (!CancelToken::cancelled(cancel)) body(lo, hi, t);
         } catch (...) {
           const std::lock_guard<std::mutex> rl(region.mu);
           if (!region.first_error) region.first_error = std::current_exception();

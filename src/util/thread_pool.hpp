@@ -34,6 +34,7 @@
 #include <thread>
 #include <vector>
 
+#include "util/cancel.hpp"
 #include "util/check.hpp"
 
 namespace bfly {
@@ -55,8 +56,17 @@ class ThreadPool {
   /// for each, blocking until all complete.  Exceptions thrown by ranges are
   /// rethrown in the caller (first one captured wins); the remaining ranges
   /// still run to completion.  Safe to call from inside a pool task.
+  ///
+  /// When `cancel` is non-null and becomes cancelled, ranges that have not
+  /// started yet are skipped entirely (their body never runs); ranges already
+  /// running finish on their own — pass the same token into the body if it
+  /// should stop early too.  run_chunked still waits for every range to
+  /// start-or-skip, so stack captures stay valid and the partition always
+  /// fully resolves.  Cancellation never throws; the caller inspects the
+  /// token to learn work was skipped.
   void run_chunked(std::size_t begin, std::size_t end, std::size_t max_chunks,
-                   const std::function<void(std::size_t, std::size_t, std::size_t)>& body);
+                   const std::function<void(std::size_t, std::size_t, std::size_t)>& body,
+                   const CancelToken* cancel = nullptr);
 
   /// The process-wide pool (default_thread_count() workers, created on first
   /// use) that parallel_for_chunked and the sweep drivers submit to.

@@ -241,14 +241,20 @@ TEST(Report, SchemaAndHistogramTotalsRoundTrip) {
 
   // Exactly the schema-v1 top-level keys, in order.
   const auto& members = doc.members();
-  ASSERT_EQ(members.size(), 8u);
-  const char* expected_keys[] = {"schema_version", "name",    "run_id",
-                                 "git_describe",   "config",  "metrics",
-                                 "spans",          "artifact_stats"};
-  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(members[i].first, expected_keys[i]);
+  ASSERT_EQ(members.size(), 11u);
+  const char* expected_keys[] = {"schema_version", "name",
+                                 "run_id",         "git_describe",
+                                 "status",         "points_completed",
+                                 "points_total",   "config",
+                                 "metrics",        "spans",
+                                 "artifact_stats"};
+  for (std::size_t i = 0; i < 11; ++i) EXPECT_EQ(members[i].first, expected_keys[i]);
   EXPECT_EQ(doc.at("schema_version").as_u64(), 1u);
   EXPECT_EQ(doc.at("name").as_string(), "test_obs");
   EXPECT_EQ(doc.at("run_id").as_string().size(), 16u);
+  EXPECT_EQ(doc.at("status").as_string(), "complete");  // the default
+  EXPECT_EQ(doc.at("points_completed").as_u64(), 0u);
+  EXPECT_EQ(doc.at("points_total").as_u64(), 0u);
   EXPECT_EQ(doc.at("config").at("n").as_u64(), 8u);
 
   // The histogram invariant: bucket counts reconstruct the delivered total

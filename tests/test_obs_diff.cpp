@@ -4,9 +4,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <limits>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "obs/diff.hpp"
 #include "obs/metrics.hpp"
@@ -92,6 +96,95 @@ TEST(RunReportTest, RejectsHistogramWithWrongBucketArity) {
 
 TEST(RunReportTest, RejectsHistogramWhoseCountsDoNotSum) {
   EXPECT_THROW(RunReport::parse(report_text(1, 1, 1, "[2, 3, 5, 0]", "11")), InvalidArgument);
+}
+
+// --- status field ------------------------------------------------------------
+
+/// report_text() with status/progress keys spliced in before "config".
+std::string report_text_with_status(const std::string& status, int completed, int total) {
+  std::string text = report_text(1, 1, 1);
+  std::ostringstream keys;
+  keys << R"("status": ")" << status << R"(", "points_completed": )" << completed
+       << R"(, "points_total": )" << total << ", ";
+  text.insert(text.find("\"config\""), keys.str());
+  return text;
+}
+
+TEST(RunReportTest, MissingStatusParsesAsCompleteForBackCompat) {
+  const RunReport r = make_report(1, 1, 1);
+  EXPECT_EQ(r.status, "complete");
+  EXPECT_TRUE(r.is_complete());
+  EXPECT_EQ(r.points_completed, 0u);
+  EXPECT_EQ(r.points_total, 0u);
+}
+
+TEST(RunReportTest, ParsesStatusAndProgressKeys) {
+  const RunReport r = RunReport::parse(report_text_with_status("partial", 3, 5));
+  EXPECT_EQ(r.status, "partial");
+  EXPECT_FALSE(r.is_complete());
+  EXPECT_EQ(r.points_completed, 3u);
+  EXPECT_EQ(r.points_total, 5u);
+  EXPECT_EQ(RunReport::parse(report_text_with_status("cancelled", 0, 5)).status, "cancelled");
+  EXPECT_TRUE(RunReport::parse(report_text_with_status("complete", 5, 5)).is_complete());
+}
+
+TEST(RunReportTest, RejectsUnknownStatusValue) {
+  EXPECT_THROW(RunReport::parse(report_text_with_status("exploded", 1, 2)), InvalidArgument);
+}
+
+TEST(DegradeTest, FailuresBecomeWarningsWithRetalliedCounts) {
+  CheckResult result;
+  result.rows.push_back({MetricDelta{"counters.a", 1, 2, 1, 1.0}, Severity::kFail});
+  result.rows.push_back({MetricDelta{"counters.b", 1, 1, 0, 0.0}, Severity::kPass});
+  result.rows.push_back({MetricDelta{"gauges.c", 1, 1.1, 0.1, 0.1}, Severity::kWarn});
+  result.missing_in_b = {"counters.gone"};
+  result.new_in_b = {"counters.fresh"};
+  result.num_fail = 2;  // the fail row + the missing key
+  result.num_warn = 2;  // the warn row + the new key
+  const CheckResult degraded = degrade_failures_to_warnings(std::move(result));
+  EXPECT_EQ(degraded.num_fail, 0);
+  EXPECT_EQ(degraded.num_warn, 4);  // fail row + warn row + missing + new
+  EXPECT_TRUE(degraded.ok());
+  EXPECT_EQ(degraded.rows[0].severity, Severity::kWarn);
+  EXPECT_EQ(degraded.rows[1].severity, Severity::kPass);
+  EXPECT_EQ(degraded.rows[2].severity, Severity::kWarn);
+}
+
+// --- load_report_lines -------------------------------------------------------
+
+TEST(LoadReportLinesTest, SkipsTornAndCorruptLinesWithWarnings) {
+  const std::string path = ::testing::TempDir() + "bfly_trajectory.jsonl";
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << report_text(1, 1, 1) << "\n";
+    out << "\n";                    // blank: ignored silently
+    out << "{\"torn\": tru" << "\n";  // corrupt: skipped with a warning
+    out << report_text(2, 2, 2) << "\n";
+    const std::string torn_tail = report_text(3, 3, 3);
+    out << torn_tail.substr(0, torn_tail.size() / 2);  // crash-torn final line
+  }
+  std::ostringstream warnings;
+  std::size_t skipped = 0;
+  const std::vector<RunReport> reports = load_report_lines(path, &warnings, &skipped);
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_EQ(skipped, 2u);
+  EXPECT_NE(warnings.str().find(":3:"), std::string::npos) << warnings.str();
+  EXPECT_NE(warnings.str().find(":5:"), std::string::npos) << warnings.str();
+  EXPECT_EQ(metric_value(reports[1], "counters.routing.delivered"), 2.0);
+  std::remove(path.c_str());
+}
+
+TEST(LoadReportLinesTest, AllCorruptFileReturnsEmptyNotThrow) {
+  const std::string path = ::testing::TempDir() + "bfly_corrupt.jsonl";
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "garbage\nmore garbage\n";
+  }
+  std::size_t skipped = 0;
+  EXPECT_TRUE(load_report_lines(path, nullptr, &skipped).empty());
+  EXPECT_EQ(skipped, 2u);
+  EXPECT_THROW(load_report_lines(path + ".does-not-exist"), InvalidArgument);
+  std::remove(path.c_str());
 }
 
 // --- diff_reports ------------------------------------------------------------

@@ -5,6 +5,8 @@
 // size — the sweep buys wall clock, never different numbers.
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <string>
 #include <vector>
 
 #include "fault/fault_routing.hpp"
@@ -12,6 +14,7 @@
 #include "routing/routing.hpp"
 #include "sim/degradation.hpp"
 #include "sim/sweep.hpp"
+#include "util/check.hpp"
 
 namespace bfly {
 namespace {
@@ -107,6 +110,68 @@ TEST(Sweep, PoolSizeInvariant) {
 
 TEST(Sweep, EmptyBatchIsANoOp) {
   EXPECT_TRUE(saturation_sweep({}).empty());
+}
+
+TEST(Sweep, ValidationRejectsMalformedPoints) {
+  // Each rejection rule fires with a message naming the offending index, and
+  // the batch is rejected before any engine runs.
+  const auto expect_rejected = [](SweepPoint p, const char* what) {
+    SCOPED_TRACE(what);
+    std::vector<SweepPoint> pts(1, p);
+    EXPECT_THROW(saturation_sweep(pts), InvalidArgument);
+    EXPECT_THROW(validate_sweep_point(p, 0), InvalidArgument);
+  };
+  SweepPoint good;
+  good.n = 4;
+  good.offered_load = 0.5;
+  good.cycles = 100;
+  good.seed = 1;
+  EXPECT_NO_THROW(validate_sweep_point(good, 0));
+
+  SweepPoint p = good;
+  p.cycles = 0;
+  expect_rejected(p, "cycles == 0");
+  p = good;
+  p.warmup_cycles = 100;
+  expect_rejected(p, "warmup >= cycles");
+  p = good;
+  p.offered_load = -0.1;
+  expect_rejected(p, "negative load");
+  p = good;
+  p.offered_load = 1.5;
+  expect_rejected(p, "load > 1");
+  p = good;
+  p.offered_load = std::numeric_limits<double>::quiet_NaN();
+  expect_rejected(p, "NaN load");
+  p = good;
+  p.offered_load = std::numeric_limits<double>::infinity();
+  expect_rejected(p, "infinite load");
+  p = good;
+  p.n = 0;
+  expect_rejected(p, "n == 0");
+  p = good;
+  p.n = 31;
+  expect_rejected(p, "n > 30");
+  const FaultSet wrong_dim = FaultSet::random_links(5, 0.01, 1);
+  p = good;  // p.n = 4 but faults built for n = 5
+  p.faults = &wrong_dim;
+  expect_rejected(p, "fault dimension mismatch");
+}
+
+TEST(Sweep, ValidationMessageNamesThePointIndex) {
+  SweepPoint good;
+  good.n = 4;
+  good.offered_load = 0.5;
+  good.cycles = 100;
+  SweepPoint bad = good;
+  bad.cycles = 0;
+  const std::vector<SweepPoint> pts = {good, good, bad};
+  try {
+    saturation_sweep(pts);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("sweep point 2"), std::string::npos) << e.what();
+  }
 }
 
 TEST(Degradation, CurveUnchangedByBatchedSweep) {

@@ -11,12 +11,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
 
 #include "util/bits.hpp"
+#include "util/cancel.hpp"
 #include "util/parallel.hpp"
 #include "util/thread_pool.hpp"
 
@@ -140,6 +142,67 @@ TEST(ThreadPool, EmptyAndSingleChunkRuns) {
   std::vector<std::size_t> tids;
   EXPECT_EQ(chunked_square_sum(pool, 100, 1, &tids), serial_square_sum(100));
   EXPECT_EQ(tids, std::vector<std::size_t>{0});
+}
+
+TEST(ThreadPool, PreCancelledTokenRunsNoBodies) {
+  ThreadPool pool(2);
+  CancelToken token;
+  token.request_cancel();
+  std::atomic<int> ran{0};
+  pool.run_chunked(0, 16, 16,
+                   [&](std::size_t, std::size_t, std::size_t) { ++ran; }, &token);
+  EXPECT_EQ(ran.load(), 0);
+  // The pool is untouched by a pre-cancelled submission.
+  EXPECT_EQ(chunked_square_sum(pool, 200, 4), serial_square_sum(200));
+}
+
+TEST(ThreadPool, MidRunCancelSkipsUnstartedRanges) {
+  // The first body to run cancels the token.  Bodies already past their gate
+  // (at most one per executor: 2 workers + the helping caller) may still run;
+  // every not-yet-started range must be skipped, and run_chunked must still
+  // return normally (the completion epilogue runs for skipped ranges too).
+  ThreadPool pool(2);
+  CancelToken token;
+  std::atomic<int> ran{0};
+  pool.run_chunked(
+      0, 64, 64,
+      [&](std::size_t, std::size_t, std::size_t) {
+        ++ran;
+        token.request_cancel();
+      },
+      &token);
+  EXPECT_GE(ran.load(), 1);
+  EXPECT_LE(ran.load(), 3);  // 2 workers + helping caller
+  EXPECT_TRUE(token.cancelled());
+  // Cancellation is per-submission state, not pool state: the same pool (and
+  // a fresh token) runs everything again.
+  CancelToken fresh;
+  std::atomic<int> ran2{0};
+  pool.run_chunked(0, 16, 16,
+                   [&](std::size_t, std::size_t, std::size_t) { ++ran2; }, &fresh);
+  EXPECT_EQ(ran2.load(), 16);
+}
+
+TEST(ThreadPool, DeadlineExpiryCancelsToken) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  token.set_deadline_after(std::chrono::nanoseconds(1));
+  // A 1ns budget is in the past by the time we poll; expired() implies
+  // cancelled() for every consumer (pool gates and engine polls alike).
+  while (!token.expired()) {
+  }
+  EXPECT_TRUE(token.cancelled());
+  token.clear_deadline();
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(ThreadPool, ParallelForChunkedForwardsToken) {
+  CancelToken token;
+  token.request_cancel();
+  std::atomic<int> ran{0};
+  parallel_for_chunked(0, 32, 8,
+                       [&](std::size_t, std::size_t, std::size_t) { ++ran; }, &token);
+  EXPECT_EQ(ran.load(), 0);
 }
 
 TEST(ThreadPool, SharedPoolBacksParallelForChunked) {

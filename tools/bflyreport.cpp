@@ -80,7 +80,15 @@ int run_diff(std::vector<std::string> args) {
   const obs::ReportDiff diff = obs::diff_reports(a, b, options);
   std::cout << obs::render_diff_markdown(diff, thresholds ? &*thresholds : nullptr);
   if (thresholds) {
-    const obs::CheckResult result = obs::check_diff(diff, *thresholds);
+    obs::CheckResult result = obs::check_diff(diff, *thresholds);
+    if (!b.is_complete()) {
+      // An interrupted candidate legitimately moves or loses metrics: flag
+      // the regressions as warnings instead of failing the comparison.
+      result = obs::degrade_failures_to_warnings(std::move(result));
+      std::cout << "\n_candidate run is " << b.status
+                << " (" << b.points_completed << "/" << b.points_total
+                << " points); failures downgraded to warnings_\n";
+    }
     std::cout << "\n" << result.rows.size() << " metrics compared: " << result.num_warn
               << " warn, " << result.num_fail << " fail\n";
     return result.ok() ? 0 : 1;
@@ -110,22 +118,24 @@ int run_trend(std::vector<std::string> args) {
   const double threshold = std::stod(take_option(&args, "--threshold").value_or("0.10"));
   if (!metric || args.size() != 1) return usage();
 
-  std::ifstream in(args[0], std::ios::binary);
-  if (!in) {
-    std::fprintf(stderr, "bflyreport: cannot open '%s'\n", args[0].c_str());
-    return 2;
-  }
   struct Entry {
     std::string run_id;
     std::string git;
     double value = 0.0;
   };
   std::vector<Entry> series;
-  std::string line;
+  std::size_t skipped = 0;
+  // Tolerant trajectory load: a crash mid-append leaves a torn final line,
+  // which must not take the whole history with it.  Bad lines warn on
+  // stderr; the exit is nonzero only when *nothing* parses.
+  const std::vector<obs::RunReport> reports = obs::load_report_lines(args[0], &std::cerr, &skipped);
+  if (reports.empty() && skipped > 0) {
+    std::fprintf(stderr, "bflyreport: no parsable report in '%s' (%zu line(s) skipped)\n",
+                 args[0].c_str(), skipped);
+    return 2;
+  }
   std::size_t without_metric = 0;
-  while (std::getline(in, line)) {
-    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-    const obs::RunReport report = obs::RunReport::parse(line);
+  for (const obs::RunReport& report : reports) {
     try {
       series.push_back({report.run_id, report.git_describe, obs::metric_value(report, *metric)});
     } catch (const InvalidArgument&) {
@@ -250,13 +260,24 @@ int run_check(std::vector<std::string> args) {
     }();
 
     const obs::ReportDiff diff = obs::diff_reports(baseline, current);
-    const obs::CheckResult result = obs::check_diff(diff, thresholds);
+    obs::CheckResult result = obs::check_diff(diff, thresholds);
+    const bool degraded = !current.is_complete();
+    if (degraded) {
+      // Partial / cancelled runs degrade gracefully: the gate flags them
+      // instead of exploding on metrics an interrupted sweep never produced.
+      result = obs::degrade_failures_to_warnings(std::move(result));
+    }
     total_fail += result.num_fail;
     total_warn += result.num_warn;
 
     std::cout << "## " << name << ": " << (result.ok() ? "ok" : "FAIL") << " ("
               << result.rows.size() << " metrics, " << result.num_warn << " warn, "
               << result.num_fail << " fail)\n";
+    if (degraded) {
+      std::cout << "  note: current run is " << current.status << " ("
+                << current.points_completed << "/" << current.points_total
+                << " points); failures downgraded to warnings\n";
+    }
     for (const obs::CheckResult::Row& row : result.rows) {
       if (row.severity == obs::Severity::kPass) continue;
       std::cout << (row.severity == obs::Severity::kFail ? "  FAIL " : "  warn ")
@@ -264,7 +285,8 @@ int run_check(std::vector<std::string> args) {
                 << obs::format_metric_value(row.delta.after) << "\n";
     }
     for (const std::string& key : result.missing_in_b) {
-      std::cout << "  FAIL " << key << ": present in baseline, missing in current run\n";
+      std::cout << (degraded ? "  warn " : "  FAIL ") << key
+                << ": present in baseline, missing in current run\n";
     }
     for (const std::string& key : result.new_in_b) {
       std::cout << "  warn " << key << ": new metric, not in baseline (refresh baselines?)\n";
