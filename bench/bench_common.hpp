@@ -54,6 +54,13 @@ class BenchSession {
     options_.artifact_stats.set(key, json::Value::number(number));
   }
 
+  /// Attaches one representative sweep point's cycle-resolved telemetry
+  /// (TimeSeries::to_json()) as the report's optional "timeseries" block,
+  /// bumping the emitted schema to version 2 (obs/report.hpp).  Skip the
+  /// call — e.g. when the series is empty under BFLY_OBS=OFF — and the
+  /// report stays version 1.
+  void timeseries(json::Value block) { options_.timeseries = std::move(block); }
+
   /// Exports interpolated percentiles of a named registry histogram into
   /// artifact_stats as `"<key>": {"p50": ..., "p95": ..., "p99": ...}` so
   /// the values participate in baseline diffs as plain numeric leaves.  Call

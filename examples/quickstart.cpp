@@ -11,7 +11,10 @@
 //   4. Run a small saturation sweep through bfly::exec — checkpointed to
 //      quickstart.sweep.ckpt, so a killed run resumes where it stopped with
 //      bitwise-identical results.
-//   5. Record the whole run with bfly::obs — every step above lands in the
+//   5. Attach cycle-resolved telemetry to one simulation: a deterministic
+//      time series (checked against Little's law L = λW) and a heatmap-over-
+//      time film strip (butterfly_heatmap_time.svg).
+//   6. Record the whole run with bfly::obs — every step above lands in the
 //      installed registry, and the end of main() writes a structured JSON
 //      run report plus a Chrome trace (load quickstart.trace.json in
 //      https://ui.perfetto.dev to see the phase spans).
@@ -198,7 +201,64 @@ int main(int argc, char** argv) {
                 sweep.outcomes[i].point.avg_latency);
   }
 
-  // --- 5. The run report ----------------------------------------------------
+  // --- 5. Cycle-resolved telemetry ------------------------------------------
+  // Re-run one moderate-load point with the time-series probe and the
+  // occupancy-frame recorder attached.  Both are keyed purely by simulation
+  // cycle (power-of-two stride thinning), so the samples below are bitwise
+  // identical across thread counts and checkpoint replay — the same rows a
+  // telemetry_budget sweep point journals.
+  obs::TimeSeries series(128);
+  obs::OccupancyFrames occupancy(6);
+  simulate_saturation(n, 0.5, 600, 7, 100, 0, nullptr, &series, &occupancy);
+  if (!series.empty()) {
+    std::printf("\nCycle-resolved telemetry (load 0.5): %llu samples at stride %llu\n",
+                static_cast<unsigned long long>(series.num_samples()),
+                static_cast<unsigned long long>(series.stride()));
+    const obs::LittlesLawCheck law = obs::littles_law_check(series);
+    if (law.applicable) {
+      std::printf("  Little's law: L %.1f vs lambda*W %.1f*%.2f = %.1f (rel err %.3f) -> %s\n",
+                  law.l, law.lambda, law.w, law.lambda * law.w, law.rel_error,
+                  law.pass ? "PASS" : "FAIL");
+    }
+  }
+  // Heatmap over time: a film strip with one frame per retained occupancy
+  // snapshot, every wire colored by its queue occupancy normalized to the
+  // hottest link seen across all frames (so color is comparable between
+  // frames).
+  if (!occupancy.empty() && n <= 9) {
+    const Layout layout = plan.materialize();
+    const Butterfly bf(n);
+    const SwapButterfly& net = plan.network();
+    const u64 rows = net.rows();
+    double peak = 0.0;
+    for (std::size_t f = 0; f < occupancy.num_frames(); ++f) {
+      for (const double v : occupancy.frame(f)) peak = std::max(peak, v);
+    }
+    std::vector<std::vector<double>> heat_frames;
+    for (std::size_t f = 0; f < occupancy.num_frames(); ++f) {
+      std::vector<double> heat(layout.wires().size(), 0.0);
+      for (std::size_t wi = 0; wi < layout.wires().size(); ++wi) {
+        const Wire& wire = layout.wires()[wi];
+        if (!wire.from_node || !wire.to_node) continue;
+        const int s = static_cast<int>(*wire.from_node / rows);
+        const u64 r1 = net.rho(s, *wire.from_node % rows);
+        const u64 r2 = net.rho(s + 1, *wire.to_node % rows);
+        const double load = occupancy.frame(f)[link_index(bf, r1, s, r1 != r2)];
+        heat[wi] = peak > 0.0 ? load / peak : 0.0;
+      }
+      heat_frames.push_back(std::move(heat));
+    }
+    HeatmapFilmOptions film;
+    film.base.scale = n <= 6 ? 4.0 : 1.0;
+    film.columns = 3;
+    util::atomic_write_file("butterfly_heatmap_time.svg",
+                            render_svg_small_multiples(layout, heat_frames,
+                                                       occupancy.cycles(), film));
+    std::printf("  wrote butterfly_heatmap_time.svg (%llu frames, queue occupancy over time)\n",
+                static_cast<unsigned long long>(occupancy.num_frames()));
+  }
+
+  // --- 6. The run report ----------------------------------------------------
   obs::ReportOptions report;
   report.name = "quickstart";
   report.status = exec::to_string(sweep.status);
@@ -208,6 +268,10 @@ int main(int argc, char** argv) {
   report.artifact_stats.set("area", json::Value::number(m.area));
   report.artifact_stats.set("max_wire_length", json::Value::number(m.max_wire_length));
   report.artifact_stats.set("num_modules", json::Value::number(stats.num_modules));
+  // Attaching the time series bumps the report to schema v2; with BFLY_OBS
+  // compiled out the series is empty and the report stays v1 — both parse
+  // with obs::RunReport::parse / bflyreport.
+  if (!series.empty()) report.timeseries = series.to_json();
   {
     std::ostringstream out;
     obs::write_report_pretty(out, registry, report);
@@ -218,7 +282,7 @@ int main(int argc, char** argv) {
     obs::write_chrome_trace(out, registry);
     util::atomic_write_file("quickstart.trace.json", out.str());
   }
-  std::printf("\nwrote quickstart.run.json (schema-v1 run report) and\n");
+  std::printf("\nwrote quickstart.run.json (structured run report) and\n");
   std::printf("      quickstart.trace.json (open in https://ui.perfetto.dev)\n");
   return 0;
 }

@@ -93,6 +93,7 @@ std::string sweep_point_key(const SweepPoint& point) {
   h.update(point.seed);
   h.update(point.warmup_cycles);
   h.update(point.queue_capacity);
+  h.update(point.telemetry_budget);
   h.update(static_cast<u64>(static_cast<i64>(point.routing.misroute_budget)));
   h.update(static_cast<u64>(static_cast<i64>(point.routing.wrap_budget)));
   if (point.faults == nullptr) {
@@ -111,6 +112,12 @@ std::string encode_checkpoint_line(const std::string& key, const SweepOutcome& o
   json::Value out = json::Value::object();
   out.set("point", point_to_json(outcome.point));
   out.set("tally", tally_to_json(outcome.tally));
+  // Telemetry-enabled points persist their samples so replay restores them
+  // bitwise; empty() covers both untelemetered points and BFLY_OBS=OFF
+  // builds, where nothing was collected and nothing needs round-tripping.
+  if (!outcome.timeseries.empty()) {
+    out.set("timeseries", outcome.timeseries.to_json());
+  }
   rec.set("outcome", std::move(out));
   return rec.dump();
 }
@@ -133,6 +140,11 @@ CheckpointLoad load_checkpoint(const std::string& path) {
       SweepOutcome outcome;
       outcome.point = point_from_json(out.at("point"));
       outcome.tally = tally_from_json(out.at("tally"));
+      // Optional (v2): absent for untelemetered points and for journals
+      // written by BFLY_OBS=OFF builds.
+      if (const json::Value* ts = out.find("timeseries")) {
+        outcome.timeseries = obs::TimeSeries::from_json(*ts);
+      }
       load.outcomes[key] = outcome;
     } catch (const std::exception&) {
       // Torn tail from a crash mid-append, stray corruption, or a future

@@ -8,6 +8,7 @@
 
 #include "exec/checkpoint.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "util/fileio.hpp"
 #include "util/parallel.hpp"
@@ -60,6 +61,55 @@ bool interruptible_sleep_ms(double ms, const CancelToken* token) {
   return !CancelToken::cancelled(token);
 }
 
+/// Wall-clock milliseconds since the Unix epoch — telemetry-sink timestamps
+/// only (progress/ETA rendering); never part of deterministic outcome state.
+u64 wall_ms_now() {
+  return static_cast<u64>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                              std::chrono::system_clock::now().time_since_epoch())
+                              .count());
+}
+
+/// Live-progress JSONL sink.  Appends are durable (fsync, at-most-one-torn-
+/// tail) so `bflyreport watch` can tail the file across crashes; a sink I/O
+/// failure disables further appends instead of failing the run — progress
+/// streaming is advisory, unlike the checkpoint journal.
+class TelemetrySink {
+ public:
+  explicit TelemetrySink(std::string path) : path_(std::move(path)) {}
+
+  bool enabled() const { return !path_.empty(); }
+
+  void emit(json::Value record) {
+    if (path_.empty()) return;
+    record.set("t_ms", json::Value::number(wall_ms_now()));
+    try {
+      obs::append_telemetry_line(path_, record);
+    } catch (const std::exception&) {
+      path_.clear();
+    }
+  }
+
+ private:
+  std::string path_;
+};
+
+/// Up to `max_points` values of `channel`, evenly strided across the series
+/// (first and last samples always included) — the sparkline payload of a
+/// "samples" sink record.
+json::Value spark_values(const obs::TimeSeries& ts, std::string_view channel,
+                         std::size_t max_points = 32) {
+  json::Value arr = json::Value::array();
+  const std::size_t ch = ts.channel_index(channel);
+  const std::size_t n = ts.num_samples();
+  if (ch == obs::TimeSeries::npos || n == 0) return arr;
+  const std::size_t k = std::min(n, max_points);
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t row = k == 1 ? 0 : i * (n - 1) / (k - 1);
+    arr.push_back(json::Value::number(ts.value(row, ch)));
+  }
+  return arr;
+}
+
 }  // namespace
 
 SweepRun run_sweep_resumable(std::span<const SweepPoint> points,
@@ -108,6 +158,18 @@ SweepRun run_sweep_resumable(std::span<const SweepPoint> points,
     if (run.completed[i] == 0) pending.push_back(i);
   }
 
+  TelemetrySink sink(!options.telemetry_path.empty() ? options.telemetry_path
+                                                     : obs::telemetry_path_from_env());
+  if (sink.enabled()) {
+    json::Value start = json::Value::object();
+    start.set("v", json::Value::number(u64{1}));
+    start.set("type", json::Value::string("start"));
+    start.set("total", json::Value::number(static_cast<u64>(points.size())));
+    start.set("replayed", json::Value::number(run.num_replayed));
+    start.set("pending", json::Value::number(static_cast<u64>(pending.size())));
+    sink.emit(std::move(start));
+  }
+
   std::mutex journal_mu;
   std::size_t journal_appends = 0;
   std::mutex error_mu;
@@ -123,15 +185,20 @@ SweepRun run_sweep_resumable(std::span<const SweepPoint> points,
     for (int attempt = 1;; ++attempt) {
       if (token->cancelled()) return;
       SweepOutcome outcome;
+      // Same per-point telemetry convention as saturation_sweep: a private
+      // TimeSeries per attempt, installed only when the engine filled it, so
+      // resumable runs match the plain sweep (and checkpoint replay) bitwise.
+      obs::TimeSeries ts(std::max<u64>(p.telemetry_budget, 2));
+      obs::TimeSeries* ts_ptr = p.telemetry_budget > 0 ? &ts : nullptr;
       try {
         if (options.before_point) options.before_point(i, attempt);
         if (p.faults == nullptr) {
           outcome.point = simulate_saturation(p.n, p.offered_load, p.cycles, p.seed,
-                                              p.warmup_cycles, p.queue_capacity, token);
+                                              p.warmup_cycles, p.queue_capacity, token, ts_ptr);
         } else {
-          const FaultSaturationPoint fsp =
-              simulate_saturation_faulty(p.n, p.offered_load, p.cycles, p.seed, *p.faults,
-                                         p.routing, p.warmup_cycles, p.queue_capacity, token);
+          const FaultSaturationPoint fsp = simulate_saturation_faulty(
+              p.n, p.offered_load, p.cycles, p.seed, *p.faults, p.routing, p.warmup_cycles,
+              p.queue_capacity, token, ts_ptr);
           outcome.point = fsp.point;
           outcome.tally = fsp.tally;
         }
@@ -155,17 +222,54 @@ SweepRun run_sweep_resumable(std::span<const SweepPoint> points,
         if (!interruptible_sleep_ms(backoff_ms(options.retry, i, attempt), token)) return;
         continue;
       }
+      if (!ts.empty()) outcome.timeseries = std::move(ts);
       run.outcomes[i] = outcome;
       run.completed[i] = 1;
-      if (!options.checkpoint_path.empty() || options.after_checkpoint) {
-        // Serialize appends so records never interleave; I/O failures here
-        // propagate (a dead journal is a run-level error, not a point retry).
+      if (!options.checkpoint_path.empty() || options.after_checkpoint || sink.enabled()) {
+        // Serialize appends so records never interleave; checkpoint I/O
+        // failures propagate (a dead journal is a run-level error, not a
+        // point retry) while sink failures only mute the progress stream.
         const std::lock_guard<std::mutex> lock(journal_mu);
         if (!options.checkpoint_path.empty()) {
           util::append_line_durable(options.checkpoint_path,
                                     encode_checkpoint_line(keys[i], outcome));
         }
         ++journal_appends;
+        if (sink.enabled()) {
+          json::Value rec = json::Value::object();
+          rec.set("v", json::Value::number(u64{1}));
+          rec.set("type", json::Value::string("point"));
+          rec.set("index", json::Value::number(static_cast<u64>(i)));
+          rec.set("completed", json::Value::number(run.num_replayed +
+                                                   static_cast<u64>(journal_appends)));
+          rec.set("total", json::Value::number(static_cast<u64>(points.size())));
+          rec.set("n", json::Value::number(p.n));
+          rec.set("offered_load", json::Value::number(p.offered_load));
+          rec.set("faulty", json::Value::boolean(p.faults != nullptr));
+          rec.set("throughput", json::Value::number(outcome.point.throughput));
+          rec.set("avg_latency", json::Value::number(outcome.point.avg_latency));
+          sink.emit(std::move(rec));
+          // Sample flush: the point's telemetry, downsampled for sparklines.
+          const obs::TimeSeries& series = run.outcomes[i].timeseries;
+          if (!series.empty()) {
+            json::Value flush = json::Value::object();
+            flush.set("v", json::Value::number(u64{1}));
+            flush.set("type", json::Value::string("samples"));
+            flush.set("index", json::Value::number(static_cast<u64>(i)));
+            flush.set("stride", json::Value::number(series.stride()));
+            flush.set("num_samples", json::Value::number(
+                                         static_cast<u64>(series.num_samples())));
+            flush.set("in_flight", spark_values(series, obs::kChannelInFlight));
+            json::Value stages = json::Value::array();
+            const std::size_t last = series.num_samples() - 1;
+            for (std::size_t c = 0; c < series.num_channels(); ++c) {
+              if (series.channels()[c].rfind("stage", 0) != 0) continue;
+              stages.push_back(json::Value::number(series.value(last, c)));
+            }
+            flush.set("stage_occ", std::move(stages));
+            sink.emit(std::move(flush));
+          }
+        }
         if (options.after_checkpoint) options.after_checkpoint(journal_appends);
       }
       return;
@@ -209,6 +313,18 @@ SweepRun run_sweep_resumable(std::span<const SweepPoint> points,
   reset_sweep_gauges(points, run.outcomes, &run.completed);
   obs::set(obs::get_gauge("exec.points_completed"), static_cast<double>(run.num_completed));
   obs::set(obs::get_gauge("exec.points_total"), static_cast<double>(total));
+
+  if (sink.enabled()) {
+    json::Value done = json::Value::object();
+    done.set("v", json::Value::number(u64{1}));
+    done.set("type", json::Value::string("done"));
+    done.set("status", json::Value::string(to_string(run.status)));
+    done.set("completed", json::Value::number(run.num_completed));
+    done.set("total", json::Value::number(total));
+    done.set("replayed", json::Value::number(run.num_replayed));
+    done.set("failed", json::Value::number(run.num_failed));
+    sink.emit(std::move(done));
+  }
   return run;
 }
 

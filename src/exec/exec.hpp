@@ -74,6 +74,14 @@ struct SweepRunOptions {
   /// still cancellable and retried, just not resumable).
   std::string checkpoint_path;
 
+  /// Live-progress JSONL sink: one durable append per run start/finish and
+  /// per completed point (plus a samples record when the point carried
+  /// telemetry), the stream `bflyreport watch` tails.  Empty falls back to
+  /// $BFLY_TELEMETRY_FILE; unset env disables the sink.  Sink records carry
+  /// wall-clock timestamps (for ETA) — they are progress reporting only and
+  /// never feed back into outcomes, which stay bitwise deterministic.
+  std::string telemetry_path;
+
   /// Caller-owned cancellation control; null gives the run a private token
   /// (needed when deadline_seconds is set).  Must outlive the call.
   CancelToken* cancel = nullptr;

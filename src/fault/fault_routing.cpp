@@ -4,8 +4,10 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "routing/packet_arena.hpp"
+#include "routing/telemetry_probe.hpp"
 #include "util/parallel.hpp"
 #include "util/prng.hpp"
 
@@ -204,7 +206,9 @@ FaultSaturationPoint simulate_saturation_faulty(int n, double offered_load, u64 
                                                 u64 seed, const FaultSet& faults,
                                                 const FaultRoutingOptions& options,
                                                 u64 warmup_cycles, u64 queue_capacity,
-                                                const CancelToken* cancel) {
+                                                const CancelToken* cancel,
+                                                obs::TimeSeries* timeseries,
+                                                obs::OccupancyFrames* frames) {
   BFLY_REQUIRE(n >= 1 && n <= 30, "butterfly dimension must be in [1, 30]");
   BFLY_REQUIRE(offered_load >= 0.0 && offered_load <= 1.0, "offered load is a probability");
   BFLY_REQUIRE(faults.dimension() == n, "fault set dimension mismatch");
@@ -224,6 +228,9 @@ FaultSaturationPoint simulate_saturation_faulty(int n, double offered_load, u64 
   const u64 links = static_cast<u64>(n) * rows * 2;
   PacketArena arena(links, /*with_budgets=*/true);
   Xoshiro256 rng(seed);
+  // Same cycle-resolved telemetry hooks (and the same cost contract) as the
+  // pristine engine; see routing/telemetry_probe.hpp.
+  detail::SaturationProbe probe(timeseries, frames, n, rows);
 
   FaultSaturationPoint out;
   SaturationPoint& result = out.point;
@@ -235,6 +242,9 @@ FaultSaturationPoint simulate_saturation_faulty(int n, double offered_load, u64 
 
   const auto count_drop = [&](DropReason reason, bool measured) {
     if (measured) ++tally.dropped[drop_index(reason)];
+    // The telemetry drop channel is cumulative over *all* cycles (the tally
+    // stays post-warmup-only), so warmup drops are visible in the series.
+    probe.on_dropped();
   };
 
   // Picks the stage-`stage` output link for a packet at `row` and enqueues it
@@ -316,6 +326,7 @@ FaultSaturationPoint simulate_saturation_faulty(int n, double offered_load, u64 
               total_latency += latency;
               latency_hist.observe(latency);
             }
+            probe.on_delivered(cycle, pkt.injected_at);
           } else if (pkt.wraps < static_cast<u32>(std::max(options.wrap_budget, 0)) &&
                      faults.node_alive(next_row, 0)) {
             Packet w = pkt;
@@ -354,6 +365,8 @@ FaultSaturationPoint simulate_saturation_faulty(int n, double offered_load, u64 
     }
     in_flight += cycle_injections;
     depth_hist.observe(static_cast<double>(in_flight));
+    probe.on_injected(cycle_injections);
+    probe.sample(cycle, arena, in_flight);
   }
   latency_hist.flush();
   depth_hist.flush();

@@ -108,13 +108,18 @@ struct FaultSaturationPoint {
 /// as kQueueFull).  A non-null `cancel` is polled every kCancelPollCycles
 /// cycles exactly like simulate_saturation: the run stops at the poll and
 /// averages over the cycles actually simulated; an uncancelled run is
-/// bitwise unchanged.
+/// bitwise unchanged.  Non-null `timeseries` / `frames` receive the same
+/// cycle-resolved telemetry as simulate_saturation (per-stage occupancy,
+/// in-flight, cumulative injected/delivered/dropped/latency, arena fill),
+/// deterministic and bit-unchanged when left null.
 FaultSaturationPoint simulate_saturation_faulty(int n, double offered_load, u64 cycles,
                                                 u64 seed, const FaultSet& faults,
                                                 const FaultRoutingOptions& options = {},
                                                 u64 warmup_cycles = 0,
                                                 u64 queue_capacity = 0,
-                                                const CancelToken* cancel = nullptr);
+                                                const CancelToken* cancel = nullptr,
+                                                obs::TimeSeries* timeseries = nullptr,
+                                                obs::OccupancyFrames* frames = nullptr);
 
 /// BFS oracle on the faulted fabric (alive forward links plus stage-n ->
 /// stage-0 recirculation): out[d] != 0 iff (d, stage n) is reachable from

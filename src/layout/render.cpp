@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cstdio>
+#include <locale>
 #include <sstream>
 #include <vector>
 
@@ -14,45 +15,25 @@ namespace {
 constexpr std::array<const char*, 8> kLayerColors = {
     "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#17becf", "#e377c2"};
 constexpr const char* kDeadWireColor = "#9e9e9e";
-}
 
-std::string heat_color(double t) {
-  t = std::clamp(t, 0.0, 1.0);
-  // Two linear segments through (0.25, 0.45, 0.85) blue, (0.95, 0.85, 0.25)
-  // yellow, (0.85, 0.15, 0.10) red.
-  double r = 0.0;
-  double g = 0.0;
-  double b = 0.0;
-  if (t < 0.5) {
-    const double u = t * 2.0;
-    r = 0.25 + (0.95 - 0.25) * u;
-    g = 0.45 + (0.85 - 0.45) * u;
-    b = 0.85 + (0.25 - 0.85) * u;
-  } else {
-    const double u = (t - 0.5) * 2.0;
-    r = 0.95 + (0.85 - 0.95) * u;
-    g = 0.85 + (0.15 - 0.85) * u;
-    b = 0.25 + (0.10 - 0.25) * u;
-  }
-  char buf[8];
-  std::snprintf(buf, sizeof(buf), "#%02x%02x%02x", static_cast<unsigned>(r * 255.0 + 0.5),
-                static_cast<unsigned>(g * 255.0 + 0.5), static_cast<unsigned>(b * 255.0 + 0.5));
-  return buf;
-}
-
-std::string render_svg(const Layout& layout, const RenderOptions& options) {
-  BFLY_TRACE_SCOPE("layout.render_svg");
-  const Rect box = layout.bounding_box();
-  const double s = options.scale;
+/// Byte-determinism guard: stream float formatting must not follow the
+/// process-global locale (a de_DE-style locale would emit "3,5" and corrupt
+/// the SVG), so every SVG stream is pinned to the classic "C" locale.
+std::ostringstream make_svg_stream() {
   std::ostringstream svg;
-  const double w = static_cast<double>(box.width()) * s;
-  const double h = static_cast<double>(box.height()) * s;
-  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << w << "\" height=\"" << h
-      << "\" viewBox=\"0 0 " << w << ' ' << h << "\">\n";
-  svg << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
-  const auto tx = [&](i64 x) { return (static_cast<double>(x - box.x0) + 0.5) * s; };
+  svg.imbue(std::locale::classic());
+  return svg;
+}
+
+/// Emits the nodes + wires of one layout view translated by (ox, oy) pixels
+/// — the shared body of render_svg (one view at the origin) and
+/// render_svg_small_multiples (one view per frame).
+void emit_layout_body(std::ostringstream& svg, const Layout& layout, const Rect& box,
+                      const RenderOptions& options, double ox, double oy) {
+  const double s = options.scale;
+  const auto tx = [&](i64 x) { return ox + (static_cast<double>(x - box.x0) + 0.5) * s; };
   // SVG y grows downward; flip so larger grid y is higher.
-  const auto ty = [&](i64 y) { return (static_cast<double>(box.y1 - y) + 0.5) * s; };
+  const auto ty = [&](i64 y) { return oy + (static_cast<double>(box.y1 - y) + 0.5) * s; };
 
   for (const PlacedNode& n : layout.nodes()) {
     svg << "<rect x=\"" << tx(n.rect.x0) - 0.5 * s << "\" y=\"" << ty(n.rect.y1) - 0.5 * s
@@ -84,6 +65,91 @@ std::string render_svg(const Layout& layout, const RenderOptions& options) {
           << "\" stroke=\"" << color << "\" stroke-width=\"" << width << "\"";
       if (dead) svg << " stroke-dasharray=\"5 4\"";
       svg << "/>\n";
+    }
+  }
+}
+}  // namespace
+
+std::string heat_color(double t) {
+  t = std::clamp(t, 0.0, 1.0);
+  // Two linear segments through (0.25, 0.45, 0.85) blue, (0.95, 0.85, 0.25)
+  // yellow, (0.85, 0.15, 0.10) red.
+  double r = 0.0;
+  double g = 0.0;
+  double b = 0.0;
+  if (t < 0.5) {
+    const double u = t * 2.0;
+    r = 0.25 + (0.95 - 0.25) * u;
+    g = 0.45 + (0.85 - 0.45) * u;
+    b = 0.85 + (0.25 - 0.85) * u;
+  } else {
+    const double u = (t - 0.5) * 2.0;
+    r = 0.95 + (0.85 - 0.95) * u;
+    g = 0.85 + (0.15 - 0.85) * u;
+    b = 0.25 + (0.10 - 0.25) * u;
+  }
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "#%02x%02x%02x", static_cast<unsigned>(r * 255.0 + 0.5),
+                static_cast<unsigned>(g * 255.0 + 0.5), static_cast<unsigned>(b * 255.0 + 0.5));
+  return buf;
+}
+
+std::string render_svg(const Layout& layout, const RenderOptions& options) {
+  BFLY_TRACE_SCOPE("layout.render_svg");
+  const Rect box = layout.bounding_box();
+  const double s = options.scale;
+  std::ostringstream svg = make_svg_stream();
+  const double w = static_cast<double>(box.width()) * s;
+  const double h = static_cast<double>(box.height()) * s;
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << w << "\" height=\"" << h
+      << "\" viewBox=\"0 0 " << w << ' ' << h << "\">\n";
+  svg << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  emit_layout_body(svg, layout, box, options, 0.0, 0.0);
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+std::string render_svg_small_multiples(const Layout& layout,
+                                       std::span<const std::vector<double>> frames,
+                                       std::span<const u64> cycles,
+                                       const HeatmapFilmOptions& options) {
+  BFLY_TRACE_SCOPE("layout.render_svg_small_multiples");
+  BFLY_REQUIRE(!frames.empty(), "film strip needs at least one frame");
+  BFLY_REQUIRE(options.columns >= 1, "film strip needs at least one column");
+  BFLY_REQUIRE(cycles.empty() || cycles.size() == frames.size(),
+               "cycles must be empty or parallel to frames");
+
+  const Rect box = layout.bounding_box();
+  const double s = options.base.scale;
+  const double fw = static_cast<double>(box.width()) * s;
+  const double fh = static_cast<double>(box.height()) * s;
+  const double gap = options.gap;
+  const std::size_t cols =
+      std::min(frames.size(), static_cast<std::size_t>(options.columns));
+  const std::size_t rows = (frames.size() + cols - 1) / cols;
+  // Each cell: frame plus a caption band of `gap` pixels below it.
+  const double cell_w = fw + gap;
+  const double cell_h = fh + 2.0 * gap;
+  const double w = gap + cell_w * static_cast<double>(cols);
+  const double h = gap + cell_h * static_cast<double>(rows);
+
+  std::ostringstream svg = make_svg_stream();
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << w << "\" height=\"" << h
+      << "\" viewBox=\"0 0 " << w << ' ' << h << "\">\n";
+  svg << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    const double ox = gap + cell_w * static_cast<double>(f % cols);
+    const double oy = gap + cell_h * static_cast<double>(f / cols);
+    RenderOptions frame_options = options.base;
+    frame_options.wire_heat = &frames[f];
+    svg << "<rect x=\"" << ox - 1.0 << "\" y=\"" << oy - 1.0 << "\" width=\"" << fw + 2.0
+        << "\" height=\"" << fh + 2.0
+        << "\" fill=\"none\" stroke=\"#cccccc\" stroke-width=\"1\"/>\n";
+    emit_layout_body(svg, layout, box, frame_options, ox, oy);
+    if (!cycles.empty()) {
+      svg << "<text x=\"" << ox << "\" y=\"" << oy + fh + gap << "\" font-family=\"monospace\""
+          << " font-size=\"" << gap - 2.0 << "\" fill=\"#333333\">cycle " << cycles[f]
+          << "</text>\n";
     }
   }
   svg << "</svg>\n";
@@ -160,7 +226,7 @@ std::string render_multistage_svg(
   const auto px = [&](int s) { return margin + dx * s; };
   const auto py = [&](u64 r) { return margin + dy * static_cast<double>(r); };
 
-  std::ostringstream svg;
+  std::ostringstream svg = make_svg_stream();
   svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << w << "\" height=\"" << h
       << "\" viewBox=\"0 0 " << w << ' ' << h << "\">\n";
   svg << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";

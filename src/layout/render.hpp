@@ -4,6 +4,7 @@
 #pragma once
 
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -33,7 +34,34 @@ struct RenderOptions {
 std::string heat_color(double t);
 
 /// Renders the layout as a standalone SVG document.
+///
+/// Output is byte-deterministic: float formatting is pinned to the classic
+/// ("C") locale regardless of the process-global locale, and nothing in the
+/// document depends on thread count, wall clock, or iteration order — two
+/// renders of the same layout and options are byte-identical
+/// (tests/test_render_determinism.cpp).
 std::string render_svg(const Layout& layout, const RenderOptions& options = {});
+
+/// Heatmap-over-time film strip: one small-multiple congestion frame per
+/// entry of `frames`, laid out left-to-right then top-to-bottom, each frame
+/// the full layout rendered with that frame's heat vector (index-aligned
+/// with layout.wires(), values in [0, 1] — the caller normalizes occupancy
+/// counts, e.g. by queue capacity).  `cycles` is parallel to `frames` and
+/// captions each frame with its simulation cycle; pass an empty span to
+/// skip captions.  `options.wire_heat` is ignored (each frame supplies its
+/// own); `wire_dead` and the rest apply to every frame.  Deterministic the
+/// same way render_svg is.
+struct HeatmapFilmOptions {
+  RenderOptions base;
+  /// Frames per row of the strip (>= 1).
+  int columns = 4;
+  /// Pixel gap between adjacent frames (also the caption band height).
+  double gap = 14.0;
+};
+std::string render_svg_small_multiples(const Layout& layout,
+                                       std::span<const std::vector<double>> frames,
+                                       std::span<const u64> cycles,
+                                       const HeatmapFilmOptions& options = {});
 
 /// Coarse ASCII rendering onto a `cols` x `rows` character canvas:
 /// '#' = node, '-' / '|' = wire, '+' = both orientations.

@@ -95,7 +95,32 @@ FlatReport flatten(const RunReport& report, const DiffOptions& options) {
     flat.add(prefix + ".max_us", span.at("max_us").as_double());
   }
   flatten_artifact("artifact_stats", report.doc.at("artifact_stats"), &flat);
+  // v2 telemetry block: summarize rather than flatten the raw rows — sample
+  // cycles are config-dependent, so per-row keys would never line up between
+  // runs, but per-channel means and final values are stable summaries.
+  if (const json::Value* ts = report.doc.find("timeseries")) {
+    const json::Value& cycles = ts->at("cycles");
+    const json::Value& channels = ts->at("channels");
+    const json::Value& samples = ts->at("samples");
+    flat.add("timeseries.samples", static_cast<double>(cycles.size()));
+    flat.add("timeseries.stride", ts->at("stride").as_double());
+    for (std::size_t c = 0; c < channels.size(); ++c) {
+      const std::string prefix = "timeseries." + channels.at(c).as_string();
+      double sum = 0.0;
+      for (std::size_t r = 0; r < samples.size(); ++r) sum += samples.at(r).at(c).as_double();
+      const std::size_t rows = samples.size();
+      flat.add(prefix + ".mean", rows > 0 ? sum / static_cast<double>(rows) : 0.0);
+      flat.add(prefix + ".last", rows > 0 ? samples.at(rows - 1).at(c).as_double() : 0.0);
+    }
+  }
   return flat;
+}
+
+/// Histogram keys warn (not fail) when absent from the candidate: full-replay
+/// runs record no per-event observations, so their reports legitimately carry
+/// no histograms (see CheckResult's doc comment).
+bool is_histogram_key(std::string_view key) {
+  return key.starts_with("histograms.");
 }
 
 }  // namespace
@@ -107,8 +132,8 @@ RunReport RunReport::parse(std::string_view text) {
 
   const json::Value& version =
       require_key(report.doc, "schema_version", json::Value::Type::kNumber, "document");
-  if (version.as_double() != 1) {
-    bad_report("unsupported schema_version " + version.dump() + " (expected 1)");
+  if (version.as_double() != 1 && version.as_double() != 2) {
+    bad_report("unsupported schema_version " + version.dump() + " (expected 1 or 2)");
   }
   report.name =
       require_key(report.doc, "name", json::Value::Type::kString, "document").as_string();
@@ -169,6 +194,32 @@ RunReport RunReport::parse(std::string_view text) {
     require_key(span, "count", json::Value::Type::kNumber, "span");
     require_key(span, "total_us", json::Value::Type::kNumber, "span");
     require_key(span, "max_us", json::Value::Type::kNumber, "span");
+  }
+
+  // The optional v2 telemetry block.  Validated only structurally (the shape
+  // flatten() depends on); the strict on-grid/stride checks live in
+  // TimeSeries::from_json, which is the consumer that replays samples.
+  if (const json::Value* ts = report.doc.find("timeseries")) {
+    if (!ts->is_object()) bad_report("key 'timeseries' has the wrong type");
+    const json::Value& channels =
+        require_key(*ts, "channels", json::Value::Type::kArray, "timeseries");
+    const json::Value& cycles =
+        require_key(*ts, "cycles", json::Value::Type::kArray, "timeseries");
+    const json::Value& samples =
+        require_key(*ts, "samples", json::Value::Type::kArray, "timeseries");
+    require_key(*ts, "stride", json::Value::Type::kNumber, "timeseries");
+    for (std::size_t i = 0; i < channels.size(); ++i) {
+      if (!channels.at(i).is_string()) bad_report("timeseries channel names must be strings");
+    }
+    if (samples.size() != cycles.size()) {
+      bad_report("timeseries needs one sample row per cycle");
+    }
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      const json::Value& row = samples.at(i);
+      if (!row.is_array() || row.size() != channels.size()) {
+        bad_report("timeseries sample rows must have one value per channel");
+      }
+    }
   }
   return report;
 }
@@ -373,8 +424,13 @@ CheckResult check_diff(const ReportDiff& diff, const Thresholds& thresholds) {
   }
   for (const std::string& key : diff.only_in_a) {
     if (thresholds.rule_for(key).ignore) continue;
-    result.missing_in_b.push_back(key);
-    ++result.num_fail;
+    if (is_histogram_key(key)) {
+      result.histograms_absent_in_b.push_back(key);
+      ++result.num_warn;
+    } else {
+      result.missing_in_b.push_back(key);
+      ++result.num_fail;
+    }
   }
   for (const std::string& key : diff.only_in_b) {
     if (thresholds.rule_for(key).ignore) continue;
@@ -395,6 +451,7 @@ CheckResult degrade_failures_to_warnings(CheckResult result) {
   // vanished metric is exactly what "partial" promises, so they warn too.
   result.num_warn += static_cast<int>(result.missing_in_b.size());
   result.num_warn += static_cast<int>(result.new_in_b.size());
+  result.num_warn += static_cast<int>(result.histograms_absent_in_b.size());
   return result;
 }
 
@@ -452,7 +509,9 @@ std::string render_diff_markdown(const ReportDiff& diff, const Thresholds* thres
   for (const std::string& key : diff.only_in_a) {
     if (thresholds != nullptr && thresholds->rule_for(key).ignore) continue;
     out << "| " << key << " | present | missing | | |";
-    if (thresholds != nullptr) out << " FAIL |";
+    // Matches check_diff's verdict: absent histograms warn, everything else
+    // that vanished fails.
+    if (thresholds != nullptr) out << (is_histogram_key(key) ? " WARN |" : " FAIL |");
     out << "\n";
   }
   for (const std::string& key : diff.only_in_b) {

@@ -1,6 +1,6 @@
-// Run-report analytics: load schema-v1 run reports (obs/report.hpp), compute
-// typed deltas between two runs, classify them against thresholds, and render
-// the result as a markdown/ASCII delta table.
+// Run-report analytics: load schema v1/v2 run reports (obs/report.hpp),
+// compute typed deltas between two runs, classify them against thresholds,
+// and render the result as a markdown/ASCII delta table.
 //
 // The comparable surface of a report is flattened into dotted keys:
 //
@@ -12,6 +12,10 @@
 //   spans.<name>.count                    span instances
 //   spans.<name>.total_us / .max_us       span timing (noisy; see Thresholds)
 //   artifact_stats.<key>[.<subkey>...]    numeric artifact facts
+//   timeseries.samples / .stride          v2 telemetry block summary
+//   timeseries.<channel>.mean / .last     per-channel summary (never the raw
+//                                         rows — those are cycle-indexed and
+//                                         incomparable across configs)
 //
 // Two reports are comparable only when their schema version, name, and
 // `config` object match — a delta between runs with different parameters is
@@ -32,7 +36,8 @@
 
 namespace bfly::obs {
 
-/// A parsed and structurally validated schema-v1 run report.
+/// A parsed and structurally validated run report (schema version 1 or 2;
+/// v2 adds only the optional "timeseries" block, tolerated when absent).
 struct RunReport {
   json::Value doc;
   std::string name;
@@ -157,6 +162,14 @@ Severity classify(const MetricDelta& delta, const ThresholdRule& rule);
 /// verdicts (a key that disappeared from the candidate fails — a measured
 /// artifact vanished; a new key warns — the baseline needs a refresh).
 /// Ignored keys are dropped.
+///
+/// Histogram keys are the exception to the missing-is-FAIL rule: a histogram
+/// present in the baseline but absent from the candidate lands in
+/// `histograms_absent_in_b` as a WARN, not a FAIL.  Replay-heavy runs (full
+/// checkpoint replay records no per-event observations) legitimately produce
+/// reports without histograms while every artifact stat still matches —
+/// artifact_percentiles already tolerates the absence, and the gate should
+/// flag it, not explode.
 struct CheckResult {
   struct Row {
     MetricDelta delta;
@@ -165,6 +178,8 @@ struct CheckResult {
   std::vector<Row> rows;
   std::vector<std::string> missing_in_b;  ///< fail unless ignored
   std::vector<std::string> new_in_b;      ///< warn unless ignored
+  /// histograms.* keys present only in the baseline: warn unless ignored.
+  std::vector<std::string> histograms_absent_in_b;
   int num_warn = 0;
   int num_fail = 0;
 

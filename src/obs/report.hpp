@@ -1,10 +1,10 @@
 // Structured run reports: one machine-readable JSON document per run with a
 // stable schema, so BENCH_*.json trajectories are comparable across PRs.
 //
-// Schema (version 1) — every report object has exactly these top-level keys:
+// Schema — every report object has these top-level keys:
 //
 //   {
-//     "schema_version": 1,
+//     "schema_version": 1 | 2,
 //     "name":         "<tool or bench name>",
 //     "run_id":       "<16 hex chars, unique per process run>",
 //     "git_describe": "<git describe --always --dirty at build time>",
@@ -19,8 +19,16 @@
 //                                    "count": <u64>, "sum": <double> }, ... }
 //     },
 //     "spans":        [ { "name", "count", "total_us", "max_us" }, ... ],
-//     "artifact_stats": { ... caller-provided measured artifact facts ... }
+//     "artifact_stats": { ... caller-provided measured artifact facts ... },
+//     "timeseries":   { ... optional cycle-resolved telemetry block ... }
 //   }
+//
+// Version 2 (current) added the optional "timeseries" block — the
+// TimeSeries::to_json() encoding of one representative sweep point's
+// cycle-resolved samples (obs/timeseries.hpp).  A report without an attached
+// series is emitted as version 1, so v1-only consumers keep parsing every
+// report that carries nothing new; RunReport::parse (obs/diff.hpp) accepts
+// both versions and tolerates an absent block.
 //
 // Spans are aggregated per name (sorted by name) so a report stays one
 // comparable line even when a bench loop executes a phase 10^5 times; the
@@ -64,6 +72,10 @@ struct ReportOptions {
   json::Value config = json::Value::object();
   /// Measured facts about constructed artifacts (areas, track counts, ...).
   json::Value artifact_stats = json::Value::object();
+  /// Optional cycle-resolved telemetry block (TimeSeries::to_json()).  Null
+  /// (the default) keeps the report at schema version 1; attaching a block
+  /// bumps the emitted version to 2.
+  json::Value timeseries = json::Value();
 };
 
 /// The `git describe --always --dirty --tags` of the source tree, captured
@@ -74,7 +86,8 @@ const char* git_describe();
 /// 16 lowercase hex chars; unique across runs (time-seeded).
 std::string make_run_id();
 
-/// Assembles the schema-version-1 report document from a registry snapshot.
+/// Assembles the report document from a registry snapshot (schema version 1,
+/// or 2 when options.timeseries is attached).
 json::Value build_run_report(const Registry& registry, const ReportOptions& options);
 
 /// Compact single-line JSON + newline: the machine interface (stdout).

@@ -1,0 +1,174 @@
+// Cycle-resolved, deterministic time-series telemetry for the packet engines.
+//
+// A TimeSeries is a fixed-budget sample store keyed purely by *simulation
+// cycle* — never by wall clock — so the samples a run produces are bitwise
+// identical across thread counts, across checkpoint kill/resume replay, and
+// across machines.  The downsampling rule is power-of-two cycle-indexed
+// thinning: a sample is retained iff `cycle % stride == 0`, and when the
+// store would exceed its budget the stride doubles and the retained rows are
+// thinned in place.  Because stride is always a power of two and sampling
+// starts at cycle 0, the retained cycles are *consecutive multiples* of the
+// current stride — equally spaced — which is what makes plain arithmetic
+// means over a sample window time-weighted means, and what makes the whole
+// structure a pure function of the cycle sequence (no RNG, no clocks, no
+// thread-count dependence).
+//
+// On top of the raw samples sit two analytics used as correctness oracles:
+//   * steady_state_onset — a rolling-window warmup cutoff: the first sample
+//     from which the windowed mean of a channel stays within tolerance of
+//     the run's tail mean.
+//   * littles_law_check — the queueing-law self-check L ≈ λW computed from
+//     the cumulative delivered/latency channels over the steady window.  A
+//     rewritten engine that miscounts occupancy, deliveries, or latency in
+//     any inconsistent way fails this check.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "util/bits.hpp"
+
+namespace bfly::obs {
+
+/// Channel names the engines emit (see routing/fault instrumentation):
+/// "stage<k>" per-stage queue occupancy, then these aggregate channels.
+inline constexpr std::string_view kChannelInFlight = "in_flight";
+inline constexpr std::string_view kChannelInjected = "injected";    // cumulative
+inline constexpr std::string_view kChannelDelivered = "delivered";  // cumulative
+inline constexpr std::string_view kChannelDropped = "dropped";      // cumulative
+inline constexpr std::string_view kChannelLatencySum = "latency_sum";  // cumulative
+inline constexpr std::string_view kChannelArenaFill = "arena_fill";    // live/capacity
+
+/// Fixed-budget multi-channel sample store with deterministic power-of-two
+/// cycle-indexed downsampling.  Rows are (cycle, values[num_channels]).
+class TimeSeries {
+ public:
+  /// `sample_budget` caps the number of retained rows (>= 2).  The stride
+  /// doubles whenever a record would push the row count past the budget.
+  explicit TimeSeries(u64 sample_budget = 256);
+
+  /// Clears all samples and installs the channel layout.  Engines call this
+  /// once before the cycle loop; the channel list is part of the identity
+  /// compared by operator==.
+  void reset_channels(std::vector<std::string> channels);
+
+  /// True iff `cycle` would be retained at the current stride.  Engines use
+  /// this to skip the (O(links)) gather on non-sampling cycles; it is the
+  /// only per-cycle cost when sampling is enabled.
+  bool want(u64 cycle) const { return (cycle & (stride_ - 1)) == 0; }
+
+  /// Records one row.  Ignored unless want(cycle); cycles must be presented
+  /// in strictly increasing order; values.size() must equal num_channels().
+  void record(u64 cycle, std::span<const double> values);
+
+  u64 sample_budget() const { return budget_; }
+  u64 stride() const { return stride_; }
+  std::size_t num_samples() const { return cycles_.size(); }
+  std::size_t num_channels() const { return channels_.size(); }
+  bool empty() const { return cycles_.empty(); }
+  const std::vector<std::string>& channels() const { return channels_; }
+  const std::vector<u64>& cycles() const { return cycles_; }
+
+  /// Index of `name` in channels(), or npos when absent.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t channel_index(std::string_view name) const;
+
+  double value(std::size_t row, std::size_t channel) const;
+  /// One whole row (num_channels values), in channel order.
+  std::span<const double> row(std::size_t index) const;
+  /// One whole channel as a fresh column vector (row order).
+  std::vector<double> channel_values(std::size_t channel) const;
+
+  /// Stable JSON encoding (schema-v2 `timeseries` block and the checkpoint
+  /// journal payload).  Doubles round-trip exactly via the %.17g encoder.
+  json::Value to_json() const;
+  static TimeSeries from_json(const json::Value& v);
+
+  /// Bitwise equality: channels, cycles, stride, budget, and every sample
+  /// compared by bit pattern (not epsilon) — the replay-identity contract.
+  friend bool operator==(const TimeSeries& a, const TimeSeries& b);
+
+ private:
+  void thin();  // stride_ *= 2, drop rows whose cycle is an odd multiple
+
+  u64 budget_;
+  u64 stride_ = 1;
+  std::vector<std::string> channels_;
+  std::vector<u64> cycles_;
+  std::vector<double> data_;  // row-major, cycles_.size() x channels_.size()
+};
+
+/// Result of the rolling-window warmup cutoff.
+struct SteadyState {
+  bool found = false;
+  std::size_t sample_index = 0;  // first steady sample (when found)
+  u64 cycle = 0;                 // its cycle (when found)
+};
+
+/// First sample index from which the mean of `channel` over a `window`-sample
+/// rolling window stays within `tolerance` (relative) of the tail reference
+/// mean (the mean over the last half of the samples).  Needs at least
+/// 2 * window samples; otherwise found = false.
+SteadyState steady_state_onset(const TimeSeries& ts, std::string_view channel,
+                               std::size_t window = 8, double tolerance = 0.10);
+
+/// Little's-law consistency check over the steady part of a run.
+struct LittlesLawCheck {
+  bool applicable = false;  // channels present and a steady window with deliveries
+  bool pass = false;
+  double l = 0.0;        // mean in-flight packets over the steady window
+  double lambda = 0.0;   // deliveries per cycle over the steady window
+  double w = 0.0;        // mean delivered latency (cycles) over the steady window
+  double rel_error = 0.0;  // |l - lambda*w| / max(l, lambda*w)
+  u64 steady_from_cycle = 0;
+};
+
+/// Computes L, λ, and W from the in_flight / delivered / latency_sum channels
+/// over [steady-state onset, last sample] and passes iff the relative error
+/// is within `tolerance`.  Falls back to the second half of the samples when
+/// the onset detector finds nothing.
+LittlesLawCheck littles_law_check(const TimeSeries& ts, double tolerance = 0.15);
+
+/// Fixed-budget sequence of full per-link occupancy snapshots for the
+/// heatmap-over-time renderer.  Same power-of-two cycle-indexed thinning as
+/// TimeSeries, but each row is one value per arena link, so the budget is
+/// kept small (a handful of frames).  Not part of checkpoints or reports.
+class OccupancyFrames {
+ public:
+  explicit OccupancyFrames(u64 frame_budget = 8);
+
+  bool want(u64 cycle) const { return (cycle & (stride_ - 1)) == 0; }
+  void record(u64 cycle, std::span<const double> link_occupancy);
+
+  u64 stride() const { return stride_; }
+  std::size_t num_frames() const { return cycles_.size(); }
+  bool empty() const { return cycles_.empty(); }
+  const std::vector<u64>& cycles() const { return cycles_; }
+  std::span<const double> frame(std::size_t index) const;
+  std::size_t num_links() const { return num_links_; }
+
+ private:
+  void thin();
+
+  u64 budget_;
+  u64 stride_ = 1;
+  std::size_t num_links_ = 0;
+  std::vector<u64> cycles_;
+  std::vector<double> data_;  // row-major, cycles_.size() x num_links_
+};
+
+/// Value of $BFLY_TELEMETRY_FILE, or "" when unset/empty.  The exec driver
+/// appends live-progress JSONL records to this path (see exec::SweepRunOptions
+/// and `bflyreport watch`).
+std::string telemetry_path_from_env();
+
+/// Appends `record` as one JSONL line via util::append_line_durable: the line
+/// is fsynced before return, and a crash mid-append leaves at most one torn
+/// tail line, which `bflyreport watch` (like the checkpoint loader) skips.
+void append_telemetry_line(const std::string& path, const json::Value& record);
+
+}  // namespace bfly::obs

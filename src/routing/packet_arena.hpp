@@ -166,6 +166,12 @@ class PacketArena {
     }
   }
 
+  /// Total packet slots currently allocated (the denominator of the
+  /// telemetry probes' arena_fill channel).  Grows geometrically with the
+  /// peak population and never shrinks, so the sequence of capacities a run
+  /// passes through is a deterministic function of the packet stream.
+  u64 capacity() const { return payload_.size(); }
+
   /// Largest per-link FIFO size right now (the simulators' end-of-run
   /// max_queue statistic).
   u64 max_size() const {

@@ -3,8 +3,10 @@
 #include <algorithm>
 
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "routing/packet_arena.hpp"
+#include "routing/telemetry_probe.hpp"
 #include "util/parallel.hpp"
 #include "util/prng.hpp"
 
@@ -184,7 +186,9 @@ u64 bit_reversal_congestion(int n) {
 
 SaturationPoint simulate_saturation(int n, double offered_load, u64 cycles, u64 seed,
                                     u64 warmup_cycles, u64 queue_capacity,
-                                    const CancelToken* cancel) {
+                                    const CancelToken* cancel,
+                                    obs::TimeSeries* timeseries,
+                                    obs::OccupancyFrames* frames) {
   BFLY_REQUIRE(n >= 1 && n <= 30, "butterfly dimension must be in [1, 30]");
   BFLY_REQUIRE(offered_load >= 0.0 && offered_load <= 1.0, "offered load is a probability");
   BFLY_TRACE_SCOPE("routing.simulate_saturation");
@@ -209,6 +213,9 @@ SaturationPoint simulate_saturation(int n, double offered_load, u64 cycles, u64 
   // per-cycle heap traffic.
   PacketArena arena(links);
   Xoshiro256 rng(seed);
+  // Cycle-resolved telemetry: every hook below is a no-op branch when both
+  // sinks are null (the default) and compiles out entirely without BFLY_OBS.
+  detail::SaturationProbe probe(timeseries, frames, n, rows);
 
   SaturationPoint result;
   result.offered_load = offered_load;
@@ -222,6 +229,7 @@ SaturationPoint simulate_saturation(int n, double offered_load, u64 cycles, u64 
     const u64 link = (static_cast<u64>(stage) * rows + row) * 2 + (cross ? 1 : 0);
     if (queue_capacity > 0 && arena.size(link) >= queue_capacity) {
       if (measured) ++result.dropped_queue_full;
+      probe.on_dropped();
       return false;
     }
     arena.push(link, {dst, injected_at, 0, 0});
@@ -255,6 +263,7 @@ SaturationPoint simulate_saturation(int n, double offered_load, u64 cycles, u64 
             total_latency += latency;
             latency_hist.observe(latency);
           }
+          probe.on_delivered(cycle, pkt.injected_at);
           return;
         }
         // Intermediate hop: the payload is invariant, so relink the slot onto
@@ -266,6 +275,7 @@ SaturationPoint simulate_saturation(int n, double offered_load, u64 cycles, u64 
         if (queue_capacity > 0 && arena.size(next_link) >= queue_capacity) {
           arena.pop(link);
           if (measured) ++result.dropped_queue_full;
+          probe.on_dropped();
           --in_flight;
         } else {
           arena.move_front(link, next_link);
@@ -284,6 +294,8 @@ SaturationPoint simulate_saturation(int n, double offered_load, u64 cycles, u64 
     }
     in_flight += cycle_injections;
     depth_hist.observe(static_cast<double>(in_flight));
+    probe.on_injected(cycle_injections);
+    probe.sample(cycle, arena, in_flight);
   }
   latency_hist.flush();
   depth_hist.flush();

@@ -19,6 +19,11 @@
 #include "util/bits.hpp"
 #include "util/cancel.hpp"
 
+namespace bfly::obs {
+class TimeSeries;
+class OccupancyFrames;
+}  // namespace bfly::obs
+
 namespace bfly {
 
 /// Dense id of the forward link (row, stage) -> stage+1 (cross or straight).
@@ -90,9 +95,21 @@ inline constexpr u64 kCancelPollCycles = 64;
 /// over the cycles actually simulated (all-zero when cancelled before any
 /// measured cycle).  A run that completes without the token tripping is
 /// bitwise identical to one with cancel == nullptr.
+///
+/// A non-null `timeseries` receives cycle-resolved samples (per-stage queue
+/// occupancy, in-flight count, cumulative injected/delivered/dropped and
+/// latency sums, arena fill) under its own deterministic cycle-indexed
+/// downsampling; a non-null `frames` receives full per-link occupancy
+/// snapshots for heatmap-over-time rendering.  Both are keyed purely by
+/// cycle index, so the samples are bitwise identical across thread counts
+/// and checkpoint replay, and passing nullptr (the default) leaves the
+/// simulation bit-for-bit unchanged.  With BFLY_OBS disabled at compile time
+/// the probe hooks compile out entirely and both sinks stay empty.
 SaturationPoint simulate_saturation(int n, double offered_load, u64 cycles, u64 seed,
                                     u64 warmup_cycles = 0, u64 queue_capacity = 0,
-                                    const CancelToken* cancel = nullptr);
+                                    const CancelToken* cancel = nullptr,
+                                    obs::TimeSeries* timeseries = nullptr,
+                                    obs::OccupancyFrames* frames = nullptr);
 
 /// Maximum link congestion when routing the *permutation* perm (one packet
 /// per row) by bit-fixing through the DAG.  Uniform random permutations stay

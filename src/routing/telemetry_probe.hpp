@@ -1,0 +1,142 @@
+// Shared cycle-loop instrumentation for the two saturation engines.
+//
+// SaturationProbe is the thin adapter between an engine's cycle loop and an
+// obs::TimeSeries / obs::OccupancyFrames pair.  The cost contract it exists
+// to enforce:
+//   * disabled at compile time (BFLY_OBS_ENABLED=0) — every hook is an empty
+//     inline function; the engines compile exactly as before the probes
+//     existed;
+//   * disabled at runtime (both sinks null, the default) — every hook is one
+//     predictable branch on a bool the compiler keeps in a register;
+//   * enabled — per-event hooks are plain integer/double accumulations, and
+//     the O(links) occupancy gathers run only on sampling cycles, whose count
+//     is bounded by the sample budget times log2(cycles) (the stride-doubling
+//     schedule), not by the cycle count.
+// Nothing here reads a clock or an RNG: the sample rows are a pure function
+// of the packet stream, which is what keeps them bitwise identical across
+// thread counts and checkpoint replay.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"  // for BFLY_OBS_ENABLED
+#include "obs/timeseries.hpp"
+#include "routing/packet_arena.hpp"
+#include "util/bits.hpp"
+
+namespace bfly::detail {
+
+class SaturationProbe {
+ public:
+  SaturationProbe([[maybe_unused]] obs::TimeSeries* series,
+                  [[maybe_unused]] obs::OccupancyFrames* frames,
+                  [[maybe_unused]] int n, [[maybe_unused]] u64 rows) {
+#if BFLY_OBS_ENABLED
+    series_ = series;
+    frames_ = frames;
+    n_ = n;
+    rows_ = rows;
+    if (series_ != nullptr) {
+      std::vector<std::string> channels;
+      channels.reserve(static_cast<std::size_t>(n) + 6);
+      for (int s = 0; s < n; ++s) channels.push_back("stage" + std::to_string(s));
+      channels.emplace_back(obs::kChannelInFlight);
+      channels.emplace_back(obs::kChannelInjected);
+      channels.emplace_back(obs::kChannelDelivered);
+      channels.emplace_back(obs::kChannelDropped);
+      channels.emplace_back(obs::kChannelLatencySum);
+      channels.emplace_back(obs::kChannelArenaFill);
+      row_.resize(channels.size());
+      series_->reset_channels(std::move(channels));
+    }
+    active_ = series_ != nullptr;
+#endif
+  }
+
+  /// True when any sink is attached (engines may use this to skip work that
+  /// only feeds the probe).
+  bool enabled() const {
+#if BFLY_OBS_ENABLED
+    return series_ != nullptr || frames_ != nullptr;
+#else
+    return false;
+#endif
+  }
+
+  void on_injected([[maybe_unused]] u64 count) {
+#if BFLY_OBS_ENABLED
+    if (active_) injected_ += count;
+#endif
+  }
+
+  void on_delivered([[maybe_unused]] u64 cycle, [[maybe_unused]] u64 injected_at) {
+#if BFLY_OBS_ENABLED
+    if (active_) {
+      ++delivered_;
+      latency_sum_ += static_cast<double>(cycle + 1 - injected_at);
+    }
+#endif
+  }
+
+  void on_dropped() {
+#if BFLY_OBS_ENABLED
+    if (active_) ++dropped_;
+#endif
+  }
+
+  /// End-of-cycle sampling hook.  `in_flight` must equal the number of
+  /// packets resident in the arena (both engines maintain exactly that
+  /// invariant at end of cycle).
+  void sample([[maybe_unused]] u64 cycle, [[maybe_unused]] const PacketArena& arena,
+              [[maybe_unused]] u64 in_flight) {
+#if BFLY_OBS_ENABLED
+    if (active_ && series_->want(cycle)) {
+      std::size_t c = 0;
+      for (int s = 0; s < n_; ++s) {
+        const u64 base = static_cast<u64>(s) * rows_ * 2;
+        u64 occupancy = 0;
+        for (u64 link = base; link < base + rows_ * 2; ++link) {
+          occupancy += arena.size(link);
+        }
+        row_[c++] = static_cast<double>(occupancy);
+      }
+      row_[c++] = static_cast<double>(in_flight);
+      row_[c++] = static_cast<double>(injected_);
+      row_[c++] = static_cast<double>(delivered_);
+      row_[c++] = static_cast<double>(dropped_);
+      row_[c++] = latency_sum_;
+      row_[c++] = arena.capacity() == 0
+                      ? 0.0
+                      : static_cast<double>(in_flight) / static_cast<double>(arena.capacity());
+      series_->record(cycle, row_);
+    }
+    if (frames_ != nullptr && frames_->want(cycle)) {
+      frame_row_.resize(static_cast<std::size_t>(arena.num_links()));
+      for (u64 link = 0; link < arena.num_links(); ++link) {
+        frame_row_[static_cast<std::size_t>(link)] = static_cast<double>(arena.size(link));
+      }
+      frames_->record(cycle, frame_row_);
+    }
+#endif
+  }
+
+#if BFLY_OBS_ENABLED
+ private:
+  obs::TimeSeries* series_ = nullptr;
+  obs::OccupancyFrames* frames_ = nullptr;
+  bool active_ = false;
+  int n_ = 0;
+  u64 rows_ = 0;
+  u64 injected_ = 0;
+  u64 delivered_ = 0;
+  u64 dropped_ = 0;
+  double latency_sum_ = 0.0;
+  std::vector<double> row_;
+  std::vector<double> frame_row_;
+#endif
+};
+
+}  // namespace bfly::detail

@@ -19,6 +19,8 @@ void validate_sweep_point(const SweepPoint& point, std::size_t index) {
   BFLY_REQUIRE(std::isfinite(point.offered_load), where + "offered_load must be finite");
   BFLY_REQUIRE(point.offered_load >= 0.0 && point.offered_load <= 1.0,
                where + "offered_load is a probability (must be in [0, 1])");
+  BFLY_REQUIRE(point.telemetry_budget == 0 || point.telemetry_budget >= 2,
+               where + "telemetry_budget must be 0 (off) or >= 2 samples");
   if (point.faults != nullptr) {
     BFLY_REQUIRE(point.faults->dimension() == point.n,
                  where + "fault set dimension does not match n");
@@ -40,17 +42,28 @@ std::vector<SweepOutcome> saturation_sweep(std::span<const SweepPoint> points,
                        [&](std::size_t lo, std::size_t hi, std::size_t /*tid*/) {
                          for (std::size_t i = lo; i < hi; ++i) {
                            const SweepPoint& p = points[i];
+                           // Each point gets its own TimeSeries (no sharing
+                           // across pool threads), so telemetry stays bitwise
+                           // deterministic for any pool size.  The series is
+                           // installed in the outcome only when the engine
+                           // actually filled it, so a BFLY_OBS=OFF build (where
+                           // the probe compiles out) leaves the outcome exactly
+                           // as a checkpoint replay would restore it.
+                           obs::TimeSeries ts(std::max<u64>(p.telemetry_budget, 2));
+                           obs::TimeSeries* ts_ptr =
+                               p.telemetry_budget > 0 ? &ts : nullptr;
                            if (p.faults == nullptr) {
                              outcomes[i].point = simulate_saturation(
                                  p.n, p.offered_load, p.cycles, p.seed, p.warmup_cycles,
-                                 p.queue_capacity);
+                                 p.queue_capacity, nullptr, ts_ptr);
                            } else {
                              const FaultSaturationPoint fsp = simulate_saturation_faulty(
                                  p.n, p.offered_load, p.cycles, p.seed, *p.faults, p.routing,
-                                 p.warmup_cycles, p.queue_capacity);
+                                 p.warmup_cycles, p.queue_capacity, nullptr, ts_ptr);
                              outcomes[i].point = fsp.point;
                              outcomes[i].tally = fsp.tally;
                            }
+                           if (!ts.empty()) outcomes[i].timeseries = std::move(ts);
                          }
                        });
 

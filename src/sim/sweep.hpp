@@ -19,6 +19,7 @@
 
 #include "fault/fault_routing.hpp"
 #include "fault/fault_set.hpp"
+#include "obs/timeseries.hpp"
 #include "routing/routing.hpp"
 
 namespace bfly {
@@ -33,14 +34,23 @@ struct SweepPoint {
   u64 seed = 0;
   u64 warmup_cycles = 0;
   u64 queue_capacity = 0;
+  /// Sample budget for cycle-resolved telemetry; 0 (the default) disables the
+  /// probe and leaves the engine bit-for-bit as before.  Part of the
+  /// checkpoint identity (exec::sweep_point_key hashes it), since it changes
+  /// what an outcome carries.
+  u64 telemetry_budget = 0;
   const FaultSet* faults = nullptr;
   FaultRoutingOptions routing{};
 };
 
-/// Result of one sweep point.  `tally` is all-zero for pristine points.
+/// Result of one sweep point.  `tally` is all-zero for pristine points;
+/// `timeseries` is empty unless the point requested a telemetry budget (its
+/// samples are a pure function of the point, so they replay bitwise
+/// identically from checkpoints).
 struct SweepOutcome {
   SaturationPoint point;
   FaultTally tally;
+  obs::TimeSeries timeseries;
 };
 
 /// Rejects malformed requests before any engine runs: cycles == 0,

@@ -45,6 +45,9 @@ void expect_outcome_eq(const SweepOutcome& a, const SweepOutcome& b) {
   }
   EXPECT_EQ(a.tally.misroutes, b.tally.misroutes);
   EXPECT_EQ(a.tally.wraps, b.tally.wraps);
+  // operator== is the bit-pattern comparison (channels, cycles, stride, and
+  // every sample double compared by bits) — telemetry replays exactly too.
+  EXPECT_TRUE(a.timeseries == b.timeseries);
 }
 
 void expect_outcomes_eq(const std::vector<SweepOutcome>& a, const std::vector<SweepOutcome>& b) {
@@ -89,6 +92,10 @@ struct TestGrid {
       points.push_back(p);
     }
     points[1].queue_capacity = 3;
+    // Cycle-resolved telemetry on a pristine point: its samples are part of
+    // the journaled outcome, so the kill/resume loops below also prove the
+    // timeseries replays bit-for-bit.
+    points[2].telemetry_budget = 32;
     for (const FaultSet* fs : {&light, &heavy}) {
       SweepPoint p;
       p.n = 4;
@@ -99,6 +106,8 @@ struct TestGrid {
       p.faults = fs;
       points.push_back(p);
     }
+    // ...and on a faulty point, covering the other engine's probe wiring.
+    points.back().telemetry_budget = 32;
   }
 };
 
@@ -137,6 +146,9 @@ TEST(Checkpoint, SweepPointKeyIsAContentHash) {
   EXPECT_NE(exec::sweep_point_key(q), exec::sweep_point_key(p));
   q = p;
   q.queue_capacity = 7;
+  EXPECT_NE(exec::sweep_point_key(q), exec::sweep_point_key(p));
+  q = p;
+  q.telemetry_budget = 64;  // changes what the outcome carries -> new identity
   EXPECT_NE(exec::sweep_point_key(q), exec::sweep_point_key(p));
   q = p;
   q.faults = &grid.light;

@@ -77,8 +77,49 @@ TEST(RunReportTest, ParsesRealReportWriterOutput) {
 
 TEST(RunReportTest, RejectsWrongSchemaVersion) {
   std::string text = report_text(1, 1, 1);
-  text.replace(text.find("\"schema_version\": 1"), 19, "\"schema_version\": 2");
+  text.replace(text.find("\"schema_version\": 1"), 19, "\"schema_version\": 3");
   EXPECT_THROW(RunReport::parse(text), InvalidArgument);
+}
+
+/// report_text() as a schema-v2 report with a "timeseries" block appended.
+std::string report_text_v2(const std::string& timeseries) {
+  std::string text = report_text(1, 1, 1);
+  text.replace(text.find("\"schema_version\": 1"), 19, "\"schema_version\": 2");
+  text.insert(text.rfind('}'), ", \"timeseries\": " + timeseries);
+  return text;
+}
+
+TEST(RunReportTest, ParsesV2ReportWithTimeseriesBlock) {
+  const RunReport r = RunReport::parse(report_text_v2(
+      R"({"v": 1, "budget": 8, "stride": 2, "channels": ["in_flight", "delivered"],
+          "cycles": [0, 2, 4], "samples": [[1, 0], [5, 2], [3, 6]]})"));
+  EXPECT_EQ(metric_value(r, "timeseries.samples"), 3.0);
+  EXPECT_EQ(metric_value(r, "timeseries.stride"), 2.0);
+  EXPECT_EQ(metric_value(r, "timeseries.in_flight.mean"), 3.0);
+  EXPECT_EQ(metric_value(r, "timeseries.in_flight.last"), 3.0);
+  EXPECT_EQ(metric_value(r, "timeseries.delivered.last"), 6.0);
+}
+
+TEST(RunReportTest, V2WithoutTimeseriesBlockIsTolerated) {
+  // obs::diff must tolerate the block's absence even at version 2.
+  std::string text = report_text(1, 1, 1);
+  text.replace(text.find("\"schema_version\": 1"), 19, "\"schema_version\": 2");
+  const RunReport r = RunReport::parse(text);
+  EXPECT_THROW(metric_value(r, "timeseries.samples"), InvalidArgument);
+}
+
+TEST(RunReportTest, RejectsMalformedTimeseriesBlock) {
+  // Row width must match the channel count.
+  EXPECT_THROW(RunReport::parse(report_text_v2(
+                   R"({"v": 1, "budget": 8, "stride": 1, "channels": ["a", "b"],
+                       "cycles": [0], "samples": [[1]]})")),
+               InvalidArgument);
+  // One sample row per cycle.
+  EXPECT_THROW(RunReport::parse(report_text_v2(
+                   R"({"v": 1, "budget": 8, "stride": 1, "channels": ["a"],
+                       "cycles": [0, 1], "samples": [[1]]})")),
+               InvalidArgument);
+  EXPECT_THROW(RunReport::parse(report_text_v2("[1, 2]")), InvalidArgument);
 }
 
 TEST(RunReportTest, RejectsMissingTopLevelKey) {
@@ -424,6 +465,43 @@ TEST(CheckDiffTest, CountsSeveritiesAndMissingKeys) {
   EXPECT_TRUE(relaxed.ok());
   EXPECT_EQ(relaxed.num_fail, 0);
   EXPECT_TRUE(relaxed.missing_in_b.empty());  // ignored keys drop out entirely
+}
+
+TEST(CheckDiffTest, AbsentHistogramWarnsInsteadOfFailing) {
+  // A candidate with no histograms at all — what a full checkpoint replay
+  // produces (no per-event observations re-recorded).  The baseline's
+  // histogram keys must surface as a typed warn, not silence and not FAIL.
+  std::string text_b = report_text(100, 0.5, 1.0);
+  const std::string hist =
+      R"("histograms": {"latency": {"bounds": [1, 2, 4], "counts": [2, 3, 5, 0], "count": 10, "sum": 20}})";
+  const std::size_t pos = text_b.find(hist);
+  ASSERT_NE(pos, std::string::npos);
+  text_b.replace(pos, hist.size(), R"("histograms": {})");
+  const ReportDiff diff = diff_reports(make_report(100, 0.5, 1.0), RunReport::parse(text_b));
+
+  Thresholds exact;  // default-constructed: everything must match exactly
+  const CheckResult result = check_diff(diff, exact);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.num_fail, 0);
+  EXPECT_TRUE(result.missing_in_b.empty());
+  // latency.count plus the p50/p95/p99 percentile keys, all typed warns.
+  EXPECT_EQ(result.histograms_absent_in_b.size(), 4u);
+  EXPECT_EQ(result.num_warn, 4);
+
+  // The markdown table renders the same verdict.
+  const std::string md = render_diff_markdown(diff, &exact);
+  EXPECT_NE(md.find("| histograms.latency.count | present | missing | | | WARN |"),
+            std::string::npos);
+
+  // Degrading (partial candidate) keeps them as warnings, tallied once.
+  const CheckResult degraded = degrade_failures_to_warnings(check_diff(diff, exact));
+  EXPECT_EQ(degraded.num_fail, 0);
+  EXPECT_EQ(degraded.num_warn, 4);
+
+  // An ignore rule still drops them entirely.
+  const Thresholds ignoring = Thresholds::parse(json::Value::parse(
+      R"({"rules": [{"match": "histograms.*", "ignore": true}]})"));
+  EXPECT_TRUE(check_diff(diff, ignoring).histograms_absent_in_b.empty());
 }
 
 // --- rendering ---------------------------------------------------------------

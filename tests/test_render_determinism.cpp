@@ -1,0 +1,164 @@
+// SVG rendering byte-determinism (the PR's reproducibility contract for
+// figures): two renders of the same layout and options are byte-identical,
+// independent of the process-global locale and of the thread count used to
+// produce the heat data.  Without the classic-locale pinning in
+// make_svg_stream a German-style numpunct would turn "3.5" into "3,5" and
+// silently corrupt every coordinate in the document.
+#include <gtest/gtest.h>
+
+#include <locale>
+#include <string>
+#include <vector>
+
+#include "layout/butterfly_layout.hpp"
+#include "layout/render.hpp"
+#include "routing/routing.hpp"
+#include "topology/swap_butterfly.hpp"
+#include "topology/butterfly.hpp"
+
+namespace bfly {
+namespace {
+
+/// A numpunct that formats doubles the way a European locale would — built
+/// from whole cloth so the test does not depend on which locales the OS has
+/// installed.
+class CommaNumpunct : public std::numpunct<char> {
+ protected:
+  char do_decimal_point() const override { return ','; }
+  char do_thousands_sep() const override { return '.'; }
+  std::string do_grouping() const override { return "\3"; }
+};
+
+/// Temporarily swaps in a hostile global locale; restores on destruction.
+class ScopedGlobalLocale {
+ public:
+  explicit ScopedGlobalLocale(const std::locale& loc) : previous_(std::locale::global(loc)) {}
+  ~ScopedGlobalLocale() { std::locale::global(previous_); }
+
+ private:
+  std::locale previous_;
+};
+
+struct HeatmapFixture {
+  ButterflyLayoutPlan plan;
+  Layout layout;
+
+  explicit HeatmapFixture(int n)
+      : plan(ButterflyLayoutPlan::choose_parameters(n)), layout(plan.materialize()) {}
+
+  /// Maps a link-load census onto layout wires, min-max normalized — the same
+  /// construction quickstart uses for butterfly_heatmap.svg.
+  std::vector<double> heat_from_census(const LoadCensus& census) const {
+    const Butterfly bf(plan.network().dimension());
+    const SwapButterfly& net = plan.network();
+    const u64 rows = net.rows();
+    u64 min_load = census.link_loads.empty() ? 0 : census.link_loads[0];
+    for (const u64 load : census.link_loads) min_load = std::min(min_load, load);
+    const u64 spread = census.max_link_load - min_load;
+    std::vector<double> heat(layout.wires().size(), 0.0);
+    for (std::size_t wi = 0; wi < layout.wires().size(); ++wi) {
+      const Wire& wire = layout.wires()[wi];
+      if (!wire.from_node || !wire.to_node) continue;
+      const int s = static_cast<int>(*wire.from_node / rows);
+      const u64 r1 = net.rho(s, *wire.from_node % rows);
+      const u64 r2 = net.rho(s + 1, *wire.to_node % rows);
+      const u64 load = census.link_loads[link_index(bf, r1, s, r1 != r2)];
+      heat[wi] = spread > 0
+                     ? static_cast<double>(load - min_load) / static_cast<double>(spread)
+                     : 0.0;
+    }
+    return heat;
+  }
+
+  /// Synthetic per-wire heat — cheap, deterministic, covers the full ramp.
+  std::vector<double> synthetic_heat() const {
+    std::vector<double> heat(layout.wires().size());
+    for (std::size_t i = 0; i < heat.size(); ++i) {
+      heat[i] = static_cast<double>(i % 17) / 16.0;
+    }
+    return heat;
+  }
+};
+
+TEST(RenderDeterminism, TwoRendersAreByteIdentical) {
+  const HeatmapFixture fix(4);
+  const std::vector<double> heat = fix.synthetic_heat();
+  std::vector<bool> dead(fix.layout.wires().size(), false);
+  for (std::size_t i = 0; i < dead.size(); i += 13) dead[i] = true;
+
+  RenderOptions options;
+  options.wire_heat = &heat;
+  EXPECT_EQ(render_svg(fix.layout, options), render_svg(fix.layout, options));
+
+  options.wire_dead = &dead;  // the butterfly_heatmap_faults.svg configuration
+  EXPECT_EQ(render_svg(fix.layout, options), render_svg(fix.layout, options));
+}
+
+TEST(RenderDeterminism, OutputIgnoresTheGlobalLocale) {
+  const HeatmapFixture fix(4);
+  const std::vector<double> heat = fix.synthetic_heat();
+  RenderOptions options;
+  options.wire_heat = &heat;
+  const std::string reference = render_svg(fix.layout, options);
+
+  const std::locale hostile(std::locale::classic(), new CommaNumpunct);
+  const ScopedGlobalLocale guard(hostile);
+  EXPECT_EQ(render_svg(fix.layout, options), reference);
+  EXPECT_EQ(render_multistage_svg(4, 2,
+                                  [](const std::function<void(u64, int, u64)>& emit) {
+                                    emit(0, 0, 1);
+                                    emit(1, 0, 3);
+                                  }),
+            render_multistage_svg(4, 2, [](const std::function<void(u64, int, u64)>& emit) {
+              emit(0, 0, 1);
+              emit(1, 0, 3);
+            }));
+}
+
+TEST(RenderDeterminism, HeatInputIsThreadCountIndependentEndToEnd) {
+  // The full figure pipeline: census -> heat vector -> SVG, with the census
+  // run on 1 thread vs 3.  The census is documented bitwise thread-
+  // independent; this pins the composed artifact to the same guarantee.
+  const HeatmapFixture fix(4);
+  const LoadCensus serial = measure_link_loads(4, 20'000, 99, 1, /*keep_link_loads=*/true);
+  const LoadCensus parallel = measure_link_loads(4, 20'000, 99, 3, /*keep_link_loads=*/true);
+  const std::vector<double> heat_a = fix.heat_from_census(serial);
+  const std::vector<double> heat_b = fix.heat_from_census(parallel);
+  RenderOptions options;
+  options.wire_heat = &heat_a;
+  const std::string svg_a = render_svg(fix.layout, options);
+  options.wire_heat = &heat_b;
+  EXPECT_EQ(svg_a, render_svg(fix.layout, options));
+}
+
+TEST(RenderDeterminism, SmallMultiplesAreDeterministicAndCaptioned) {
+  const HeatmapFixture fix(4);
+  const std::size_t wires = fix.layout.wires().size();
+  std::vector<std::vector<double>> frames;
+  for (int f = 0; f < 5; ++f) {
+    std::vector<double> frame(wires);
+    for (std::size_t i = 0; i < wires; ++i) {
+      frame[i] = static_cast<double>((i + static_cast<std::size_t>(f) * 7) % 11) / 10.0;
+    }
+    frames.push_back(std::move(frame));
+  }
+  const std::vector<u64> cycles = {0, 16, 32, 48, 64};
+
+  HeatmapFilmOptions options;
+  options.columns = 2;
+  const std::string film = render_svg_small_multiples(fix.layout, frames, cycles, options);
+  EXPECT_EQ(film, render_svg_small_multiples(fix.layout, frames, cycles, options));
+  for (const u64 c : cycles) {
+    EXPECT_NE(film.find("cycle " + std::to_string(c)), std::string::npos) << c;
+  }
+  // One frame border per frame, and a well-formed single SVG document.
+  EXPECT_EQ(film.find("<svg"), film.rfind("<svg"));
+  EXPECT_NE(film.find("</svg>"), std::string::npos);
+
+  // Captions off when no cycles are supplied.
+  const std::string bare = render_svg_small_multiples(fix.layout, frames, {}, options);
+  EXPECT_EQ(bare.find("cycle "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bfly

@@ -17,9 +17,20 @@
 //       baseline, classify with the thresholds file (default
 //       <dir>/thresholds.json), and exit non-zero on any FAIL.
 //
+//   bflyreport watch <telemetry.jsonl> [--once] [--interval-ms <n>]
+//       Tails the live-progress JSONL stream a resumable sweep appends
+//       ($BFLY_TELEMETRY_FILE / SweepRunOptions.telemetry_path) and renders
+//       in-place progress: completed/total bar, point throughput, ETA from
+//       wall-clock record timestamps, and per-stage / in-flight sparklines
+//       from the latest telemetry samples.  Tolerates a torn final line
+//       (an append in progress) and a file that does not exist yet; exits
+//       when the stream's "done" record arrives.  --once renders the current
+//       state once and exits — the scriptable form.
+//
 // Exit codes: 0 = ok (warnings allowed), 1 = regression / failed gate,
 // 2 = usage or I/O error.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -27,6 +38,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/diff.hpp"
@@ -42,7 +54,8 @@ int usage() {
                "  bflyreport diff <a.json> <b.json> [--thresholds <file>] [--no-config-check]\n"
                "  bflyreport trend <reports.jsonl> --metric <key> [--threshold <rel>]\n"
                "  bflyreport check --baseline <dir> [--thresholds <file>] [--reports <dir>]\n"
-               "                   [--bench-dir <dir>]\n");
+               "                   [--bench-dir <dir>]\n"
+               "  bflyreport watch <telemetry.jsonl> [--once] [--interval-ms <n>]\n");
   return 2;
 }
 
@@ -291,11 +304,240 @@ int run_check(std::vector<std::string> args) {
     for (const std::string& key : result.new_in_b) {
       std::cout << "  warn " << key << ": new metric, not in baseline (refresh baselines?)\n";
     }
+    for (const std::string& key : result.histograms_absent_in_b) {
+      std::cout << "  warn " << key
+                << ": histogram in baseline, absent in current run (full replay records no"
+                   " observations)\n";
+    }
   }
   std::cout << "\nbaseline check: " << baselines.size() << " benches, " << total_warn
             << " warn, " << total_fail << " fail -> " << (total_fail == 0 ? "PASS" : "FAIL")
             << "\n";
   return total_fail == 0 ? 0 : 1;
+}
+
+// --- watch -------------------------------------------------------------------
+
+/// Everything the watch renderer knows, folded record by record from the
+/// telemetry stream (exec's TelemetrySink emits start/point/samples/done).
+struct WatchState {
+  bool started = false;
+  bool done = false;
+  std::string done_status;
+  u64 total = 0;
+  u64 completed = 0;
+  u64 replayed = 0;
+  u64 failed = 0;
+  // Latest completed point.
+  bool have_point = false;
+  u64 point_index = 0;
+  double offered_load = 0.0;
+  double throughput = 0.0;
+  double avg_latency = 0.0;
+  bool faulty = false;
+  // Latest telemetry samples flush.
+  std::vector<double> in_flight;
+  std::vector<double> stage_occ;
+  u64 sample_stride = 0;
+  u64 num_samples = 0;
+  // ETA bookkeeping from record wall-clock stamps: rate since the first
+  // point record seen by *this* watcher (replayed points land in a burst
+  // before the first simulated one, so the start record is a bad epoch).
+  bool have_epoch = false;
+  u64 epoch_t_ms = 0;
+  u64 epoch_completed = 0;
+  u64 last_t_ms = 0;
+  std::size_t lines_skipped = 0;
+};
+
+void fold_record(WatchState* state, const json::Value& rec) {
+  const std::string& type = rec.at("type").as_string();
+  if (type == "start") {
+    state->started = true;
+    state->total = rec.at("total").as_u64();
+    state->replayed = rec.at("replayed").as_u64();
+    state->completed = state->replayed;
+  } else if (type == "point") {
+    state->have_point = true;
+    state->point_index = rec.at("index").as_u64();
+    state->completed = rec.at("completed").as_u64();  // includes replayed points
+    state->total = rec.at("total").as_u64();
+    state->offered_load = rec.at("offered_load").as_double();
+    state->throughput = rec.at("throughput").as_double();
+    state->avg_latency = rec.at("avg_latency").as_double();
+    state->faulty = rec.at("faulty").as_bool();
+    state->last_t_ms = rec.at("t_ms").as_u64();
+    if (!state->have_epoch) {
+      state->have_epoch = true;
+      state->epoch_t_ms = state->last_t_ms;
+      state->epoch_completed = state->completed;
+    }
+  } else if (type == "samples") {
+    state->sample_stride = rec.at("stride").as_u64();
+    state->num_samples = rec.at("num_samples").as_u64();
+    const json::Value& in_flight = rec.at("in_flight");
+    state->in_flight.clear();
+    for (std::size_t i = 0; i < in_flight.size(); ++i) {
+      state->in_flight.push_back(in_flight.at(i).as_double());
+    }
+    const json::Value& stage_occ = rec.at("stage_occ");
+    state->stage_occ.clear();
+    for (std::size_t i = 0; i < stage_occ.size(); ++i) {
+      state->stage_occ.push_back(stage_occ.at(i).as_double());
+    }
+  } else if (type == "done") {
+    state->done = true;
+    state->done_status = rec.at("status").as_string();
+    state->completed = rec.at("completed").as_u64();
+    state->total = rec.at("total").as_u64();
+    state->failed = rec.at("failed").as_u64();
+  }
+  // Unknown record types from a future writer fold to nothing — tolerated.
+}
+
+std::string format_duration(double seconds) {
+  char buf[32];
+  if (seconds < 60.0) {
+    std::snprintf(buf, sizeof(buf), "%.0fs", seconds);
+  } else if (seconds < 3600.0) {
+    std::snprintf(buf, sizeof(buf), "%dm%02ds", static_cast<int>(seconds) / 60,
+                  static_cast<int>(seconds) % 60);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%dh%02dm", static_cast<int>(seconds) / 3600,
+                  static_cast<int>(seconds) % 3600 / 60);
+  }
+  return buf;
+}
+
+std::vector<std::string> render_watch(const WatchState& state, const std::string& path) {
+  std::vector<std::string> lines;
+  char buf[256];
+  if (!state.started) {
+    lines.push_back("watch " + path + " — waiting for run to start...");
+    return lines;
+  }
+
+  const double frac =
+      state.total > 0 ? static_cast<double>(state.completed) / static_cast<double>(state.total)
+                      : 0.0;
+  constexpr int kBarWidth = 24;
+  const int filled = static_cast<int>(frac * kBarWidth);
+  std::string bar;
+  for (int i = 0; i < kBarWidth; ++i) bar += i < filled ? "█" : "░";
+  std::snprintf(buf, sizeof(buf), "watch %s — [%s] %llu/%llu points (%.0f%%, %llu replayed)",
+                path.c_str(), bar.c_str(), static_cast<unsigned long long>(state.completed),
+                static_cast<unsigned long long>(state.total), frac * 100.0,
+                static_cast<unsigned long long>(state.replayed));
+  lines.emplace_back(buf);
+
+  if (state.have_point) {
+    std::snprintf(buf, sizeof(buf),
+                  "latest: point %llu%s  load %.3f  throughput %.4f  avg latency %.2f",
+                  static_cast<unsigned long long>(state.point_index),
+                  state.faulty ? " (faulty)" : "", state.offered_load, state.throughput,
+                  state.avg_latency);
+    lines.emplace_back(buf);
+  }
+
+  if (state.done) {
+    std::snprintf(buf, sizeof(buf), "done: %s (%llu failed)", state.done_status.c_str(),
+                  static_cast<unsigned long long>(state.failed));
+    lines.emplace_back(buf);
+  } else if (state.have_epoch && state.completed > state.epoch_completed &&
+             state.last_t_ms > state.epoch_t_ms) {
+    const double elapsed_s =
+        static_cast<double>(state.last_t_ms - state.epoch_t_ms) / 1000.0;
+    const double rate =
+        static_cast<double>(state.completed - state.epoch_completed) / elapsed_s;
+    const double remaining = static_cast<double>(state.total - state.completed);
+    std::snprintf(buf, sizeof(buf), "ETA ~%s at %.2f points/s",
+                  format_duration(remaining / rate).c_str(), rate);
+    lines.emplace_back(buf);
+  } else {
+    lines.emplace_back("ETA —");
+  }
+
+  if (!state.in_flight.empty()) {
+    std::snprintf(buf, sizeof(buf), "  (%llu samples, stride %llu)",
+                  static_cast<unsigned long long>(state.num_samples),
+                  static_cast<unsigned long long>(state.sample_stride));
+    lines.push_back("in-flight  " + sparkline(state.in_flight) + buf);
+  }
+  if (!state.stage_occ.empty()) {
+    lines.push_back("stage occ  " + sparkline(state.stage_occ) + "  (queue occupancy by stage)");
+  }
+  return lines;
+}
+
+int run_watch(std::vector<std::string> args) {
+  const bool once = take_switch(&args, "--once");
+  const int interval_ms = std::stoi(take_option(&args, "--interval-ms").value_or("250"));
+  if (args.size() != 1 || interval_ms <= 0) return usage();
+  const std::string path = args[0];
+  if (once && !fs::exists(path)) {
+    std::fprintf(stderr, "bflyreport: telemetry file '%s' does not exist\n", path.c_str());
+    return 2;
+  }
+
+  WatchState state;
+  std::streamoff offset = 0;
+  std::string carry;  // torn tail of the previous read (an append in flight)
+
+  const auto poll = [&] {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return;
+    in.seekg(0, std::ios::end);
+    const std::streamoff size = in.tellg();
+    if (size < offset) {
+      // Truncated/rotated under us: start over from a clean slate.
+      offset = 0;
+      carry.clear();
+      state = WatchState{};
+    }
+    if (size <= offset) return;
+    in.seekg(offset);
+    std::string chunk(static_cast<std::size_t>(size - offset), '\0');
+    in.read(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+    offset = size;
+    carry += chunk;
+    std::size_t start = 0;
+    for (std::size_t nl = carry.find('\n'); nl != std::string::npos;
+         nl = carry.find('\n', start)) {
+      const std::string line = carry.substr(start, nl - start);
+      start = nl + 1;
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      try {
+        fold_record(&state, json::Value::parse(line));
+      } catch (const std::exception&) {
+        // Corrupt line (should not happen — appends are durable and the torn
+        // tail has no newline yet): count and keep tailing.
+        ++state.lines_skipped;
+      }
+    }
+    carry.erase(0, start);
+  };
+
+  int rendered = 0;
+  const auto redraw = [&](const std::vector<std::string>& lines) {
+    if (rendered > 0) std::printf("\x1b[%dA", rendered);
+    for (const std::string& line : lines) std::printf("\x1b[2K%s\n", line.c_str());
+    std::fflush(stdout);
+    rendered = static_cast<int>(lines.size());
+  };
+
+  while (true) {
+    poll();
+    if (once) {
+      // Scriptable form: plain lines, no cursor movement.
+      for (const std::string& line : render_watch(state, path)) {
+        std::printf("%s\n", line.c_str());
+      }
+      return 0;
+    }
+    redraw(render_watch(state, path));
+    if (state.done) return 0;
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
 }
 
 }  // namespace
@@ -308,6 +550,7 @@ int main(int argc, char** argv) {
     if (command == "diff") return run_diff(std::move(args));
     if (command == "trend") return run_trend(std::move(args));
     if (command == "check") return run_check(std::move(args));
+    if (command == "watch") return run_watch(std::move(args));
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bflyreport: %s\n", e.what());
     return 2;
