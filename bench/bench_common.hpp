@@ -61,11 +61,16 @@ class BenchSession {
   /// report stays version 1.
   void timeseries(json::Value block) { options_.timeseries = std::move(block); }
 
+  /// Attaches one representative sweep point's per-packet flight traces
+  /// (FlightRecorder::to_json()) as the report's optional "flight" block —
+  /// same schema-versioning rule as timeseries().
+  void flight(json::Value block) { options_.flight = std::move(block); }
+
   /// Exports interpolated percentiles of a named registry histogram into
-  /// artifact_stats as `"<key>": {"p50": ..., "p95": ..., "p99": ...}` so
-  /// the values participate in baseline diffs as plain numeric leaves.  Call
-  /// after the workload has populated the histogram; throws InvalidArgument
-  /// when no histogram with that name was recorded.
+  /// artifact_stats as `"<key>": {"p50": ..., "p95": ..., "p99": ...,
+  /// "p999": ...}` so the values participate in baseline diffs as plain
+  /// numeric leaves.  Call after the workload has populated the histogram;
+  /// throws InvalidArgument when no histogram with that name was recorded.
   void artifact_percentiles(const std::string& key, const std::string& histogram) {
 #if !BFLY_OBS_ENABLED
     // The instrumented hot paths record nothing when obs is compiled out, so
@@ -81,6 +86,7 @@ class BenchSession {
       percentiles.set("p50", json::Value::number(h.percentile(0.50)));
       percentiles.set("p95", json::Value::number(h.percentile(0.95)));
       percentiles.set("p99", json::Value::number(h.percentile(0.99)));
+      percentiles.set("p999", json::Value::number(h.percentile(0.999)));
       artifact(key, std::move(percentiles));
       return;
     }

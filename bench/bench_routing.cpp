@@ -21,7 +21,7 @@ using namespace bfly;
 
 constexpr double kCurveLoads[] = {0.1, 0.3, 0.5, 0.7, 0.9, 1.0};
 
-std::vector<SweepPoint> curve_points(int n, u64 telemetry_budget = 0) {
+std::vector<SweepPoint> curve_points(int n, u64 telemetry_budget = 0, u64 flight_budget = 0) {
   std::vector<SweepPoint> pts;
   for (const double load : kCurveLoads) {
     SweepPoint p;
@@ -31,6 +31,10 @@ std::vector<SweepPoint> curve_points(int n, u64 telemetry_budget = 0) {
     p.seed = 2026;
     p.warmup_cycles = 500;
     p.telemetry_budget = telemetry_budget;
+    // Flight tracing on the load-0.5 point only: the same representative
+    // point the Little's-law check reads, comfortably under saturation so
+    // most sampled packets terminate as deliveries.
+    if (load == 0.5) p.flight_budget = flight_budget;
     pts.push_back(p);
   }
   return pts;
@@ -45,7 +49,7 @@ std::vector<SweepOutcome> print_saturation_curve(int n, bfly::bench::BenchSessio
   // killed bench resumes from $BFLY_CHECKPOINT_DIR instead of starting over.
   // Telemetry is on (128-sample budget) — the probe never changes outcomes,
   // and the collected series feed the Little's-law self-check below.
-  const std::vector<SweepPoint> pts = curve_points(n, 128);
+  const std::vector<SweepPoint> pts = curve_points(n, 128, 64);
   std::vector<SweepOutcome> outcomes = session->resilient_sweep("curve", pts);
   for (const SweepOutcome& o : outcomes) {
     const SaturationPoint& p = o.point;
@@ -78,6 +82,98 @@ void check_littles_law(const std::vector<SweepOutcome>& curve,
                     check.applicable && check.pass ? 1.0 : 0.0);
   // The series itself rides along as the report's v2 "timeseries" block.
   session->timeseries(chosen->timeseries.to_json());
+}
+
+/// Flight-recorder self-check on the curve's flight-enabled point: every
+/// delivered trace must decompose exactly (queue_wait + transit + detour ==
+/// latency, u64 arithmetic — decompose_flight throws on any imbalance), and
+/// the result is exported as a 1.0 / 0.0 artifact the baseline gate matches
+/// exactly.  The traces ride along as the report's v2 "flight" block, and
+/// when $BFLY_FLIGHT_TRACE_FILE names a path the Perfetto-compatible Chrome
+/// trace export is written there (CI uploads it as an artifact).
+void check_flight_decomposition(const std::vector<SweepOutcome>& curve,
+                                bfly::bench::BenchSession* session) {
+  const SweepOutcome* chosen = nullptr;
+  for (const SweepOutcome& o : curve) {
+    if (o.point.offered_load == 0.5 && !o.flight.empty()) chosen = &o;
+  }
+  if (chosen == nullptr) return;  // BFLY_OBS=OFF or full replay: nothing recorded
+  const obs::FlightRecorder& rec = chosen->flight;
+  u64 delivered = 0;
+  u64 total_wait = 0;
+  bool pass = true;
+  try {
+    for (const obs::FlightTrace& t : rec.traces()) {
+      if (t.outcome != obs::FlightOutcome::kDelivered) continue;
+      const obs::FlightDecomposition d = obs::decompose_flight(t, rec.n());
+      if (d.queue_wait + d.transit + d.detour != d.latency) pass = false;
+      ++delivered;
+      total_wait += d.queue_wait;
+    }
+  } catch (const std::exception&) {
+    pass = false;
+  }
+  if (delivered == 0) pass = false;
+  std::fprintf(stderr, "--- flight decomposition self-check (B_8, load 0.5, %zu traces) ---\n",
+               rec.traces().size());
+  std::fprintf(stderr, "%12s %12s %14s %8s\n", "delivered", "wait sum", "wait/packet", "pass");
+  std::fprintf(stderr, "%12llu %12llu %14.2f %8s\n\n",
+               static_cast<unsigned long long>(delivered),
+               static_cast<unsigned long long>(total_wait),
+               delivered > 0 ? static_cast<double>(total_wait) / static_cast<double>(delivered)
+                             : 0.0,
+               pass ? "yes" : "NO");
+  session->artifact("flight_decomposition_pass", pass ? 1.0 : 0.0);
+  session->flight(rec.to_json());
+  if (const char* path = std::getenv("BFLY_FLIGHT_TRACE_FILE")) {
+    if (path[0] != '\0') {
+      util::atomic_write_file(path, obs::flight_chrome_trace_json(rec.traces(), rec.rows()));
+    }
+  }
+}
+
+/// Flight-recorder tax on the serial single-core B_8 curve, same interleaved
+/// best-of protocol as print_timeseries_overhead.  The disabled bar is the
+/// acceptance criterion (< 1%): a null recorder costs one predictable branch
+/// per packet event, so two interleaved A/A runs of the disabled config
+/// bound the noise floor it hides under.  The enabled bar (64-trace budget)
+/// is the real collection cost.  Both machine-dependent and gate-ignored.
+std::pair<double, double> print_flight_overhead() {
+  std::fprintf(stderr,
+               "--- flight overhead: serial B_8 curve, recorder disabled / enabled ---\n");
+  using Clock = std::chrono::steady_clock;
+  const obs::ScopedRegistry scoped(nullptr);
+  const auto run_curve = [](bool flight) {
+    const auto t0 = Clock::now();
+    for (SweepPoint p : curve_points(8)) {
+      p.flight_budget = flight ? 64 : 0;
+      obs::FlightRecorder rec = make_flight_recorder(p);
+      const SaturationPoint r =
+          simulate_saturation(p.n, p.offered_load, p.cycles, p.seed, p.warmup_cycles,
+                              p.queue_capacity, nullptr, nullptr, nullptr,
+                              rec.enabled() ? &rec : nullptr);
+      benchmark::DoNotOptimize(r.delivered);
+      benchmark::DoNotOptimize(rec.packets_seen());
+    }
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+  };
+  run_curve(false);  // warm caches before timing
+  double disabled_a = 1e300;
+  double disabled_b = 1e300;
+  double enabled = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    disabled_a = std::min(disabled_a, run_curve(false));
+    enabled = std::min(enabled, run_curve(true));
+    disabled_b = std::min(disabled_b, run_curve(false));
+  }
+  const double disabled = std::min(disabled_a, disabled_b);
+  const double disabled_pct = std::abs(disabled_a - disabled_b) / disabled * 100.0;
+  const double enabled_pct = (enabled - disabled) / disabled * 100.0;
+  std::fprintf(stderr, "%14s %14s %14s %14s\n", "disabled (s)", "enabled (s)",
+               "disabled tax", "enabled tax");
+  std::fprintf(stderr, "%14.4f %14.4f %13.2f%% %+13.2f%%\n\n", disabled, enabled, disabled_pct,
+               enabled_pct);
+  return {disabled_pct, enabled_pct};
 }
 
 /// Telemetry tax on the serial single-core B_8 curve, interleaved best-of
@@ -273,8 +369,10 @@ int main(int argc, char** argv) {
   session.config("saturation_cycles", 4000);
   session.config("census_packets", 2'000'000);
   session.config("telemetry_budget", 128);
+  session.config("flight_budget", 64);
   const std::vector<SweepOutcome> curve = print_saturation_curve(8, &session);
   check_littles_law(curve, &session);
+  check_flight_decomposition(curve, &session);
   print_injection_scaling(&session);
   print_load_balance();
   print_congestion_table();
@@ -283,6 +381,9 @@ int main(int argc, char** argv) {
   const auto [ts_disabled_pct, ts_enabled_pct] = print_timeseries_overhead();
   session.artifact("timeseries_overhead_disabled_percent", ts_disabled_pct);
   session.artifact("timeseries_overhead_enabled_percent", ts_enabled_pct);
+  const auto [fl_disabled_pct, fl_enabled_pct] = print_flight_overhead();
+  session.artifact("flight_overhead_disabled_percent", fl_disabled_pct);
+  session.artifact("flight_overhead_enabled_percent", fl_enabled_pct);
   session.artifact_percentiles("routing.latency_cycles", "routing.latency_cycles");
   session.run_benchmarks(argc, argv);
   // Pool utilization gauges: idempotent last-write-wins snapshots of the

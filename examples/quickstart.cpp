@@ -14,7 +14,12 @@
 //   5. Attach cycle-resolved telemetry to one simulation: a deterministic
 //      time series (checked against Little's law L = λW) and a heatmap-over-
 //      time film strip (butterfly_heatmap_time.svg).
-//   6. Record the whole run with bfly::obs — every step above lands in the
+//   6. Flight-record a deterministically sampled packet subset: full hop
+//      sequences with exact latency decomposition (queue wait + transit +
+//      detour == latency), wire-length path attribution through the layout
+//      geometry, and a per-packet Chrome trace (butterfly_paths.trace.json —
+//      one Perfetto row per sampled packet).
+//   7. Record the whole run with bfly::obs — every step above lands in the
 //      installed registry, and the end of main() writes a structured JSON
 //      run report plus a Chrome trace (load quickstart.trace.json in
 //      https://ui.perfetto.dev to see the phase spans).
@@ -258,7 +263,60 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(occupancy.num_frames()));
   }
 
-  // --- 6. The run report ----------------------------------------------------
+  // --- 6. Packet flight recorder --------------------------------------------
+  // Re-run the same load-0.5 point with a flight recorder attached: a
+  // deterministic SplitMix64(seed ^ packet_id) sample of packets gets its
+  // full hop sequence recorded.  The sampled subset is a pure function of
+  // (seed, budget, expected packets), so it is bitwise identical across
+  // thread counts and checkpoint replay — exactly like the telemetry above.
+  SweepPoint flight_point;
+  flight_point.n = n;
+  flight_point.offered_load = 0.5;
+  flight_point.cycles = 600;
+  flight_point.seed = 7;
+  flight_point.warmup_cycles = 100;
+  flight_point.flight_budget = 32;
+  obs::FlightRecorder flights = make_flight_recorder(flight_point);
+  simulate_saturation(n, 0.5, 600, 7, 100, 0, nullptr, nullptr, nullptr, &flights);
+  if (!flights.empty()) {
+    std::printf("\nPacket flight recorder (load 0.5): %llu of %llu packets sampled\n",
+                static_cast<unsigned long long>(flights.traces().size()),
+                static_cast<unsigned long long>(flights.packets_seen()));
+    // Exact latency decomposition of the slowest sampled delivery, plus its
+    // physical path length through the Thompson layout (grid edge units).
+    const std::vector<i64> wire_lengths = link_wire_lengths(plan);
+    const obs::FlightTrace* slowest = nullptr;
+    u64 slowest_latency = 0;
+    for (const obs::FlightTrace& t : flights.traces()) {
+      if (t.outcome != obs::FlightOutcome::kDelivered) continue;
+      const u64 latency = t.end_cycle + 1 - t.injected_at;
+      if (slowest == nullptr || latency > slowest_latency) {
+        slowest = &t;
+        slowest_latency = latency;
+      }
+    }
+    if (slowest != nullptr) {
+      const obs::FlightDecomposition d = obs::decompose_flight(*slowest, n);
+      std::printf("  slowest sampled packet %llu (%llu -> %llu): latency %llu\n",
+                  static_cast<unsigned long long>(slowest->packet_id),
+                  static_cast<unsigned long long>(slowest->src),
+                  static_cast<unsigned long long>(slowest->dst),
+                  static_cast<unsigned long long>(d.latency));
+      std::printf("    = queue wait %llu + transit %llu + detour %llu (sums exactly)\n",
+                  static_cast<unsigned long long>(d.queue_wait),
+                  static_cast<unsigned long long>(d.transit),
+                  static_cast<unsigned long long>(d.detour));
+      std::printf("    wire length through the layout: %lld grid edges over %zu hops\n",
+                  static_cast<long long>(obs::flight_distance(*slowest, wire_lengths)),
+                  slowest->hops.size());
+    }
+    util::atomic_write_file("butterfly_paths.trace.json",
+                            obs::flight_chrome_trace_json(flights.traces(), sb.rows()));
+    std::printf("  wrote butterfly_paths.trace.json (per-packet spans; open in\n");
+    std::printf("        https://ui.perfetto.dev — also try: bflyreport paths quickstart.run.json)\n");
+  }
+
+  // --- 7. The run report ----------------------------------------------------
   obs::ReportOptions report;
   report.name = "quickstart";
   report.status = exec::to_string(sweep.status);
@@ -272,6 +330,7 @@ int main(int argc, char** argv) {
   // compiled out the series is empty and the report stays v1 — both parse
   // with obs::RunReport::parse / bflyreport.
   if (!series.empty()) report.timeseries = series.to_json();
+  if (!flights.empty()) report.flight = flights.to_json();
   {
     std::ostringstream out;
     obs::write_report_pretty(out, registry, report);

@@ -94,6 +94,7 @@ std::string sweep_point_key(const SweepPoint& point) {
   h.update(point.warmup_cycles);
   h.update(point.queue_capacity);
   h.update(point.telemetry_budget);
+  h.update(point.flight_budget);
   h.update(static_cast<u64>(static_cast<i64>(point.routing.misroute_budget)));
   h.update(static_cast<u64>(static_cast<i64>(point.routing.wrap_budget)));
   if (point.faults == nullptr) {
@@ -117,6 +118,11 @@ std::string encode_checkpoint_line(const std::string& key, const SweepOutcome& o
   // builds, where nothing was collected and nothing needs round-tripping.
   if (!outcome.timeseries.empty()) {
     out.set("timeseries", outcome.timeseries.to_json());
+  }
+  // Same contract for the flight recorder: persisted only when a sampled
+  // trace exists, so replay restores the exact recorder state.
+  if (!outcome.flight.empty()) {
+    out.set("flight", outcome.flight.to_json());
   }
   rec.set("outcome", std::move(out));
   return rec.dump();
@@ -144,6 +150,10 @@ CheckpointLoad load_checkpoint(const std::string& path) {
       // written by BFLY_OBS=OFF builds.
       if (const json::Value* ts = out.find("timeseries")) {
         outcome.timeseries = obs::TimeSeries::from_json(*ts);
+      }
+      // Optional (v3): absent unless the point sampled at least one packet.
+      if (const json::Value* fl = out.find("flight")) {
+        outcome.flight = obs::FlightRecorder::from_json(*fl);
       }
       load.outcomes[key] = outcome;
     } catch (const std::exception&) {

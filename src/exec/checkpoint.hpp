@@ -4,13 +4,16 @@
 // sweep point, appended durably (util::append_line_durable) the moment the
 // point finishes:
 //
-//   {"v": 2, "key": "<16 hex>",
-//    "outcome": {"point": {...}, "tally": {...}, "timeseries": {...}?}}
+//   {"v": 3, "key": "<16 hex>",
+//    "outcome": {"point": {...}, "tally": {...}, "timeseries": {...}?,
+//                "flight": {...}?}}
 //
-// The optional "timeseries" member (v2, present iff the point requested a
+// The optional "timeseries" member (v2+, present iff the point requested a
 // telemetry budget) carries the cycle-resolved samples, so a replayed point
 // restores its telemetry bitwise — the kill/resume identity in test_exec
-// covers the series too.
+// covers the series too.  The optional "flight" member (v3, present iff the
+// point requested a flight budget and any packet was sampled) carries the
+// per-packet hop traces under the same bitwise replay contract.
 //
 // The key is a *content hash* of the SweepPoint (every routing-relevant
 // field, including the full fault-set liveness map), not a grid index: a
@@ -41,16 +44,18 @@
 namespace bfly::exec {
 
 /// Checkpoint record schema version.  v2 added the optional outcome
-/// timeseries and folded telemetry_budget into the point key; v1 journals
-/// are skipped line-by-line on load (their points simply rerun), the same
-/// degradation as a torn line.
-inline constexpr u64 kCheckpointVersion = 2;
+/// timeseries and folded telemetry_budget into the point key; v3 added the
+/// optional flight-recorder payload and folded flight_budget into the key.
+/// Older journals are skipped line-by-line on load (their points simply
+/// rerun), the same degradation as a torn line.
+inline constexpr u64 kCheckpointVersion = 3;
 
 /// Content hash of `point` as 16 lowercase hex digits: FNV-1a over a
 /// version tag and every field that affects the outcome (n, offered_load
-/// bits, cycles, seed, warmup, queue capacity, telemetry budget, routing
-/// budgets, and the full fault liveness map when faults are attached).  Two
-/// points hash equal iff an engine run would be indistinguishable.
+/// bits, cycles, seed, warmup, queue capacity, telemetry budget, flight
+/// budget, routing budgets, and the full fault liveness map when faults are
+/// attached).  Two points hash equal iff an engine run would be
+/// indistinguishable.
 std::string sweep_point_key(const SweepPoint& point);
 
 /// One completed outcome as a single-line checkpoint record (no newline).

@@ -190,20 +190,27 @@ SweepRun run_sweep_resumable(std::span<const SweepPoint> points,
       // resumable runs match the plain sweep (and checkpoint replay) bitwise.
       obs::TimeSeries ts(std::max<u64>(p.telemetry_budget, 2));
       obs::TimeSeries* ts_ptr = p.telemetry_budget > 0 ? &ts : nullptr;
+      // Flight traces follow the same private-per-attempt convention as the
+      // timeseries; the shared make_flight_recorder derivation is what keeps
+      // the sampled subset identical to a plain saturation_sweep run.
+      obs::FlightRecorder flight = make_flight_recorder(p);
+      obs::FlightRecorder* flight_ptr = flight.enabled() ? &flight : nullptr;
       try {
         if (options.before_point) options.before_point(i, attempt);
         if (p.faults == nullptr) {
           outcome.point = simulate_saturation(p.n, p.offered_load, p.cycles, p.seed,
-                                              p.warmup_cycles, p.queue_capacity, token, ts_ptr);
+                                              p.warmup_cycles, p.queue_capacity, token, ts_ptr,
+                                              nullptr, flight_ptr);
         } else {
           const FaultSaturationPoint fsp = simulate_saturation_faulty(
               p.n, p.offered_load, p.cycles, p.seed, *p.faults, p.routing, p.warmup_cycles,
-              p.queue_capacity, token, ts_ptr);
+              p.queue_capacity, token, ts_ptr, nullptr, flight_ptr);
           outcome.point = fsp.point;
           outcome.tally = fsp.tally;
         }
         // The token may have tripped mid-simulation, leaving a partial (or
-        // even complete but indistinguishable) outcome: discard it.  The
+        // even complete but indistinguishable) outcome: discard it — flight
+        // traces included, so the journal never holds a torn trace.  The
         // point reruns on resume — cheap, and the only way to guarantee a
         // checkpoint never holds a truncated result.
         if (token->cancelled()) return;
@@ -223,6 +230,7 @@ SweepRun run_sweep_resumable(std::span<const SweepPoint> points,
         continue;
       }
       if (!ts.empty()) outcome.timeseries = std::move(ts);
+      if (!flight.empty()) outcome.flight = std::move(flight);
       run.outcomes[i] = outcome;
       run.completed[i] = 1;
       if (!options.checkpoint_path.empty() || options.after_checkpoint || sink.enabled()) {

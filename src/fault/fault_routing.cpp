@@ -208,7 +208,8 @@ FaultSaturationPoint simulate_saturation_faulty(int n, double offered_load, u64 
                                                 u64 warmup_cycles, u64 queue_capacity,
                                                 const CancelToken* cancel,
                                                 obs::TimeSeries* timeseries,
-                                                obs::OccupancyFrames* frames) {
+                                                obs::OccupancyFrames* frames,
+                                                obs::FlightRecorder* flight) {
   BFLY_REQUIRE(n >= 1 && n <= 30, "butterfly dimension must be in [1, 30]");
   BFLY_REQUIRE(offered_load >= 0.0 && offered_load <= 1.0, "offered load is a probability");
   BFLY_REQUIRE(faults.dimension() == n, "fault set dimension mismatch");
@@ -226,7 +227,10 @@ FaultSaturationPoint simulate_saturation_faulty(int n, double offered_load, u64 
   // *_reference oracle asserts bit-identical results.
   using Packet = PacketArena::Packet;
   const u64 links = static_cast<u64>(n) * rows * 2;
-  PacketArena arena(links, /*with_budgets=*/true);
+  // Per-packet flight tracing rides the arena's optional flight lane, grown
+  // only when a recorder is attached.
+  detail::FlightProbe fprobe(flight);
+  PacketArena arena(links, /*with_budgets=*/true, /*with_flight=*/fprobe.enabled());
   Xoshiro256 rng(seed);
   // Same cycle-resolved telemetry hooks (and the same cost contract) as the
   // pristine engine; see routing/telemetry_probe.hpp.
@@ -240,37 +244,44 @@ FaultSaturationPoint simulate_saturation_faulty(int n, double offered_load, u64 
   u64 in_flight = 0;
   double total_latency = 0.0;
 
-  const auto count_drop = [&](DropReason reason, bool measured) {
+  const auto count_drop = [&](DropReason reason, bool measured, u64 flight_handle,
+                              u64 cycle) {
     if (measured) ++tally.dropped[drop_index(reason)];
     // The telemetry drop channel is cumulative over *all* cycles (the tally
     // stays post-warmup-only), so warmup drops are visible in the series.
     probe.on_dropped();
+    fprobe.on_dropped(flight_handle, cycle, static_cast<u64>(drop_index(reason)));
   };
 
   // Picks the stage-`stage` output link for a packet at `row` and enqueues it
   // there, charging a misroute when the packet must deflect.  Returns false
-  // (after counting the drop) when the packet dies here instead.
-  const auto enqueue = [&](u64 row, int stage, Packet pkt, bool measured) -> bool {
+  // (after counting the drop) when the packet dies here instead.  `entry` is
+  // the flight-trace event for how the packet reached this node (inject,
+  // advance, wrap); a deflection overrides it with kMisroute.
+  const auto enqueue = [&](u64 row, int stage, Packet pkt, bool measured, u64 cycle,
+                           obs::FlightEvent entry) -> bool {
     const bool want = ((row ^ pkt.dst) >> stage) & 1;
     bool cross = want;
     if (!faults.link_alive(row, stage, want)) {
       if (!faults.link_alive(row, stage, !want)) {
-        count_drop(DropReason::kNoAliveLink, measured);
+        count_drop(DropReason::kNoAliveLink, measured, pkt.flight, cycle);
         return false;
       }
       if (pkt.misroutes >= static_cast<u32>(std::max(options.misroute_budget, 0))) {
-        count_drop(DropReason::kBudgetExhausted, measured);
+        count_drop(DropReason::kBudgetExhausted, measured, pkt.flight, cycle);
         return false;
       }
       ++pkt.misroutes;
       if (measured) ++tally.misroutes;
       cross = !want;
+      entry = obs::FlightEvent::kMisroute;
     }
     const u64 link = dense_link(rows, row, stage, cross);
     if (queue_capacity > 0 && arena.size(link) >= queue_capacity) {
-      count_drop(DropReason::kQueueFull, measured);
+      count_drop(DropReason::kQueueFull, measured, pkt.flight, cycle);
       return false;
     }
+    fprobe.on_push(pkt.flight, cycle, link, entry);
     arena.push(link, pkt);
     return true;
   };
@@ -306,10 +317,11 @@ FaultSaturationPoint simulate_saturation_faulty(int n, double offered_load, u64 
           if (faults.link_alive(next_row, s + 1, want)) {
             const u64 next_link = dense_link(rows, next_row, s + 1, want);
             if (queue_capacity > 0 && arena.size(next_link) >= queue_capacity) {
-              arena.pop(link);
-              count_drop(DropReason::kQueueFull, measured);
+              const Packet dead = arena.pop(link);
+              count_drop(DropReason::kQueueFull, measured, dead.flight, cycle);
               --in_flight;
             } else {
+              fprobe.on_advance(arena, link, cycle, next_link);
               arena.move_front(link, next_link);
             }
             return;
@@ -327,6 +339,7 @@ FaultSaturationPoint simulate_saturation_faulty(int n, double offered_load, u64 
               latency_hist.observe(latency);
             }
             probe.on_delivered(cycle, pkt.injected_at);
+            fprobe.on_delivered(pkt.flight, cycle);
           } else if (pkt.wraps < static_cast<u32>(std::max(options.wrap_budget, 0)) &&
                      faults.node_alive(next_row, 0)) {
             Packet w = pkt;
@@ -338,26 +351,30 @@ FaultSaturationPoint simulate_saturation_faulty(int n, double offered_load, u64 
             count_drop(pkt.wraps < static_cast<u32>(std::max(options.wrap_budget, 0))
                            ? DropReason::kNoAliveLink
                            : DropReason::kBudgetExhausted,
-                       measured);
+                       measured, pkt.flight, cycle);
           }
-        } else if (!enqueue(next_row, s + 1, pkt, measured)) {
+        } else if (!enqueue(next_row, s + 1, pkt, measured, cycle,
+                            obs::FlightEvent::kAdvance)) {
           --in_flight;
         }
       });
     }
     for (const auto& [row, pkt] : wrapped) {
-      if (!enqueue(row, 0, pkt, measured)) --in_flight;
+      if (!enqueue(row, 0, pkt, measured, cycle, obs::FlightEvent::kWrap)) --in_flight;
     }
     // Inject.
     u64 cycle_injections = 0;
     for (u64 row = 0; row < rows; ++row) {
       if (rng.uniform() < offered_load) {
-        const Packet pkt{rng.below(rows), cycle, 0, 0};
+        Packet pkt{rng.below(rows), cycle, 0, 0};
+        // Sample *before* the endpoint check so the packet-id stream matches
+        // the pristine engine's exactly under an empty FaultSet.
+        pkt.flight = fprobe.on_packet(cycle, row, pkt.dst);
         if (!faults.node_alive(row, 0) || !faults.node_alive(pkt.dst, n)) {
-          count_drop(DropReason::kEndpointDead, measured);
+          count_drop(DropReason::kEndpointDead, measured, pkt.flight, cycle);
           continue;
         }
-        if (enqueue(row, 0, pkt, measured)) {
+        if (enqueue(row, 0, pkt, measured, cycle, obs::FlightEvent::kInject)) {
           ++cycle_injections;
           if (measured) ++measured_injections;
         }

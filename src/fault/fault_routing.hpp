@@ -111,7 +111,11 @@ struct FaultSaturationPoint {
 /// bitwise unchanged.  Non-null `timeseries` / `frames` receive the same
 /// cycle-resolved telemetry as simulate_saturation (per-stage occupancy,
 /// in-flight, cumulative injected/delivered/dropped/latency, arena fill),
-/// deterministic and bit-unchanged when left null.
+/// deterministic and bit-unchanged when left null.  A non-null enabled
+/// `flight` records per-packet hop traces (inject/advance/misroute/wrap
+/// entries, deliver/drop terminals) for the deterministically sampled subset
+/// — with an empty FaultSet the recorded state is bitwise identical to the
+/// pristine engine's for the same parameters (the creation streams coincide).
 FaultSaturationPoint simulate_saturation_faulty(int n, double offered_load, u64 cycles,
                                                 u64 seed, const FaultSet& faults,
                                                 const FaultRoutingOptions& options = {},
@@ -119,7 +123,8 @@ FaultSaturationPoint simulate_saturation_faulty(int n, double offered_load, u64 
                                                 u64 queue_capacity = 0,
                                                 const CancelToken* cancel = nullptr,
                                                 obs::TimeSeries* timeseries = nullptr,
-                                                obs::OccupancyFrames* frames = nullptr);
+                                                obs::OccupancyFrames* frames = nullptr,
+                                                obs::FlightRecorder* flight = nullptr);
 
 /// BFS oracle on the faulted fabric (alive forward links plus stage-n ->
 /// stage-0 recirculation): out[d] != 0 iff (d, stage n) is reachable from

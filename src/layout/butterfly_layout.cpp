@@ -548,4 +548,24 @@ LayoutMetrics ButterflyLayoutPlan::metrics() const {
   return m;
 }
 
+std::vector<i64> link_wire_lengths(const ButterflyLayoutPlan& plan) {
+  const SwapButterfly& net = plan.network();
+  const u64 rows = net.rows();
+  std::vector<i64> lengths(static_cast<std::size_t>(net.num_links()), 0);
+  plan.for_each_wire([&](Wire&& wire) {
+    BFLY_CHECK(wire.from_node.has_value() && wire.to_node.has_value(),
+               "layout wire is not attached to nodes");
+    const int s = net.stage_of(*wire.from_node);
+    BFLY_CHECK(net.stage_of(*wire.to_node) == s + 1, "layout wire is not a stage link");
+    // Map both endpoints through the stage row maps: the dense id must be the
+    // one the *butterfly* simulators use, not the swap-butterfly labeling.
+    const u64 r1 = net.rho(s, net.row_of(*wire.from_node));
+    const u64 r2 = net.rho(s + 1, net.row_of(*wire.to_node));
+    const bool cross = r1 != r2;
+    const u64 link = (static_cast<u64>(s) * rows + r1) * 2 + (cross ? 1 : 0);
+    lengths[static_cast<std::size_t>(link)] = wire.length();
+  });
+  return lengths;
+}
+
 }  // namespace bfly

@@ -169,4 +169,14 @@ class ButterflyLayoutPlan {
   i64 l3_width_ = 0;
 };
 
+/// Physical wire length of every butterfly link of the laid-out network,
+/// indexed by the routing layer's dense link id
+/// (stage * rows + row) * 2 + cross, where `row` is the *butterfly* row of
+/// the link's stage-s endpoint (the plan's swap-butterfly rows are mapped
+/// through rho).  This is the bridge between the simulators' per-hop traces
+/// and the layout's geometry: feeding the table to obs::flight_distance
+/// prices a recorded packet journey in routing tracks actually traveled.
+/// Streams the wires (no geometry retained); O(num_links) memory.
+std::vector<i64> link_wire_lengths(const ButterflyLayoutPlan& plan);
+
 }  // namespace bfly

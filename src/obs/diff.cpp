@@ -113,6 +113,26 @@ FlatReport flatten(const RunReport& report, const DiffOptions& options) {
       flat.add(prefix + ".last", rows > 0 ? samples.at(rows - 1).at(c).as_double() : 0.0);
     }
   }
+  // v2 flight block: like telemetry, summarize — the per-trace hop sequences
+  // are exact replay state, but only the aggregate counts make stable diff
+  // keys.  All of these are deterministic per config, so exact-match rules
+  // apply cleanly.
+  if (const json::Value* fl = report.doc.find("flight")) {
+    const json::Value& traces = fl->at("traces");
+    double delivered = 0.0, dropped = 0.0, hops = 0.0;
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      const json::Value& t = traces.at(i);
+      const u64 outcome = t.at("outcome").as_u64();
+      if (outcome == 1) delivered += 1.0;
+      if (outcome == 2) dropped += 1.0;
+      hops += static_cast<double>(t.at("hops").size());
+    }
+    flat.add("flight.sampled", static_cast<double>(traces.size()));
+    flat.add("flight.packets_seen", fl->at("packets_seen").as_double());
+    flat.add("flight.delivered", delivered);
+    flat.add("flight.dropped", dropped);
+    flat.add("flight.hops", hops);
+  }
   return flat;
 }
 
@@ -219,6 +239,21 @@ RunReport RunReport::parse(std::string_view text) {
       if (!row.is_array() || row.size() != channels.size()) {
         bad_report("timeseries sample rows must have one value per channel");
       }
+    }
+  }
+
+  // The optional v2 flight block, validated to the shape flatten() reads;
+  // the strict per-hop checks live in FlightRecorder::from_json.
+  if (const json::Value* fl = report.doc.find("flight")) {
+    if (!fl->is_object()) bad_report("key 'flight' has the wrong type");
+    require_key(*fl, "budget", json::Value::Type::kNumber, "flight");
+    require_key(*fl, "packets_seen", json::Value::Type::kNumber, "flight");
+    const json::Value& traces = require_key(*fl, "traces", json::Value::Type::kArray, "flight");
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      const json::Value& t = traces.at(i);
+      if (!t.is_object()) bad_report("flight traces must be objects");
+      require_key(t, "outcome", json::Value::Type::kNumber, "flight trace");
+      require_key(t, "hops", json::Value::Type::kArray, "flight trace");
     }
   }
   return report;

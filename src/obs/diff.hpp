@@ -16,6 +16,9 @@
 //   timeseries.<channel>.mean / .last     per-channel summary (never the raw
 //                                         rows — those are cycle-indexed and
 //                                         incomparable across configs)
+//   flight.sampled / .packets_seen        v2 flight block summary: traces
+//   flight.delivered / .dropped / .hops   recorded, their outcomes, and total
+//                                         hops (all deterministic per config)
 //
 // Two reports are comparable only when their schema version, name, and
 // `config` object match — a delta between runs with different parameters is

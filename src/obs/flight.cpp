@@ -1,0 +1,363 @@
+#include "obs/flight.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.hpp"
+#include "util/prng.hpp"
+
+namespace bfly::obs {
+
+namespace {
+
+/// u64 <-> 16-digit hex, for the fields (seed, threshold) that need all 64
+/// bits — JSON numbers are doubles and only exact below 2^53.
+std::string hex16(u64 v) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+u64 parse_hex16(const std::string& s) {
+  BFLY_REQUIRE(!s.empty() && s.size() <= 16, "flight: hex field must be 1..16 digits");
+  u64 v = 0;
+  for (const char c : s) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      BFLY_REQUIRE(false, "flight: hex field has a non-hex digit");
+      digit = 0;  // unreachable
+    }
+    v = (v << 4) | static_cast<u64>(digit);
+  }
+  return v;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(u64 sample_budget, u64 seed, u64 expected_packets, int n,
+                               u64 rows)
+    : budget_(sample_budget), seed_(seed), n_(n), rows_(rows) {
+  if (budget_ == 0) return;
+  if (expected_packets == 0) {
+    threshold_ = ~u64{0};
+    return;
+  }
+  // Target ~4x the budget through the hash gate so the hard cap (first
+  // `budget` passers, a pure function of the stream prefix) does the final
+  // bounding, front-loaded deterministically instead of leaving the budget
+  // half-unused on short runs.
+  const double rate = 4.0 * static_cast<double>(budget_) / static_cast<double>(expected_packets);
+  threshold_ = rate >= 1.0 ? ~u64{0} : static_cast<u64>(rate * 0x1p64);
+}
+
+u64 FlightRecorder::on_packet(u64 cycle, u64 src, u64 dst) {
+  const u64 id = packets_seen_++;
+  if (budget_ == 0 || traces_.size() >= budget_) return 0;
+  if (SplitMix64(seed_ ^ id).next() > threshold_) return 0;
+  FlightTrace t;
+  t.packet_id = id;
+  t.src = src;
+  t.dst = dst;
+  t.injected_at = cycle;
+  traces_.push_back(std::move(t));
+  return traces_.size();
+}
+
+void FlightRecorder::on_hop(u64 handle, u64 cycle, u64 link, FlightEvent event) {
+  BFLY_CHECK(handle >= 1 && handle <= traces_.size(), "flight: bad trace handle");
+  FlightTrace& t = traces_[handle - 1];
+  BFLY_CHECK(t.outcome == FlightOutcome::kInFlight, "flight: hop on a terminated trace");
+  BFLY_CHECK(t.hops.empty() ? cycle >= t.injected_at : cycle > t.hops.back().cycle,
+             "flight: hop cycles must increase");
+  t.hops.push_back(FlightHop{cycle, link, event});
+}
+
+void FlightRecorder::on_delivered(u64 handle, u64 cycle) {
+  BFLY_CHECK(handle >= 1 && handle <= traces_.size(), "flight: bad trace handle");
+  FlightTrace& t = traces_[handle - 1];
+  BFLY_CHECK(t.outcome == FlightOutcome::kInFlight, "flight: double termination");
+  BFLY_CHECK(!t.hops.empty() && cycle > t.hops.back().cycle,
+             "flight: delivery must follow the last hop");
+  t.outcome = FlightOutcome::kDelivered;
+  t.end_cycle = cycle;
+}
+
+void FlightRecorder::on_dropped(u64 handle, u64 cycle, u64 drop_reason) {
+  BFLY_CHECK(handle >= 1 && handle <= traces_.size(), "flight: bad trace handle");
+  FlightTrace& t = traces_[handle - 1];
+  BFLY_CHECK(t.outcome == FlightOutcome::kInFlight, "flight: double termination");
+  BFLY_CHECK(t.hops.empty() || cycle > t.hops.back().cycle,
+             "flight: drop must follow the last hop");
+  t.outcome = FlightOutcome::kDropped;
+  t.end_cycle = cycle;
+  t.drop_reason = drop_reason;
+}
+
+json::Value FlightRecorder::to_json() const {
+  json::Value v = json::Value::object();
+  v.set("v", json::Value::number(1));
+  v.set("budget", json::Value::number(budget_));
+  v.set("seed", json::Value::string(hex16(seed_)));
+  v.set("threshold", json::Value::string(hex16(threshold_)));
+  v.set("n", json::Value::number(n_));
+  v.set("rows", json::Value::number(rows_));
+  v.set("packets_seen", json::Value::number(packets_seen_));
+  json::Value traces = json::Value::array();
+  for (const FlightTrace& t : traces_) {
+    json::Value tr = json::Value::object();
+    tr.set("id", json::Value::number(t.packet_id));
+    tr.set("src", json::Value::number(t.src));
+    tr.set("dst", json::Value::number(t.dst));
+    tr.set("injected_at", json::Value::number(t.injected_at));
+    tr.set("outcome", json::Value::number(static_cast<int>(t.outcome)));
+    tr.set("end_cycle", json::Value::number(t.end_cycle));
+    tr.set("drop_reason", json::Value::number(t.drop_reason));
+    json::Value hops = json::Value::array();
+    for (const FlightHop& h : t.hops) {
+      json::Value hop = json::Value::array();
+      hop.push_back(json::Value::number(h.cycle));
+      hop.push_back(json::Value::number(h.link));
+      hop.push_back(json::Value::number(static_cast<int>(h.event)));
+      hops.push_back(std::move(hop));
+    }
+    tr.set("hops", std::move(hops));
+    traces.push_back(std::move(tr));
+  }
+  v.set("traces", std::move(traces));
+  return v;
+}
+
+FlightRecorder FlightRecorder::from_json(const json::Value& v) {
+  BFLY_REQUIRE(v.is_object(), "flight: not an object");
+  BFLY_REQUIRE(v.at("v").as_u64() == 1, "flight: unknown format version");
+  FlightRecorder r;
+  r.budget_ = v.at("budget").as_u64();
+  r.seed_ = parse_hex16(v.at("seed").as_string());
+  r.threshold_ = parse_hex16(v.at("threshold").as_string());
+  const u64 n = v.at("n").as_u64();
+  BFLY_REQUIRE(n <= 30, "flight: dimension out of range");
+  r.n_ = static_cast<int>(n);
+  r.rows_ = v.at("rows").as_u64();
+  r.packets_seen_ = v.at("packets_seen").as_u64();
+  const json::Value& traces = v.at("traces");
+  BFLY_REQUIRE(traces.is_array(), "flight: traces must be an array");
+  BFLY_REQUIRE(traces.size() <= r.budget_, "flight: more traces than the budget admits");
+  r.traces_.reserve(traces.size());
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    const json::Value& tr = traces.at(i);
+    BFLY_REQUIRE(tr.is_object(), "flight: trace must be an object");
+    FlightTrace t;
+    t.packet_id = tr.at("id").as_u64();
+    t.src = tr.at("src").as_u64();
+    t.dst = tr.at("dst").as_u64();
+    t.injected_at = tr.at("injected_at").as_u64();
+    const u64 outcome = tr.at("outcome").as_u64();
+    BFLY_REQUIRE(outcome <= 2, "flight: bad outcome code");
+    t.outcome = static_cast<FlightOutcome>(outcome);
+    t.end_cycle = tr.at("end_cycle").as_u64();
+    t.drop_reason = tr.at("drop_reason").as_u64();
+    BFLY_REQUIRE(t.outcome != FlightOutcome::kDropped || t.drop_reason <= kFlightDropQueueFull,
+                 "flight: bad drop reason code");
+    const json::Value& hops = tr.at("hops");
+    BFLY_REQUIRE(hops.is_array(), "flight: hops must be an array");
+    t.hops.reserve(hops.size());
+    for (std::size_t hi = 0; hi < hops.size(); ++hi) {
+      const json::Value& hop = hops.at(hi);
+      BFLY_REQUIRE(hop.is_array() && hop.size() == 3, "flight: hop must be [cycle, link, event]");
+      FlightHop h;
+      h.cycle = hop.at(std::size_t{0}).as_u64();
+      h.link = hop.at(std::size_t{1}).as_u64();
+      const u64 ev = hop.at(std::size_t{2}).as_u64();
+      BFLY_REQUIRE(ev <= 3, "flight: bad hop event code");
+      h.event = static_cast<FlightEvent>(ev);
+      BFLY_REQUIRE(t.hops.empty() ? h.cycle >= t.injected_at : h.cycle > t.hops.back().cycle,
+                   "flight: hop cycles must increase");
+      t.hops.push_back(h);
+    }
+    BFLY_REQUIRE(t.outcome == FlightOutcome::kInFlight || t.hops.empty() ||
+                     t.end_cycle > t.hops.back().cycle,
+                 "flight: termination must follow the last hop");
+    r.traces_.push_back(std::move(t));
+  }
+  return r;
+}
+
+bool operator==(const FlightRecorder& a, const FlightRecorder& b) {
+  if (a.budget_ != b.budget_ || a.seed_ != b.seed_ || a.threshold_ != b.threshold_ ||
+      a.n_ != b.n_ || a.rows_ != b.rows_ || a.packets_seen_ != b.packets_seen_ ||
+      a.traces_.size() != b.traces_.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.traces_.size(); ++i) {
+    const FlightTrace& x = a.traces_[i];
+    const FlightTrace& y = b.traces_[i];
+    if (x.packet_id != y.packet_id || x.src != y.src || x.dst != y.dst ||
+        x.injected_at != y.injected_at || x.outcome != y.outcome ||
+        x.end_cycle != y.end_cycle || x.drop_reason != y.drop_reason ||
+        x.hops.size() != y.hops.size()) {
+      return false;
+    }
+    for (std::size_t h = 0; h < x.hops.size(); ++h) {
+      if (x.hops[h].cycle != y.hops[h].cycle || x.hops[h].link != y.hops[h].link ||
+          x.hops[h].event != y.hops[h].event) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<u64> flight_hop_waits(const FlightTrace& trace) {
+  std::vector<u64> waits;
+  if (trace.hops.empty()) return waits;
+  // A hop's wait is known once its departure cycle is: the next hop's entry,
+  // or the terminal cycle for the last hop of a terminated trace.
+  const std::size_t known = trace.outcome == FlightOutcome::kInFlight ? trace.hops.size() - 1
+                                                                      : trace.hops.size();
+  waits.reserve(known);
+  for (std::size_t i = 0; i < known; ++i) {
+    const u64 enter = trace.hops[i].cycle;
+    const u64 depart = i + 1 < trace.hops.size() ? trace.hops[i + 1].cycle : trace.end_cycle;
+    BFLY_CHECK(depart > enter, "flight: hop departure must follow its entry");
+    waits.push_back(depart - enter - 1);
+  }
+  return waits;
+}
+
+FlightDecomposition decompose_flight(const FlightTrace& trace, int n) {
+  BFLY_REQUIRE(n >= 1, "butterfly dimension must be >= 1");
+  BFLY_REQUIRE(trace.outcome == FlightOutcome::kDelivered,
+               "decomposition is defined for delivered traces");
+  const u64 stages = static_cast<u64>(n);
+  const u64 h = trace.hops.size();
+  // Every pass through the fabric is exactly n hops (misroutes deflect but
+  // still advance a stage), so a delivered trace's hop count is a positive
+  // multiple of n.
+  BFLY_REQUIRE(h >= stages && h % stages == 0,
+               "a delivered trace traverses n hops per pass");
+  FlightDecomposition d;
+  d.latency = trace.end_cycle + 1 - trace.injected_at;
+  d.transit = stages + 1;
+  d.detour = h - stages;
+  u64 wait_sum = 0;
+  for (const u64 w : flight_hop_waits(trace)) wait_sum += w;
+  d.queue_wait = wait_sum;
+  // The invariant this module promises: recomputing the wait from the hop
+  // cycles must land exactly on latency - transit - detour.  A recorder bug
+  // (missed hop, skewed cycle) fails here instead of decomposing plausibly.
+  BFLY_CHECK(d.queue_wait + d.transit + d.detour == d.latency,
+             "flight decomposition must sum exactly to the end-to-end latency");
+  return d;
+}
+
+FlightBlame flight_blame(std::span<const FlightTrace> traces, int n, u64 rows) {
+  BFLY_REQUIRE(n >= 1, "butterfly dimension must be >= 1");
+  BFLY_REQUIRE(rows >= 1, "rows must be >= 1");
+  struct Acc {
+    u64 visits = 0;
+    u64 wait_sum = 0;
+    std::vector<u64> waits;
+  };
+  std::map<u64, Acc> by_link;  // ordered: deterministic iteration
+  FlightBlame blame;
+  blame.stage_wait_sum.assign(static_cast<std::size_t>(n), 0);
+  blame.stage_visits.assign(static_cast<std::size_t>(n), 0);
+  for (const FlightTrace& t : traces) {
+    const std::vector<u64> waits = flight_hop_waits(t);
+    for (std::size_t i = 0; i < waits.size(); ++i) {
+      const u64 link = t.hops[i].link;
+      Acc& acc = by_link[link];
+      ++acc.visits;
+      acc.wait_sum += waits[i];
+      acc.waits.push_back(waits[i]);
+      const u64 stage = link / (rows * 2);
+      BFLY_CHECK(stage < static_cast<u64>(n), "flight: hop link outside the fabric");
+      ++blame.stage_visits[static_cast<std::size_t>(stage)];
+      blame.stage_wait_sum[static_cast<std::size_t>(stage)] += waits[i];
+    }
+  }
+  blame.links.reserve(by_link.size());
+  for (auto& [link, acc] : by_link) {
+    std::sort(acc.waits.begin(), acc.waits.end());
+    LinkBlame lb;
+    lb.link = link;
+    lb.stage = static_cast<int>(link / (rows * 2));
+    lb.visits = acc.visits;
+    lb.wait_sum = acc.wait_sum;
+    lb.wait_max = acc.waits.back();
+    // Nearest-rank p99: the ceil(0.99 * count)-th smallest (1-based).
+    const std::size_t count = acc.waits.size();
+    const std::size_t rank = (99 * count + 99) / 100;  // ceil(0.99 * count)
+    lb.wait_p99 = acc.waits[rank - 1];
+    blame.links.push_back(lb);
+  }
+  std::sort(blame.links.begin(), blame.links.end(), [](const LinkBlame& a, const LinkBlame& b) {
+    if (a.wait_sum != b.wait_sum) return a.wait_sum > b.wait_sum;
+    return a.link < b.link;
+  });
+  return blame;
+}
+
+i64 flight_distance(const FlightTrace& trace, std::span<const i64> link_lengths) {
+  i64 total = 0;
+  for (const FlightHop& h : trace.hops) {
+    BFLY_REQUIRE(h.link < link_lengths.size(), "flight: hop link outside the length table");
+    total += link_lengths[static_cast<std::size_t>(h.link)];
+  }
+  return total;
+}
+
+std::string flight_chrome_trace_json(std::span<const FlightTrace> traces, u64 rows) {
+  static constexpr const char* kEventNames[] = {"inject", "advance", "misroute", "wrap"};
+  json::Value events = json::Value::array();
+  for (const FlightTrace& t : traces) {
+    const std::vector<u64> waits = flight_hop_waits(t);
+    for (std::size_t i = 0; i < waits.size(); ++i) {
+      const FlightHop& h = t.hops[i];
+      const u64 depart = i + 1 < t.hops.size() ? t.hops[i + 1].cycle : t.end_cycle;
+      json::Value e = json::Value::object();
+      std::string name = kEventNames[static_cast<int>(h.event)];
+      if (rows > 0) name = "stage" + std::to_string(h.link / (rows * 2)) + " " + name;
+      e.set("name", json::Value::string(std::move(name)));
+      e.set("cat", json::Value::string("bfly.flight"));
+      e.set("ph", json::Value::string("X"));
+      e.set("ts", json::Value::number(h.cycle));
+      e.set("dur", json::Value::number(depart - h.cycle));
+      e.set("pid", json::Value::number(1));
+      e.set("tid", json::Value::number(t.packet_id));
+      json::Value args = json::Value::object();
+      args.set("link", json::Value::number(h.link));
+      args.set("wait", json::Value::number(waits[i]));
+      e.set("args", std::move(args));
+      events.push_back(std::move(e));
+    }
+    if (t.outcome != FlightOutcome::kInFlight) {
+      json::Value e = json::Value::object();
+      e.set("name", json::Value::string(
+                        t.outcome == FlightOutcome::kDelivered
+                            ? std::string("deliver")
+                            : "drop reason " + std::to_string(t.drop_reason)));
+      e.set("cat", json::Value::string("bfly.flight"));
+      e.set("ph", json::Value::string("i"));
+      e.set("ts", json::Value::number(t.end_cycle));
+      e.set("s", json::Value::string("t"));
+      e.set("pid", json::Value::number(1));
+      e.set("tid", json::Value::number(t.packet_id));
+      events.push_back(std::move(e));
+    }
+  }
+  json::Value doc = json::Value::object();
+  doc.set("traceEvents", std::move(events));
+  doc.set("displayTimeUnit", json::Value::string("ms"));
+  return doc.dump();
+}
+
+}  // namespace bfly::obs

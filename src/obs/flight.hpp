@@ -1,0 +1,198 @@
+// Packet flight recorder: deterministic per-packet hop tracing for the
+// saturation engines, plus the analytics built on the recorded journeys.
+//
+// A FlightRecorder stores, for a *sampled* subset of packets, the full hop
+// sequence — (cycle, link, event) for inject / advance / misroute / wrap —
+// and the terminal outcome (deliver or drop with reason).  The determinism
+// contract mirrors obs::TimeSeries:
+//
+//   * Sampling is a pure function of packet identity.  Packets are numbered
+//     0, 1, 2, ... in creation order (the engines are single-threaded per
+//     point, so the stream is well defined), and packet `id` is admitted iff
+//     SplitMix64(seed ^ id) falls under a fixed threshold — no wall clock, no
+//     extra RNG draws, no thread-count dependence.  The admitted set is
+//     therefore bitwise identical across sweep thread counts, across
+//     checkpoint kill/resume replay, and between the pristine engine and the
+//     faulty engine on an empty FaultSet (their creation streams coincide).
+//   * Memory is bounded.  At most `sample_budget` packets are ever admitted
+//     (the first `sample_budget` hash-passers — still a pure function of the
+//     stream prefix), and each trace holds one small record per hop.
+//
+// The decomposition invariant (decompose_flight): for a delivered packet
+// with h recorded hops in a dimension-n butterfly,
+//
+//     latency = end_cycle + 1 - injected_at            (the engines' metric)
+//     queue_wait = sum of per-hop waits = latency - (h + 1)
+//     transit    = n + 1                               (minimal journey)
+//     detour     = h - n                               (n extra hops per wrap)
+//
+// and queue_wait + transit + detour == latency holds *exactly* (u64
+// arithmetic, no epsilon) — decompose_flight recomputes queue_wait from the
+// recorded hop cycles and throws InternalError if the books don't balance.
+//
+// Physical-path attribution: flight_distance() maps each hop's link index
+// through a caller-supplied wire-length table (see layout's
+// link_wire_lengths()) to the packet's total distance traveled in routing
+// tracks.  This file stays below the layout/routing layers, so the table is
+// passed as a plain span.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "util/bits.hpp"
+
+namespace bfly::obs {
+
+/// How a packet entered the link queue of one hop.
+enum class FlightEvent : int {
+  kInject = 0,    ///< fresh injection at stage 0
+  kAdvance = 1,   ///< normal forward hop onto the wanted link
+  kMisroute = 2,  ///< forward hop deflected onto the unwanted link
+  kWrap = 3,      ///< re-entry at stage 0 after missing delivery
+};
+
+/// Terminal state of a trace.
+enum class FlightOutcome : int {
+  kInFlight = 0,   ///< still resident when the run ended
+  kDelivered = 1,
+  kDropped = 2,
+};
+
+/// Drop reason codes; values match fault::drop_index(DropReason) so traces
+/// and FaultTally agree without obs depending on the fault layer.
+inline constexpr u64 kFlightDropEndpointDead = 0;
+inline constexpr u64 kFlightDropNoAliveLink = 1;
+inline constexpr u64 kFlightDropBudgetExhausted = 2;
+inline constexpr u64 kFlightDropQueueFull = 3;
+
+/// One hop: the packet entered `link`'s FIFO during `cycle` via `event`.
+struct FlightHop {
+  u64 cycle = 0;
+  u64 link = 0;  ///< dense link index, same layout as routing's link_index()
+  FlightEvent event = FlightEvent::kInject;
+};
+
+/// The full recorded journey of one sampled packet.
+struct FlightTrace {
+  u64 packet_id = 0;    ///< creation-order index within the run
+  u64 src = 0;          ///< injection row
+  u64 dst = 0;          ///< destination row
+  u64 injected_at = 0;  ///< creation cycle
+  std::vector<FlightHop> hops;
+  FlightOutcome outcome = FlightOutcome::kInFlight;
+  u64 end_cycle = 0;    ///< delivery/drop cycle (when outcome != kInFlight)
+  u64 drop_reason = 0;  ///< kFlightDrop* code (when outcome == kDropped)
+};
+
+/// The per-run sample store the engines record into (via
+/// detail::FlightProbe).  Default-constructed recorders are disabled
+/// (budget 0) and never admit a packet.
+class FlightRecorder {
+ public:
+  /// `expected_packets` sizes the admission threshold: the hash gate targets
+  /// ~4x the budget so the hard cap (first `sample_budget` passers) binds
+  /// deterministically instead of the tail of the run going unsampled.
+  /// `n`/`rows` describe the butterfly the traces come from; they ride along
+  /// so the analytics and `bflyreport paths` are self-contained.
+  explicit FlightRecorder(u64 sample_budget = 0, u64 seed = 0, u64 expected_packets = 0,
+                          int n = 0, u64 rows = 0);
+
+  bool enabled() const { return budget_ > 0; }
+  bool empty() const { return traces_.empty(); }
+
+  // --- engine hooks (single-threaded; see detail::FlightProbe) -------------
+
+  /// Called once per created packet, in creation order.  Returns the trace
+  /// handle (index + 1) when the packet is sampled, 0 otherwise.
+  u64 on_packet(u64 cycle, u64 src, u64 dst);
+  /// Records one hop on a sampled packet (handle != 0 required).
+  void on_hop(u64 handle, u64 cycle, u64 link, FlightEvent event);
+  void on_delivered(u64 handle, u64 cycle);
+  void on_dropped(u64 handle, u64 cycle, u64 drop_reason);
+
+  // --- accessors ------------------------------------------------------------
+
+  u64 sample_budget() const { return budget_; }
+  u64 seed() const { return seed_; }
+  u64 threshold() const { return threshold_; }
+  int n() const { return n_; }
+  u64 rows() const { return rows_; }
+  /// Total packets presented to on_packet (sampled or not).
+  u64 packets_seen() const { return packets_seen_; }
+  const std::vector<FlightTrace>& traces() const { return traces_; }
+
+  /// Stable JSON encoding (the checkpoint journal's v3 `flight` payload and
+  /// the run report's optional `flight` block).  Cycles, links, and ids are
+  /// all < 2^53, so the double-backed JSON numbers are exact; the threshold
+  /// is a full u64 and is carried as a 16-digit hex string.
+  json::Value to_json() const;
+  /// Strictly validating decoder; throws InvalidArgument on any shape or
+  /// range violation (hop arity, event/outcome codes, non-increasing hop
+  /// cycles, traces over budget).
+  static FlightRecorder from_json(const json::Value& v);
+
+  /// Exact equality: configuration, packet counter, and every trace field of
+  /// every hop — the replay-identity contract (all integers, so bitwise).
+  friend bool operator==(const FlightRecorder& a, const FlightRecorder& b);
+
+ private:
+  u64 budget_ = 0;
+  u64 seed_ = 0;
+  u64 threshold_ = 0;  ///< admit iff SplitMix64(seed ^ id) <= threshold
+  int n_ = 0;
+  u64 rows_ = 0;
+  u64 packets_seen_ = 0;
+  std::vector<FlightTrace> traces_;
+};
+
+/// Latency decomposition of one delivered trace (see file comment).  The
+/// three parts sum exactly to `latency` — recomputed from the hop cycles and
+/// checked, so inconsistent traces throw instead of decomposing plausibly.
+struct FlightDecomposition {
+  u64 latency = 0;
+  u64 queue_wait = 0;  ///< cycles spent waiting behind other packets
+  u64 transit = 0;     ///< n + 1: the congestion-free minimum
+  u64 detour = 0;      ///< h - n: extra hops from wraps (n per wrap)
+};
+FlightDecomposition decompose_flight(const FlightTrace& trace, int n);
+
+/// Per-hop queue waits (cycles spent in each link's FIFO beyond the one
+/// cycle the hop itself takes).  Terminated traces yield one wait per hop;
+/// in-flight traces omit the last hop (its departure is unknown).
+std::vector<u64> flight_hop_waits(const FlightTrace& trace);
+
+/// Wait/visit aggregation over a sampled set: which links and stages soak up
+/// the queueing.  `rows` maps links to stages (stage = link / (2 * rows)).
+struct LinkBlame {
+  u64 link = 0;
+  int stage = 0;
+  u64 visits = 0;
+  u64 wait_sum = 0;
+  u64 wait_max = 0;
+  u64 wait_p99 = 0;  ///< 99th-percentile per-visit wait (exact order statistic)
+};
+struct FlightBlame {
+  std::vector<LinkBlame> links;  ///< visited links, heaviest wait_sum first
+  std::vector<u64> stage_wait_sum;
+  std::vector<u64> stage_visits;
+};
+FlightBlame flight_blame(std::span<const FlightTrace> traces, int n, u64 rows);
+
+/// Distance traveled in routing tracks: the sum of `link_lengths[hop.link]`
+/// over the trace's hops.  `link_lengths` is indexed by dense link id (see
+/// layout's link_wire_lengths()).
+i64 flight_distance(const FlightTrace& trace, std::span<const i64> link_lengths);
+
+/// Chrome trace-event JSON ("JSON Object Format", the same document shape as
+/// obs::chrome_trace_json) with one track (tid) per sampled packet: each hop
+/// becomes a complete 'X' slice whose ts/dur are in cycle units, and the
+/// terminal deliver/drop becomes an instant event.  Opens directly in
+/// https://ui.perfetto.dev.  `rows` (optional, 0 = unknown) adds the stage to
+/// each slice name.
+std::string flight_chrome_trace_json(std::span<const FlightTrace> traces, u64 rows = 0);
+
+}  // namespace bfly::obs

@@ -84,8 +84,12 @@ json::Value build_run_report(const Registry& registry, const ReportOptions& opti
 
   json::Value report = json::Value::object();
   // Reports without telemetry stay at version 1 so v1-only consumers keep
-  // working; the optional "timeseries" block is the only v2 addition.
-  report.set("schema_version", json::Value::number(options.timeseries.is_null() ? 1 : 2));
+  // working; the optional "timeseries" and "flight" blocks are the only v2
+  // additions (both optional, so v2 consumers tolerate either's absence).
+  report.set("schema_version", json::Value::number(
+                                   options.timeseries.is_null() && options.flight.is_null()
+                                       ? 1
+                                       : 2));
   report.set("name", json::Value::string(options.name));
   report.set("run_id", json::Value::string(make_run_id()));
   report.set("git_describe", json::Value::string(git_describe()));
@@ -98,6 +102,9 @@ json::Value build_run_report(const Registry& registry, const ReportOptions& opti
   report.set("artifact_stats", options.artifact_stats);
   if (!options.timeseries.is_null()) {
     report.set("timeseries", options.timeseries);
+  }
+  if (!options.flight.is_null()) {
+    report.set("flight", options.flight);
   }
   return report;
 }

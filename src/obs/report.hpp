@@ -20,15 +20,18 @@
 //     },
 //     "spans":        [ { "name", "count", "total_us", "max_us" }, ... ],
 //     "artifact_stats": { ... caller-provided measured artifact facts ... },
-//     "timeseries":   { ... optional cycle-resolved telemetry block ... }
+//     "timeseries":   { ... optional cycle-resolved telemetry block ... },
+//     "flight":       { ... optional per-packet flight-recorder block ... }
 //   }
 //
 // Version 2 (current) added the optional "timeseries" block — the
 // TimeSeries::to_json() encoding of one representative sweep point's
-// cycle-resolved samples (obs/timeseries.hpp).  A report without an attached
-// series is emitted as version 1, so v1-only consumers keep parsing every
+// cycle-resolved samples (obs/timeseries.hpp) — and the optional "flight"
+// block, the FlightRecorder::to_json() encoding of one representative
+// point's per-packet hop traces (obs/flight.hpp).  A report carrying
+// neither is emitted as version 1, so v1-only consumers keep parsing every
 // report that carries nothing new; RunReport::parse (obs/diff.hpp) accepts
-// both versions and tolerates an absent block.
+// both versions and tolerates absent blocks.
 //
 // Spans are aggregated per name (sorted by name) so a report stays one
 // comparable line even when a bench loop executes a phase 10^5 times; the
@@ -76,6 +79,10 @@ struct ReportOptions {
   /// (the default) keeps the report at schema version 1; attaching a block
   /// bumps the emitted version to 2.
   json::Value timeseries = json::Value();
+  /// Optional per-packet flight-recorder block (FlightRecorder::to_json()).
+  /// Same versioning rule as `timeseries`: null stays v1-compatible,
+  /// attaching bumps the emitted version to 2.
+  json::Value flight = json::Value();
 };
 
 /// The `git describe --always --dirty --tags` of the source tree, captured

@@ -36,21 +36,26 @@ class PacketArena {
  public:
   /// One in-flight packet.  misroutes/wraps are stored only when the arena
   /// was built with_budgets (the fault simulator); the pristine simulator
-  /// reads them back as 0.
+  /// reads them back as 0.  `flight` is the packet's flight-recorder handle
+  /// (0 = unsampled), stored only when built with_flight — it rides the same
+  /// optional-lane scheme as the budgets, so runs without a recorder pay
+  /// nothing for it.
   struct Packet {
     u64 dst = 0;
     u64 injected_at = 0;
     u32 misroutes = 0;
     u32 wraps = 0;
+    u64 flight = 0;
   };
 
   static constexpr u32 kNil = ~u32{0};
 
   /// An empty arena over `links` FIFOs.  `initial_slots` preallocates packet
   /// capacity; the arena grows geometrically (amortized) beyond it.
-  explicit PacketArena(u64 links, bool with_budgets = false,
+  explicit PacketArena(u64 links, bool with_budgets = false, bool with_flight = false,
                        std::size_t initial_slots = 4096)
-      : with_budgets_(with_budgets), q_(links), occupied_((links + 63) / 64, 0) {
+      : with_budgets_(with_budgets), with_flight_(with_flight), q_(links),
+        occupied_((links + 63) / 64, 0) {
     grow(initial_slots);
   }
 
@@ -65,6 +70,7 @@ class PacketArena {
     if (with_budgets_) {
       budgets_[slot] = static_cast<u64>(p.misroutes) | (static_cast<u64>(p.wraps) << 32);
     }
+    if (with_flight_) flight_[slot] = p.flight;
     next_[slot] = kNil;
     LinkQ& q = q_[link];
     if (q.tail == kNil) {
@@ -81,6 +87,13 @@ class PacketArena {
   /// simulators pick the output link before deciding between pop (delivery,
   /// drop, budget mutation) and the payload-invariant move_front fast path.
   u64 front_dst(u64 link) const { return payload_[q_[link].head].dst; }
+
+  /// Flight-recorder handle of the front packet on `link` (must be
+  /// non-empty); 0 on arenas built without the flight lane, matching the
+  /// "unsampled" convention.
+  u64 front_flight(u64 link) const {
+    return with_flight_ ? flight_[q_[link].head] : 0;
+  }
 
   /// Relinks the front slot of `from` (must be non-empty) onto the back of
   /// `to` without touching the payload or the free list.  A normal hop leaves
@@ -123,6 +136,7 @@ class PacketArena {
       p.misroutes = static_cast<u32>(b);
       p.wraps = static_cast<u32>(b >> 32);
     }
+    if (with_flight_) p.flight = flight_[slot];
     const u32 n = next_[slot];
     q.head = n;
     if (n == kNil) {
@@ -208,6 +222,7 @@ class PacketArena {
     BFLY_CHECK(grown < static_cast<std::size_t>(kNil), "packet arena slot space exhausted");
     payload_.resize(grown);
     if (with_budgets_) budgets_.resize(grown);
+    if (with_flight_) flight_.resize(grown);
     next_.resize(grown);
     // Chain the new slots onto the free list, lowest index at the head.
     for (std::size_t s = grown; s-- > old;) {
@@ -217,9 +232,11 @@ class PacketArena {
   }
 
   bool with_budgets_;
+  bool with_flight_;
   // Packet lanes (indexed by slot).
   std::vector<Payload> payload_;
   std::vector<u64> budgets_;  ///< misroutes | wraps << 32, with_budgets only
+  std::vector<u64> flight_;   ///< flight-recorder handle, with_flight only
   std::vector<u32> next_;     ///< FIFO successor, or free-list successor
   // Per-link FIFO state (indexed by dense link id).
   std::vector<LinkQ> q_;

@@ -188,7 +188,8 @@ SaturationPoint simulate_saturation(int n, double offered_load, u64 cycles, u64 
                                     u64 warmup_cycles, u64 queue_capacity,
                                     const CancelToken* cancel,
                                     obs::TimeSeries* timeseries,
-                                    obs::OccupancyFrames* frames) {
+                                    obs::OccupancyFrames* frames,
+                                    obs::FlightRecorder* flight) {
   BFLY_REQUIRE(n >= 1 && n <= 30, "butterfly dimension must be in [1, 30]");
   BFLY_REQUIRE(offered_load >= 0.0 && offered_load <= 1.0, "offered load is a probability");
   BFLY_TRACE_SCOPE("routing.simulate_saturation");
@@ -208,10 +209,14 @@ SaturationPoint simulate_saturation(int n, double offered_load, u64 cycles, u64 
   obs::LocalHistogram depth_hist(obs::get_histogram(
       "routing.queue_depth", obs::Histogram::exponential_bounds(1, 2, 24)));
 
+  // Per-packet flight tracing: the arena grows its flight-handle lane only
+  // when a recorder is attached, so the disabled path is byte-for-byte the
+  // pre-flight arena layout.
+  detail::FlightProbe fprobe(flight);
   // Per-link FIFOs live in the flat slot arena: same push_back/pop_front
   // semantics as the seed's per-link deques (the *_reference oracle), zero
   // per-cycle heap traffic.
-  PacketArena arena(links);
+  PacketArena arena(links, /*with_budgets=*/false, /*with_flight=*/fprobe.enabled());
   Xoshiro256 rng(seed);
   // Cycle-resolved telemetry: every hook below is a no-op branch when both
   // sinks are null (the default) and compiles out entirely without BFLY_OBS.
@@ -224,15 +229,18 @@ SaturationPoint simulate_saturation(int n, double offered_load, u64 cycles, u64 
   double total_latency = 0.0;
 
   // Returns false when the packet is dropped (bounded-queue mode only).
-  const auto enqueue = [&](u64 row, int stage, u64 dst, u64 injected_at, bool measured) {
+  const auto enqueue = [&](u64 row, int stage, u64 dst, u64 injected_at, bool measured,
+                           u64 flight_handle) {
     const bool cross = ((row ^ dst) >> stage) & 1;
     const u64 link = (static_cast<u64>(stage) * rows + row) * 2 + (cross ? 1 : 0);
     if (queue_capacity > 0 && arena.size(link) >= queue_capacity) {
       if (measured) ++result.dropped_queue_full;
       probe.on_dropped();
+      fprobe.on_dropped(flight_handle, injected_at, obs::kFlightDropQueueFull);
       return false;
     }
-    arena.push(link, {dst, injected_at, 0, 0});
+    fprobe.on_push(flight_handle, injected_at, link, obs::FlightEvent::kInject);
+    arena.push(link, {dst, injected_at, 0, 0, flight_handle});
     return true;
   };
 
@@ -264,6 +272,7 @@ SaturationPoint simulate_saturation(int n, double offered_load, u64 cycles, u64 
             latency_hist.observe(latency);
           }
           probe.on_delivered(cycle, pkt.injected_at);
+          fprobe.on_delivered(pkt.flight, cycle);
           return;
         }
         // Intermediate hop: the payload is invariant, so relink the slot onto
@@ -273,20 +282,26 @@ SaturationPoint simulate_saturation(int n, double offered_load, u64 cycles, u64 
         const u64 next_link =
             (static_cast<u64>(s + 1) * rows + next_row) * 2 + (next_cross ? 1 : 0);
         if (queue_capacity > 0 && arena.size(next_link) >= queue_capacity) {
-          arena.pop(link);
+          const PacketArena::Packet pkt = arena.pop(link);
           if (measured) ++result.dropped_queue_full;
           probe.on_dropped();
+          fprobe.on_dropped(pkt.flight, cycle, obs::kFlightDropQueueFull);
           --in_flight;
         } else {
+          fprobe.on_advance(arena, link, cycle, next_link);
           arena.move_front(link, next_link);
         }
       });
     }
-    // Inject.
+    // Inject.  Packet identity (the flight sampler's key) is the creation
+    // counter inside on_packet — every drawn packet advances it, dropped or
+    // not, keeping the id stream aligned with the faulty engine's.
     u64 cycle_injections = 0;
     for (u64 row = 0; row < rows; ++row) {
       if (rng.uniform() < offered_load) {
-        if (enqueue(row, 0, rng.below(rows), cycle, measured)) {
+        const u64 dst = rng.below(rows);
+        const u64 flight_handle = fprobe.on_packet(cycle, row, dst);
+        if (enqueue(row, 0, dst, cycle, measured, flight_handle)) {
           ++cycle_injections;
           if (measured) ++measured_injections;
         }

@@ -22,6 +22,7 @@
 namespace bfly::obs {
 class TimeSeries;
 class OccupancyFrames;
+class FlightRecorder;
 }  // namespace bfly::obs
 
 namespace bfly {
@@ -105,11 +106,18 @@ inline constexpr u64 kCancelPollCycles = 64;
 /// and checkpoint replay, and passing nullptr (the default) leaves the
 /// simulation bit-for-bit unchanged.  With BFLY_OBS disabled at compile time
 /// the probe hooks compile out entirely and both sinks stay empty.
+///
+/// A non-null enabled `flight` records full per-packet hop traces for a
+/// deterministically sampled subset of packets (admission is a pure function
+/// of SplitMix64(seed ^ packet id) — see obs/flight.hpp), under the same
+/// observation-changes-nothing and bitwise-replay guarantees as the other
+/// sinks.
 SaturationPoint simulate_saturation(int n, double offered_load, u64 cycles, u64 seed,
                                     u64 warmup_cycles = 0, u64 queue_capacity = 0,
                                     const CancelToken* cancel = nullptr,
                                     obs::TimeSeries* timeseries = nullptr,
-                                    obs::OccupancyFrames* frames = nullptr);
+                                    obs::OccupancyFrames* frames = nullptr,
+                                    obs::FlightRecorder* flight = nullptr);
 
 /// Maximum link congestion when routing the *permutation* perm (one packet
 /// per row) by bit-fixing through the DAG.  Uniform random permutations stay

@@ -22,6 +22,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"  // for BFLY_OBS_ENABLED
 #include "obs/timeseries.hpp"
 #include "routing/packet_arena.hpp"
@@ -136,6 +137,82 @@ class SaturationProbe {
   double latency_sum_ = 0.0;
   std::vector<double> row_;
   std::vector<double> frame_row_;
+#endif
+};
+
+/// The per-packet sibling of SaturationProbe: the thin adapter between an
+/// engine's packet events and an obs::FlightRecorder.  Same cost contract —
+/// compiled out entirely without BFLY_OBS, one predictable branch per hook
+/// when no recorder is attached (the default), and when recording, plain
+/// integer appends on the deterministically sampled subset only.
+///
+/// The engines must build their PacketArena with the flight lane iff
+/// enabled() (the lane carries each sampled packet's handle through
+/// move_front hops); on_advance reads it via front_flight, which safely
+/// returns 0 ("unsampled") on lane-less arenas.
+class FlightProbe {
+ public:
+  explicit FlightProbe([[maybe_unused]] obs::FlightRecorder* recorder) {
+#if BFLY_OBS_ENABLED
+    recorder_ = (recorder != nullptr && recorder->enabled()) ? recorder : nullptr;
+#endif
+  }
+
+  bool enabled() const {
+#if BFLY_OBS_ENABLED
+    return recorder_ != nullptr;
+#else
+    return false;
+#endif
+  }
+
+  /// Every created packet (sampled or not) flows through here, in creation
+  /// order — packet identity is its position in this stream.  Returns the
+  /// flight handle to store in the arena's flight lane (0 = unsampled).
+  u64 on_packet([[maybe_unused]] u64 cycle, [[maybe_unused]] u64 src,
+                [[maybe_unused]] u64 dst) {
+#if BFLY_OBS_ENABLED
+    if (recorder_ != nullptr) return recorder_->on_packet(cycle, src, dst);
+#endif
+    return 0;
+  }
+
+  /// The packet behind `handle` entered `link`'s FIFO during `cycle`.
+  void on_push([[maybe_unused]] u64 handle, [[maybe_unused]] u64 cycle,
+               [[maybe_unused]] u64 link, [[maybe_unused]] obs::FlightEvent event) {
+#if BFLY_OBS_ENABLED
+    if (recorder_ != nullptr && handle != 0) recorder_->on_hop(handle, cycle, link, event);
+#endif
+  }
+
+  /// The front packet of `link` hops to `next_link` via move_front (the
+  /// engines' payload-invariant fast path, which never surfaces a Packet).
+  void on_advance([[maybe_unused]] const PacketArena& arena, [[maybe_unused]] u64 link,
+                  [[maybe_unused]] u64 cycle, [[maybe_unused]] u64 next_link) {
+#if BFLY_OBS_ENABLED
+    if (recorder_ != nullptr) {
+      const u64 handle = arena.front_flight(link);
+      if (handle != 0) recorder_->on_hop(handle, cycle, next_link, obs::FlightEvent::kAdvance);
+    }
+#endif
+  }
+
+  void on_delivered([[maybe_unused]] u64 handle, [[maybe_unused]] u64 cycle) {
+#if BFLY_OBS_ENABLED
+    if (recorder_ != nullptr && handle != 0) recorder_->on_delivered(handle, cycle);
+#endif
+  }
+
+  void on_dropped([[maybe_unused]] u64 handle, [[maybe_unused]] u64 cycle,
+                  [[maybe_unused]] u64 reason) {
+#if BFLY_OBS_ENABLED
+    if (recorder_ != nullptr && handle != 0) recorder_->on_dropped(handle, cycle, reason);
+#endif
+  }
+
+#if BFLY_OBS_ENABLED
+ private:
+  obs::FlightRecorder* recorder_ = nullptr;
 #endif
 };
 

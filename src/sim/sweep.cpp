@@ -21,10 +21,20 @@ void validate_sweep_point(const SweepPoint& point, std::size_t index) {
                where + "offered_load is a probability (must be in [0, 1])");
   BFLY_REQUIRE(point.telemetry_budget == 0 || point.telemetry_budget >= 2,
                where + "telemetry_budget must be 0 (off) or >= 2 samples");
+  BFLY_REQUIRE(point.flight_budget <= (u64{1} << 32),
+               where + "flight_budget is a per-point trace cap, not a packet count");
   if (point.faults != nullptr) {
     BFLY_REQUIRE(point.faults->dimension() == point.n,
                  where + "fault set dimension does not match n");
   }
+}
+
+obs::FlightRecorder make_flight_recorder(const SweepPoint& point) {
+  const u64 rows = pow2(point.n);
+  const double expected =
+      point.offered_load * static_cast<double>(rows) * static_cast<double>(point.cycles);
+  return obs::FlightRecorder(point.flight_budget, point.seed,
+                             static_cast<u64>(expected), point.n, rows);
 }
 
 std::vector<SweepOutcome> saturation_sweep(std::span<const SweepPoint> points,
@@ -52,18 +62,23 @@ std::vector<SweepOutcome> saturation_sweep(std::span<const SweepPoint> points,
                            obs::TimeSeries ts(std::max<u64>(p.telemetry_budget, 2));
                            obs::TimeSeries* ts_ptr =
                                p.telemetry_budget > 0 ? &ts : nullptr;
+                           obs::FlightRecorder flight = make_flight_recorder(p);
+                           obs::FlightRecorder* flight_ptr =
+                               flight.enabled() ? &flight : nullptr;
                            if (p.faults == nullptr) {
                              outcomes[i].point = simulate_saturation(
                                  p.n, p.offered_load, p.cycles, p.seed, p.warmup_cycles,
-                                 p.queue_capacity, nullptr, ts_ptr);
+                                 p.queue_capacity, nullptr, ts_ptr, nullptr, flight_ptr);
                            } else {
                              const FaultSaturationPoint fsp = simulate_saturation_faulty(
                                  p.n, p.offered_load, p.cycles, p.seed, *p.faults, p.routing,
-                                 p.warmup_cycles, p.queue_capacity, nullptr, ts_ptr);
+                                 p.warmup_cycles, p.queue_capacity, nullptr, ts_ptr, nullptr,
+                                 flight_ptr);
                              outcomes[i].point = fsp.point;
                              outcomes[i].tally = fsp.tally;
                            }
                            if (!ts.empty()) outcomes[i].timeseries = std::move(ts);
+                           if (!flight.empty()) outcomes[i].flight = std::move(flight);
                          }
                        });
 

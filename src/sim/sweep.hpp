@@ -19,6 +19,7 @@
 
 #include "fault/fault_routing.hpp"
 #include "fault/fault_set.hpp"
+#include "obs/flight.hpp"
 #include "obs/timeseries.hpp"
 #include "routing/routing.hpp"
 
@@ -39,18 +40,34 @@ struct SweepPoint {
   /// checkpoint identity (exec::sweep_point_key hashes it), since it changes
   /// what an outcome carries.
   u64 telemetry_budget = 0;
+  /// Sample budget for the per-packet flight recorder (obs/flight.hpp); 0
+  /// (the default) disables it.  Like telemetry_budget it is part of the
+  /// checkpoint identity: it changes what an outcome carries, so
+  /// exec::sweep_point_key hashes it too.
+  u64 flight_budget = 0;
   const FaultSet* faults = nullptr;
   FaultRoutingOptions routing{};
 };
 
+/// The FlightRecorder a sweep point asks for: sampling seeded by the point's
+/// own seed, with the admission threshold derived from the expected packet
+/// count offered_load * 2^n * cycles.  Every layer that runs a point
+/// (saturation_sweep, exec::run_sweep_resumable) constructs its recorder
+/// through this one helper so the sampled subset is identical wherever the
+/// point runs — that shared derivation is what makes checkpoint replay and
+/// thread-count changes bitwise invisible.
+obs::FlightRecorder make_flight_recorder(const SweepPoint& point);
+
 /// Result of one sweep point.  `tally` is all-zero for pristine points;
 /// `timeseries` is empty unless the point requested a telemetry budget (its
 /// samples are a pure function of the point, so they replay bitwise
-/// identically from checkpoints).
+/// identically from checkpoints), and `flight` likewise holds recorded
+/// per-packet traces only when the point set a flight_budget.
 struct SweepOutcome {
   SaturationPoint point;
   FaultTally tally;
   obs::TimeSeries timeseries;
+  obs::FlightRecorder flight;
 };
 
 /// Rejects malformed requests before any engine runs: cycles == 0,

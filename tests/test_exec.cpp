@@ -48,6 +48,9 @@ void expect_outcome_eq(const SweepOutcome& a, const SweepOutcome& b) {
   // operator== is the bit-pattern comparison (channels, cycles, stride, and
   // every sample double compared by bits) — telemetry replays exactly too.
   EXPECT_TRUE(a.timeseries == b.timeseries);
+  // Same for flight traces: packet ids, hop sequences, and terminals are all
+  // integers, and the replay contract is bit-identity.
+  EXPECT_TRUE(a.flight == b.flight);
 }
 
 void expect_outcomes_eq(const std::vector<SweepOutcome>& a, const std::vector<SweepOutcome>& b) {
@@ -94,8 +97,10 @@ struct TestGrid {
     points[1].queue_capacity = 3;
     // Cycle-resolved telemetry on a pristine point: its samples are part of
     // the journaled outcome, so the kill/resume loops below also prove the
-    // timeseries replays bit-for-bit.
+    // timeseries replays bit-for-bit.  Flight traces ride the same journal
+    // (checkpoint v3), so give the point a flight budget too.
     points[2].telemetry_budget = 32;
+    points[2].flight_budget = 16;
     for (const FaultSet* fs : {&light, &heavy}) {
       SweepPoint p;
       p.n = 4;
@@ -108,6 +113,7 @@ struct TestGrid {
     }
     // ...and on a faulty point, covering the other engine's probe wiring.
     points.back().telemetry_budget = 32;
+    points.back().flight_budget = 16;
   }
 };
 
@@ -149,6 +155,9 @@ TEST(Checkpoint, SweepPointKeyIsAContentHash) {
   EXPECT_NE(exec::sweep_point_key(q), exec::sweep_point_key(p));
   q = p;
   q.telemetry_budget = 64;  // changes what the outcome carries -> new identity
+  EXPECT_NE(exec::sweep_point_key(q), exec::sweep_point_key(p));
+  q = p;
+  q.flight_budget = 64;  // likewise: a journaled outcome gains a flight block
   EXPECT_NE(exec::sweep_point_key(q), exec::sweep_point_key(p));
   q = p;
   q.faults = &grid.light;
@@ -321,6 +330,63 @@ TEST(Exec, ResumesPastATornJournalTail) {
     EXPECT_EQ(resumed.num_replayed, k);
     expect_outcomes_eq(resumed.outcomes, full.outcomes);
   }
+  std::remove(path.c_str());
+}
+
+TEST(Exec, CancellationDiscardsPartialFlightTracesAndResumesBitIdentical) {
+  // The probe x cancellation interaction: with flight-budget points in the
+  // grid, trip the token while workers are mid-sweep (after_checkpoint fires
+  // on the first durable append while the other two workers are still inside
+  // their engines).  The contract under test:
+  //   1. A cancelled point's outcome slot is fully discarded — no partial
+  //      flight traces (or telemetry) survive in the returned vector.
+  //   2. The journal holds only whole, parseable records — never a torn
+  //      trace — so the checkpoint loader skips nothing.
+  //   3. Resuming completes the grid bit-identically (flight included).
+  const TestGrid grid;
+  exec::SweepRunOptions base;
+  base.threads = 1;
+  const std::vector<SweepOutcome> baseline = exec::run_sweep_resumable(grid.points, base).outcomes;
+
+  const std::string path = temp_path("ckpt_flight_cancel.ckpt");
+  CancelToken token;
+  exec::SweepRunOptions kill;
+  kill.threads = 3;
+  kill.checkpoint_path = path;
+  kill.cancel = &token;
+  kill.after_checkpoint = [&](std::size_t appended) {
+    if (appended == 1) token.request_cancel();
+  };
+  const exec::SweepRun killed = exec::run_sweep_resumable(grid.points, kill);
+  EXPECT_EQ(killed.status, exec::SweepStatus::kCancelled);
+  EXPECT_LT(killed.num_completed, grid.points.size());
+  for (std::size_t i = 0; i < grid.points.size(); ++i) {
+    if (killed.completed[i]) continue;
+    // Discarded, not truncated: the slot carries no recorded state at all.
+    EXPECT_TRUE(killed.outcomes[i].flight.empty()) << "point " << i;
+    EXPECT_TRUE(killed.outcomes[i].timeseries.empty()) << "point " << i;
+    EXPECT_EQ(killed.outcomes[i].point.delivered, 0u) << "point " << i;
+  }
+  // Every journal line is a whole record (append_line_durable's single-write
+  // discipline + the post-engine cancel check): the loader skips nothing and
+  // recovers exactly the completed points.
+  EXPECT_EQ(read_lines(path).size(), killed.num_completed);
+  const exec::CheckpointLoad load = exec::load_checkpoint(path);
+  EXPECT_EQ(load.lines_skipped, 0u);
+  EXPECT_EQ(load.outcomes.size(), killed.num_completed);
+
+  exec::SweepRunOptions resume;
+  resume.threads = 2;
+  resume.checkpoint_path = path;
+  const exec::SweepRun resumed = exec::run_sweep_resumable(grid.points, resume);
+  EXPECT_EQ(resumed.status, exec::SweepStatus::kComplete);
+  EXPECT_EQ(resumed.num_replayed, killed.num_completed);
+  expect_outcomes_eq(resumed.outcomes, baseline);
+#if BFLY_OBS_ENABLED
+  // The flight-budget points really carried traces through the journal.
+  EXPECT_FALSE(resumed.outcomes[2].flight.empty());
+  EXPECT_FALSE(resumed.outcomes.back().flight.empty());
+#endif
   std::remove(path.c_str());
 }
 

@@ -17,6 +17,13 @@
 //       baseline, classify with the thresholds file (default
 //       <dir>/thresholds.json), and exit non-zero on any FAIL.
 //
+//   bflyreport paths <report.json> [--top <k>]
+//       Path-blame analytics over a report's v2 "flight" block (per-packet
+//       hop traces recorded by a flight_budget sweep point): the top-K
+//       slowest delivered packets with their exact latency decomposition
+//       (queue wait + transit + detour == latency), followed by the
+//       per-link / per-stage wait blame table.
+//
 //   bflyreport watch <telemetry.jsonl> [--once] [--interval-ms <n>]
 //       Tails the live-progress JSONL stream a resumable sweep appends
 //       ($BFLY_TELEMETRY_FILE / SweepRunOptions.telemetry_path) and renders
@@ -31,6 +38,7 @@
 // 2 = usage or I/O error.
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -42,6 +50,7 @@
 #include <vector>
 
 #include "obs/diff.hpp"
+#include "obs/flight.hpp"
 
 namespace fs = std::filesystem;
 using namespace bfly;
@@ -55,8 +64,40 @@ int usage() {
                "  bflyreport trend <reports.jsonl> --metric <key> [--threshold <rel>]\n"
                "  bflyreport check --baseline <dir> [--thresholds <file>] [--reports <dir>]\n"
                "                   [--bench-dir <dir>]\n"
+               "  bflyreport paths <report.json> [--top <k>]\n"
                "  bflyreport watch <telemetry.jsonl> [--once] [--interval-ms <n>]\n");
   return 2;
+}
+
+/// Strict full-string numeric flag parsing: "250x", "", and "1e999" are
+/// usage errors with a message naming the flag, never silently truncated
+/// (std::stoi("250x") == 250) or turned into an unhandled exception.
+double parse_double_flag(const std::string& flag, const std::string& text) {
+  std::size_t pos = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(text, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (text.empty() || pos != text.size() || !std::isfinite(value)) {
+    throw InvalidArgument(flag + " expects a finite number, got '" + text + "'");
+  }
+  return value;
+}
+
+int parse_int_flag(const std::string& flag, const std::string& text) {
+  std::size_t pos = 0;
+  int value = 0;
+  try {
+    value = std::stoi(text, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (text.empty() || pos != text.size()) {
+    throw InvalidArgument(flag + " expects an integer, got '" + text + "'");
+  }
+  return value;
 }
 
 /// Pulls the value of `flag` out of args (mutating it); nullopt when absent.
@@ -128,7 +169,9 @@ std::string sparkline(const std::vector<double>& values) {
 
 int run_trend(std::vector<std::string> args) {
   const auto metric = take_option(&args, "--metric");
-  const double threshold = std::stod(take_option(&args, "--threshold").value_or("0.10"));
+  const double threshold =
+      parse_double_flag("--threshold", take_option(&args, "--threshold").value_or("0.10"));
+  if (threshold < 0.0) throw InvalidArgument("--threshold must be >= 0");
   if (!metric || args.size() != 1) return usage();
 
   struct Entry {
@@ -316,6 +359,83 @@ int run_check(std::vector<std::string> args) {
   return total_fail == 0 ? 0 : 1;
 }
 
+// --- paths -------------------------------------------------------------------
+
+int run_paths(std::vector<std::string> args) {
+  const int top = parse_int_flag("--top", take_option(&args, "--top").value_or("10"));
+  if (top <= 0) throw InvalidArgument("--top must be positive");
+  if (args.size() != 1) return usage();
+
+  const obs::RunReport report = obs::RunReport::load(args[0]);
+  const json::Value* block = report.doc.find("flight");
+  if (block == nullptr) {
+    std::fprintf(stderr,
+                 "bflyreport: report '%s' has no flight block (record one by running a sweep"
+                 " point with a flight_budget)\n",
+                 args[0].c_str());
+    return 2;
+  }
+  const obs::FlightRecorder rec = obs::FlightRecorder::from_json(*block);
+
+  u64 delivered_count = 0;
+  u64 dropped_count = 0;
+  std::vector<const obs::FlightTrace*> delivered;
+  for (const obs::FlightTrace& t : rec.traces()) {
+    if (t.outcome == obs::FlightOutcome::kDelivered) {
+      ++delivered_count;
+      delivered.push_back(&t);
+    } else if (t.outcome == obs::FlightOutcome::kDropped) {
+      ++dropped_count;
+    }
+  }
+  std::cout << "# bflyreport paths — " << report.name << " (B_" << rec.n() << ", "
+            << rec.traces().size() << " of " << rec.packets_seen() << " packets sampled: "
+            << delivered_count << " delivered, " << dropped_count << " dropped, "
+            << rec.traces().size() - delivered_count - dropped_count << " in flight)\n\n";
+  if (delivered.empty()) {
+    std::cout << "_no delivered trace to decompose_\n";
+    return 0;
+  }
+
+  // Slowest first; ties broken by creation order so the table is stable.
+  std::sort(delivered.begin(), delivered.end(),
+            [](const obs::FlightTrace* a, const obs::FlightTrace* b) {
+              const u64 la = a->end_cycle + 1 - a->injected_at;
+              const u64 lb = b->end_cycle + 1 - b->injected_at;
+              if (la != lb) return la > lb;
+              return a->packet_id < b->packet_id;
+            });
+  const std::size_t k = std::min(delivered.size(), static_cast<std::size_t>(top));
+  std::cout << "## top " << k << " slowest delivered packets\n\n"
+            << "| packet | src -> dst | injected | latency | queue wait | transit | detour |"
+               " hops |\n|---:|---|---:|---:|---:|---:|---:|---:|\n";
+  for (std::size_t i = 0; i < k; ++i) {
+    const obs::FlightTrace& t = *delivered[i];
+    const obs::FlightDecomposition d = obs::decompose_flight(t, rec.n());
+    std::cout << "| " << t.packet_id << " | " << t.src << " -> " << t.dst << " | "
+              << t.injected_at << " | " << d.latency << " | " << d.queue_wait << " | "
+              << d.transit << " | " << d.detour << " | " << t.hops.size() << " |\n";
+  }
+
+  const obs::FlightBlame blame = obs::flight_blame(rec.traces(), rec.n(), rec.rows());
+  const std::size_t nlinks = std::min<std::size_t>(blame.links.size(), 10);
+  std::cout << "\n## link blame (top " << nlinks << " by total wait, "
+            << blame.links.size() << " links visited)\n\n"
+            << "| link | stage | visits | wait sum | wait max | wait p99 |\n"
+               "|---:|---:|---:|---:|---:|---:|\n";
+  for (std::size_t i = 0; i < nlinks; ++i) {
+    const obs::LinkBlame& lb = blame.links[i];
+    std::cout << "| " << lb.link << " | " << lb.stage << " | " << lb.visits << " | "
+              << lb.wait_sum << " | " << lb.wait_max << " | " << lb.wait_p99 << " |\n";
+  }
+  std::cout << "\n## stage blame\n\n| stage | visits | wait sum |\n|---:|---:|---:|\n";
+  for (std::size_t s = 0; s < blame.stage_wait_sum.size(); ++s) {
+    std::cout << "| " << s << " | " << blame.stage_visits[s] << " | " << blame.stage_wait_sum[s]
+              << " |\n";
+  }
+  return 0;
+}
+
 // --- watch -------------------------------------------------------------------
 
 /// Everything the watch renderer knows, folded record by record from the
@@ -471,8 +591,10 @@ std::vector<std::string> render_watch(const WatchState& state, const std::string
 
 int run_watch(std::vector<std::string> args) {
   const bool once = take_switch(&args, "--once");
-  const int interval_ms = std::stoi(take_option(&args, "--interval-ms").value_or("250"));
-  if (args.size() != 1 || interval_ms <= 0) return usage();
+  const int interval_ms =
+      parse_int_flag("--interval-ms", take_option(&args, "--interval-ms").value_or("250"));
+  if (interval_ms <= 0) throw InvalidArgument("--interval-ms must be positive");
+  if (args.size() != 1) return usage();
   const std::string path = args[0];
   if (once && !fs::exists(path)) {
     std::fprintf(stderr, "bflyreport: telemetry file '%s' does not exist\n", path.c_str());
@@ -550,6 +672,7 @@ int main(int argc, char** argv) {
     if (command == "diff") return run_diff(std::move(args));
     if (command == "trend") return run_trend(std::move(args));
     if (command == "check") return run_check(std::move(args));
+    if (command == "paths") return run_paths(std::move(args));
     if (command == "watch") return run_watch(std::move(args));
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bflyreport: %s\n", e.what());
