@@ -19,7 +19,11 @@
 //      detour == latency), wire-length path attribution through the layout
 //      geometry, and a per-packet Chrome trace (butterfly_paths.trace.json —
 //      one Perfetto row per sampled packet).
-//   7. Record the whole run with bfly::obs — every step above lands in the
+//   7. Survive live faults: a FaultSchedule kills a whole packaging chip
+//      mid-run, spare-chip failover rewires it after a detection latency, a
+//      link dies and is repaired — and the recovery analytics report the
+//      time-to-recover and packets lost in each transient.
+//   8. Record the whole run with bfly::obs — every step above lands in the
 //      installed registry, and the end of main() writes a structured JSON
 //      run report plus a Chrome trace (load quickstart.trace.json in
 //      https://ui.perfetto.dev to see the phase spans).
@@ -316,7 +320,53 @@ int main(int argc, char** argv) {
     std::printf("        https://ui.perfetto.dev — also try: bflyreport paths quickstart.run.json)\n");
   }
 
-  // --- 7. The run report ----------------------------------------------------
+  // --- 7. Live faults: fail -> failover -> repair ---------------------------
+  // A deterministic mid-run timeline: chip 1 of the Section 5 packing dies at
+  // cycle 150 and a provisioned spare takes over its rows 50 cycles later
+  // (the detection latency); one link dies at cycle 300 and is repaired at
+  // cycle 400.  Packets caught on a dying link are dropped as
+  // killed_by_fault; the recovery analytics read the cycle-resolved
+  // telemetry to measure each transient.
+  {
+    FaultSchedule schedule(n);
+    schedule.attach_plan(plan_hierarchical(n, {}));
+    schedule.set_failover({/*spare_chips=*/1, /*detection_latency=*/50});
+    schedule.fail_chip_at(150, /*chip=*/1);
+    schedule.fail_link_at(300, /*row=*/3, /*stage=*/1, /*cross=*/true);
+    schedule.repair_link_at(400, 3, 1, true);
+
+    const FaultSet pristine_base(n);
+    obs::TimeSeries live_series(128);
+    const FaultSaturationPoint live = simulate_saturation_faulty(
+        n, 0.5, 600, 7, pristine_base, {}, 0, 0, nullptr, &live_series, nullptr,
+        nullptr, &schedule);
+    std::printf("\nLive faults (chip %d dies @150, failover @200; link repaired @400):\n", 1);
+    std::printf("  %llu fail / %llu repair events, %llu failover(s);"
+                " links killed %llu, revived %llu\n",
+                static_cast<unsigned long long>(live.live.fail_events),
+                static_cast<unsigned long long>(live.live.repair_events),
+                static_cast<unsigned long long>(live.live.failovers),
+                static_cast<unsigned long long>(live.live.links_killed),
+                static_cast<unsigned long long>(live.live.links_revived));
+    std::printf("  throughput %.4f; %llu packet(s) killed in flight\n",
+                live.point.throughput,
+                static_cast<unsigned long long>(
+                    live.tally.dropped[drop_index(DropReason::kKilledByFault)]));
+    const RecoveryAnalysis recovery = analyze_recovery(live_series, schedule);
+    if (recovery.applicable) {
+      for (const RecoveryEvent& ev : recovery.events) {
+        std::printf("  fault @%llu: %s (time to recover %llu cycles, %llu packets lost)\n",
+                    static_cast<unsigned long long>(ev.fault_cycle),
+                    ev.recovered ? "recovered" : "did not recover",
+                    static_cast<unsigned long long>(ev.time_to_recover_cycles),
+                    static_cast<unsigned long long>(ev.packets_lost));
+      }
+      std::printf("  residual throughput after all repairs: %.4f of the pre-fault level\n",
+                  recovery.residual_throughput);
+    }
+  }
+
+  // --- 8. The run report ----------------------------------------------------
   obs::ReportOptions report;
   report.name = "quickstart";
   report.status = exec::to_string(sweep.status);

@@ -8,8 +8,9 @@
 // (Sections 3-4), the partitioning/packaging schemes and the hierarchical
 // planner (Sections 2.3 and 5), the routing simulator behind the Theorem 2.1
 // lower bound, the fault-injection / fault-tolerant-routing subsystem
-// (bfly::fault), the batched simulation sweeps and degradation analysis
-// (bfly::sim), the resilient execution layer (bfly::exec — cancellation,
+// (bfly::fault, including live mid-run fault/repair schedules with spare-chip
+// failover), the batched simulation sweeps, degradation analysis and recovery
+// analytics (bfly::sim), the resilient execution layer (bfly::exec — cancellation,
 // checkpoint/resume, retry), and the network FFT functional check.
 #pragma once
 
@@ -17,6 +18,7 @@
 #include "exec/checkpoint.hpp"
 #include "exec/exec.hpp"
 #include "fault/fault_routing.hpp"
+#include "fault/fault_schedule.hpp"
 #include "fault/fault_set.hpp"
 #include "fft/isn_fft.hpp"
 #include "obs/metrics.hpp"
@@ -31,6 +33,7 @@
 #include "packaging/partition.hpp"
 #include "routing/routing.hpp"
 #include "sim/degradation.hpp"
+#include "sim/recovery.hpp"
 #include "sim/sweep.hpp"
 #include "layout/hypercube_layout.hpp"
 #include "layout/product_layout.hpp"

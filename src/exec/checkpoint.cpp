@@ -68,6 +68,28 @@ SaturationPoint point_from_json(const json::Value& v) {
   return p;
 }
 
+json::Value live_to_json(const LiveFaultStats& s) {
+  json::Value v = json::Value::object();
+  v.set("fail_events", json::Value::number(s.fail_events));
+  v.set("repair_events", json::Value::number(s.repair_events));
+  v.set("failovers", json::Value::number(s.failovers));
+  v.set("spares_used", json::Value::number(s.spares_used));
+  v.set("links_killed", json::Value::number(s.links_killed));
+  v.set("links_revived", json::Value::number(s.links_revived));
+  return v;
+}
+
+LiveFaultStats live_from_json(const json::Value& v) {
+  LiveFaultStats s;
+  s.fail_events = v.at("fail_events").as_u64();
+  s.repair_events = v.at("repair_events").as_u64();
+  s.failovers = v.at("failovers").as_u64();
+  s.spares_used = v.at("spares_used").as_u64();
+  s.links_killed = v.at("links_killed").as_u64();
+  s.links_revived = v.at("links_revived").as_u64();
+  return s;
+}
+
 FaultTally tally_from_json(const json::Value& v) {
   FaultTally t;
   t.delivered = v.at("delivered").as_u64();
@@ -103,6 +125,14 @@ std::string sweep_point_key(const SweepPoint& point) {
     h.update(u64{1});
     hash_fault_set(&h, *point.faults);
   }
+  // The live fault timeline is part of the point's identity: two points
+  // differing only in their schedule must key distinct records.
+  if (point.schedule == nullptr) {
+    h.update(u64{0});
+  } else {
+    h.update(u64{1});
+    h.update(point.schedule->content_hash());
+  }
   return util::to_hex16(h.digest());
 }
 
@@ -113,6 +143,7 @@ std::string encode_checkpoint_line(const std::string& key, const SweepOutcome& o
   json::Value out = json::Value::object();
   out.set("point", point_to_json(outcome.point));
   out.set("tally", tally_to_json(outcome.tally));
+  out.set("live", live_to_json(outcome.live));
   // Telemetry-enabled points persist their samples so replay restores them
   // bitwise; empty() covers both untelemetered points and BFLY_OBS=OFF
   // builds, where nothing was collected and nothing needs round-tripping.
@@ -146,6 +177,7 @@ CheckpointLoad load_checkpoint(const std::string& path) {
       SweepOutcome outcome;
       outcome.point = point_from_json(out.at("point"));
       outcome.tally = tally_from_json(out.at("tally"));
+      outcome.live = live_from_json(out.at("live"));
       // Optional (v2): absent for untelemetered points and for journals
       // written by BFLY_OBS=OFF builds.
       if (const json::Value* ts = out.find("timeseries")) {

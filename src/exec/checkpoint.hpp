@@ -4,16 +4,18 @@
 // sweep point, appended durably (util::append_line_durable) the moment the
 // point finishes:
 //
-//   {"v": 3, "key": "<16 hex>",
-//    "outcome": {"point": {...}, "tally": {...}, "timeseries": {...}?,
-//                "flight": {...}?}}
+//   {"v": 4, "key": "<16 hex>",
+//    "outcome": {"point": {...}, "tally": {...}, "live": {...},
+//                "timeseries": {...}?, "flight": {...}?}}
 //
 // The optional "timeseries" member (v2+, present iff the point requested a
 // telemetry budget) carries the cycle-resolved samples, so a replayed point
 // restores its telemetry bitwise — the kill/resume identity in test_exec
 // covers the series too.  The optional "flight" member (v3, present iff the
 // point requested a flight budget and any packet was sampled) carries the
-// per-packet hop traces under the same bitwise replay contract.
+// per-packet hop traces under the same bitwise replay contract.  The "live"
+// member (v4, always present) carries the LiveFaultStats counters a
+// scheduled point accumulated — all zeros for static/pristine points.
 //
 // The key is a *content hash* of the SweepPoint (every routing-relevant
 // field, including the full fault-set liveness map), not a grid index: a
@@ -45,17 +47,20 @@ namespace bfly::exec {
 
 /// Checkpoint record schema version.  v2 added the optional outcome
 /// timeseries and folded telemetry_budget into the point key; v3 added the
-/// optional flight-recorder payload and folded flight_budget into the key.
+/// optional flight-recorder payload and folded flight_budget into the key;
+/// v4 added the always-present "live" schedule-application counters to the
+/// outcome, folded the fault *schedule* content hash into the key, and
+/// widened the tally's dropped array to 5 reasons (killed_by_fault).
 /// Older journals are skipped line-by-line on load (their points simply
 /// rerun), the same degradation as a torn line.
-inline constexpr u64 kCheckpointVersion = 3;
+inline constexpr u64 kCheckpointVersion = 4;
 
 /// Content hash of `point` as 16 lowercase hex digits: FNV-1a over a
 /// version tag and every field that affects the outcome (n, offered_load
 /// bits, cycles, seed, warmup, queue capacity, telemetry budget, flight
-/// budget, routing budgets, and the full fault liveness map when faults are
-/// attached).  Two points hash equal iff an engine run would be
-/// indistinguishable.
+/// budget, routing budgets, the full fault liveness map when faults are
+/// attached, and the fault schedule's content hash when one is attached).
+/// Two points hash equal iff an engine run would be indistinguishable.
 std::string sweep_point_key(const SweepPoint& point);
 
 /// One completed outcome as a single-line checkpoint record (no newline).

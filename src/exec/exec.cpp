@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <mutex>
+#include <optional>
 #include <thread>
 
 #include "exec/checkpoint.hpp"
@@ -197,16 +198,22 @@ SweepRun run_sweep_resumable(std::span<const SweepPoint> points,
       obs::FlightRecorder* flight_ptr = flight.enabled() ? &flight : nullptr;
       try {
         if (options.before_point) options.before_point(i, attempt);
-        if (p.faults == nullptr) {
+        if (!sweep_point_is_faulty(p)) {
           outcome.point = simulate_saturation(p.n, p.offered_load, p.cycles, p.seed,
                                               p.warmup_cycles, p.queue_capacity, token, ts_ptr,
                                               nullptr, flight_ptr);
         } else {
+          // Mirror saturation_sweep's dispatch exactly: a scheduled point
+          // without a static fault set starts from the pristine base.
+          std::optional<FaultSet> empty_base;
+          if (p.faults == nullptr) empty_base.emplace(p.n);
+          const FaultSet& base = p.faults != nullptr ? *p.faults : *empty_base;
           const FaultSaturationPoint fsp = simulate_saturation_faulty(
-              p.n, p.offered_load, p.cycles, p.seed, *p.faults, p.routing, p.warmup_cycles,
-              p.queue_capacity, token, ts_ptr, nullptr, flight_ptr);
+              p.n, p.offered_load, p.cycles, p.seed, base, p.routing, p.warmup_cycles,
+              p.queue_capacity, token, ts_ptr, nullptr, flight_ptr, p.schedule);
           outcome.point = fsp.point;
           outcome.tally = fsp.tally;
+          outcome.live = fsp.live;
         }
         // The token may have tripped mid-simulation, leaving a partial (or
         // even complete but indistinguishable) outcome: discard it — flight
@@ -253,7 +260,7 @@ SweepRun run_sweep_resumable(std::span<const SweepPoint> points,
           rec.set("total", json::Value::number(static_cast<u64>(points.size())));
           rec.set("n", json::Value::number(p.n));
           rec.set("offered_load", json::Value::number(p.offered_load));
-          rec.set("faulty", json::Value::boolean(p.faults != nullptr));
+          rec.set("faulty", json::Value::boolean(sweep_point_is_faulty(p)));
           rec.set("throughput", json::Value::number(outcome.point.throughput));
           rec.set("avg_latency", json::Value::number(outcome.point.avg_latency));
           sink.emit(std::move(rec));

@@ -82,6 +82,8 @@ void export_tally_metrics(const FaultTally& tally) {
            tally.dropped[drop_index(DropReason::kBudgetExhausted)]);
   obs::add(obs::get_counter("fault.dropped.queue_full"),
            tally.dropped[drop_index(DropReason::kQueueFull)]);
+  obs::add(obs::get_counter("fault.dropped.killed_by_fault"),
+           tally.dropped[drop_index(DropReason::kKilledByFault)]);
   obs::add(obs::get_counter("fault.misroutes"), tally.misroutes);
   obs::add(obs::get_counter("fault.wraps"), tally.wraps);
 }
@@ -202,17 +204,25 @@ FaultLoadCensus measure_link_loads_faulty(int n, u64 packets, u64 seed, const Fa
   return out;
 }
 
-FaultSaturationPoint simulate_saturation_faulty(int n, double offered_load, u64 cycles,
-                                                u64 seed, const FaultSet& faults,
-                                                const FaultRoutingOptions& options,
-                                                u64 warmup_cycles, u64 queue_capacity,
-                                                const CancelToken* cancel,
-                                                obs::TimeSeries* timeseries,
-                                                obs::OccupancyFrames* frames,
-                                                obs::FlightRecorder* flight) {
-  BFLY_REQUIRE(n >= 1 && n <= 30, "butterfly dimension must be in [1, 30]");
-  BFLY_REQUIRE(offered_load >= 0.0 && offered_load <= 1.0, "offered load is a probability");
-  BFLY_REQUIRE(faults.dimension() == n, "fault set dimension mismatch");
+namespace {
+
+/// The queued-simulator cycle loop, generic over the liveness provider:
+/// `Liveness` is FaultSet (static faults, `live` == nullptr) or
+/// LiveFaultState (a schedule is attached; `live` aliases `faults` so the
+/// loop can advance the overlay at cycle boundaries).  One body, two
+/// instantiations — the liveness reads stay the same one-byte loads either
+/// way, which is what makes the empty-schedule bitwise-identity contract
+/// hold by construction.
+template <typename Liveness>
+FaultSaturationPoint run_saturation_faulty(int n, double offered_load, u64 cycles, u64 seed,
+                                           const Liveness& faults,
+                                           const FaultRoutingOptions& options,
+                                           u64 warmup_cycles, u64 queue_capacity,
+                                           const CancelToken* cancel,
+                                           obs::TimeSeries* timeseries,
+                                           obs::OccupancyFrames* frames,
+                                           obs::FlightRecorder* flight, LiveFaultState* live,
+                                           LinkDeathPolicy death_policy) {
   BFLY_TRACE_SCOPE("fault.simulate_saturation");
   const u64 rows = pow2(n);
 
@@ -287,6 +297,7 @@ FaultSaturationPoint simulate_saturation_faulty(int n, double offered_load, u64 
   };
 
   std::vector<std::pair<u64, Packet>> wrapped;  // (row, packet) awaiting re-entry
+  std::vector<u64> newly_dead;  // links killed this cycle (live schedules only)
   u64 simulated = cycles;
   for (u64 cycle = 0; cycle < cycles; ++cycle) {
     if (cycle % kCancelPollCycles == 0 && CancelToken::cancelled(cancel)) {
@@ -294,6 +305,25 @@ FaultSaturationPoint simulate_saturation_faulty(int n, double offered_load, u64 
       break;
     }
     const bool measured = cycle >= warmup_cycles;
+    if (live != nullptr) {
+      // Apply this cycle's scheduled fail/repair events (and any spare-chip
+      // failover whose detection latency elapsed) before anything routes,
+      // so an event at cycle c already governs cycle c's hops.
+      live->advance_to(cycle,
+                       death_policy == LinkDeathPolicy::kKillInFlight ? &newly_dead : nullptr);
+      if (death_policy == LinkDeathPolicy::kKillInFlight) {
+        for (const u64 link : newly_dead) {
+          // Drain the dying link's FIFO: those packets are on the wire the
+          // moment it fails.  Under kDeflect they stay queued instead and
+          // the router re-tests liveness at their next hop.
+          while (arena.size(link) > 0) {
+            const Packet dead = arena.pop(link);
+            --in_flight;
+            count_drop(DropReason::kKilledByFault, measured, dead.flight, cycle);
+          }
+        }
+      }
+    }
     // Forward one packet per link, highest stage first so a packet moves at
     // most one hop per cycle; wrapped packets re-enter at stage 0 only after
     // the sweep, for the same reason.
@@ -383,7 +413,7 @@ FaultSaturationPoint simulate_saturation_faulty(int n, double offered_load, u64 
     in_flight += cycle_injections;
     depth_hist.observe(static_cast<double>(in_flight));
     probe.on_injected(cycle_injections);
-    probe.sample(cycle, arena, in_flight);
+    probe.sample(cycle, arena, in_flight, faults.num_dead_links());
   }
   latency_hist.flush();
   depth_hist.flush();
@@ -405,6 +435,34 @@ FaultSaturationPoint simulate_saturation_faulty(int n, double offered_load, u64 
   export_tally_metrics(tally);
   obs::set(obs::get_gauge("fault.max_queue"), static_cast<double>(result.max_queue));
   obs::set(obs::get_gauge("fault.throughput"), result.throughput);
+  return out;
+}
+
+}  // namespace
+
+FaultSaturationPoint simulate_saturation_faulty(int n, double offered_load, u64 cycles,
+                                                u64 seed, const FaultSet& faults,
+                                                const FaultRoutingOptions& options,
+                                                u64 warmup_cycles, u64 queue_capacity,
+                                                const CancelToken* cancel,
+                                                obs::TimeSeries* timeseries,
+                                                obs::OccupancyFrames* frames,
+                                                obs::FlightRecorder* flight,
+                                                const FaultSchedule* schedule) {
+  BFLY_REQUIRE(n >= 1 && n <= 30, "butterfly dimension must be in [1, 30]");
+  BFLY_REQUIRE(offered_load >= 0.0 && offered_load <= 1.0, "offered load is a probability");
+  BFLY_REQUIRE(faults.dimension() == n, "fault set dimension mismatch");
+  if (schedule == nullptr) {
+    return run_saturation_faulty(n, offered_load, cycles, seed, faults, options, warmup_cycles,
+                                 queue_capacity, cancel, timeseries, frames, flight,
+                                 /*live=*/nullptr, LinkDeathPolicy::kKillInFlight);
+  }
+  BFLY_REQUIRE(schedule->dimension() == n, "fault schedule dimension mismatch");
+  LiveFaultState live(faults, *schedule);
+  FaultSaturationPoint out = run_saturation_faulty(
+      n, offered_load, cycles, seed, live, options, warmup_cycles, queue_capacity, cancel,
+      timeseries, frames, flight, &live, schedule->link_death_policy());
+  out.live = live.stats();
   return out;
 }
 

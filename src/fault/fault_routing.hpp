@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "fault/fault_schedule.hpp"
 #include "fault/fault_set.hpp"
 #include "routing/routing.hpp"
 
@@ -46,8 +47,9 @@ enum class DropReason : int {
   kNoAliveLink = 1,     ///< both forward links at the current node are dead
   kBudgetExhausted = 2, ///< misroute or wrap budget ran out
   kQueueFull = 3,       ///< bounded-queue simulator: chosen output queue full
+  kKilledByFault = 4,   ///< in-flight packet on a link a live schedule killed
 };
-inline constexpr std::size_t kNumDropReasons = 4;
+inline constexpr std::size_t kNumDropReasons = 5;
 
 /// Index of a DropReason in FaultTally::dropped.
 inline constexpr std::size_t drop_index(DropReason r) { return static_cast<std::size_t>(r); }
@@ -99,6 +101,9 @@ FaultLoadCensus measure_link_loads_faulty(int n, u64 packets, u64 seed,
 struct FaultSaturationPoint {
   SaturationPoint point;
   FaultTally tally;
+  /// Schedule-application counters; all zero unless a FaultSchedule was
+  /// attached to the run.
+  LiveFaultStats live;
 };
 
 /// Fault-aware synchronous queued simulation: same injection process and RNG
@@ -116,6 +121,18 @@ struct FaultSaturationPoint {
 /// entries, deliver/drop terminals) for the deterministically sampled subset
 /// — with an empty FaultSet the recorded state is bitwise identical to the
 /// pristine engine's for the same parameters (the creation streams coincide).
+///
+/// A non-null `schedule` makes the fault world *live*: `faults` becomes the
+/// cycle-0 base state and the schedule's fail/repair events apply at cycle
+/// boundaries through a LiveFaultState overlay (fault/fault_schedule.hpp) —
+/// spare-chip failover included.  Under LinkDeathPolicy::kKillInFlight,
+/// packets resident on a link the moment it dies are drained and counted as
+/// kKilledByFault before any packet moves that cycle; under kDeflect they
+/// stay queued and the router deflects them on their next hop.  Determinism:
+/// an *empty* schedule is bitwise identical to passing schedule == nullptr,
+/// and a schedule whose events all sit at cycle 0 is bitwise identical to
+/// the equivalent pre-faulted static FaultSet (events at cycle c apply
+/// before cycle c routes any packet).
 FaultSaturationPoint simulate_saturation_faulty(int n, double offered_load, u64 cycles,
                                                 u64 seed, const FaultSet& faults,
                                                 const FaultRoutingOptions& options = {},
@@ -124,7 +141,8 @@ FaultSaturationPoint simulate_saturation_faulty(int n, double offered_load, u64 
                                                 const CancelToken* cancel = nullptr,
                                                 obs::TimeSeries* timeseries = nullptr,
                                                 obs::OccupancyFrames* frames = nullptr,
-                                                obs::FlightRecorder* flight = nullptr);
+                                                obs::FlightRecorder* flight = nullptr,
+                                                const FaultSchedule* schedule = nullptr);
 
 /// BFS oracle on the faulted fabric (alive forward links plus stage-n ->
 /// stage-0 recirculation): out[d] != 0 iff (d, stage n) is reachable from

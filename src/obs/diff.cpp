@@ -119,18 +119,34 @@ FlatReport flatten(const RunReport& report, const DiffOptions& options) {
   // apply cleanly.
   if (const json::Value* fl = report.doc.find("flight")) {
     const json::Value& traces = fl->at("traces");
+    // Per-reason drop counts (codes 0..4 = the kFlightDrop* constants): a
+    // faulty run's drops are a mix of queue-full, budget, endpoint, and
+    // fault-kill losses, and an aggregate count would hide a regression in
+    // one bucket compensated by another.  All five keys always emit (as
+    // zeros when unused) so baseline and candidate line up.
+    constexpr std::size_t kReasons = 5;
+    static constexpr const char* kReasonName[kReasons] = {
+        "endpoint_dead", "no_alive_link", "budget_exhausted", "queue_full", "killed_by_fault"};
     double delivered = 0.0, dropped = 0.0, hops = 0.0;
+    double by_reason[kReasons] = {};
     for (std::size_t i = 0; i < traces.size(); ++i) {
       const json::Value& t = traces.at(i);
       const u64 outcome = t.at("outcome").as_u64();
       if (outcome == 1) delivered += 1.0;
-      if (outcome == 2) dropped += 1.0;
+      if (outcome == 2) {
+        dropped += 1.0;
+        const u64 reason = t.at("drop_reason").as_u64();
+        if (reason < kReasons) by_reason[reason] += 1.0;
+      }
       hops += static_cast<double>(t.at("hops").size());
     }
     flat.add("flight.sampled", static_cast<double>(traces.size()));
     flat.add("flight.packets_seen", fl->at("packets_seen").as_double());
     flat.add("flight.delivered", delivered);
     flat.add("flight.dropped", dropped);
+    for (std::size_t r = 0; r < kReasons; ++r) {
+      flat.add(std::string("flight.dropped.") + kReasonName[r], by_reason[r]);
+    }
     flat.add("flight.hops", hops);
   }
   return flat;

@@ -164,7 +164,7 @@ FlightRecorder FlightRecorder::from_json(const json::Value& v) {
     t.outcome = static_cast<FlightOutcome>(outcome);
     t.end_cycle = tr.at("end_cycle").as_u64();
     t.drop_reason = tr.at("drop_reason").as_u64();
-    BFLY_REQUIRE(t.outcome != FlightOutcome::kDropped || t.drop_reason <= kFlightDropQueueFull,
+    BFLY_REQUIRE(t.outcome != FlightOutcome::kDropped || t.drop_reason <= kFlightDropKilledByFault,
                  "flight: bad drop reason code");
     const json::Value& hops = tr.at("hops");
     BFLY_REQUIRE(hops.is_array(), "flight: hops must be an array");

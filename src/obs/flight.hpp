@@ -68,6 +68,7 @@ inline constexpr u64 kFlightDropEndpointDead = 0;
 inline constexpr u64 kFlightDropNoAliveLink = 1;
 inline constexpr u64 kFlightDropBudgetExhausted = 2;
 inline constexpr u64 kFlightDropQueueFull = 3;
+inline constexpr u64 kFlightDropKilledByFault = 4;  ///< link died mid-flight
 
 /// One hop: the packet entered `link`'s FIFO during `cycle` via `event`.
 struct FlightHop {

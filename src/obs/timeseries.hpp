@@ -42,6 +42,7 @@ inline constexpr std::string_view kChannelDelivered = "delivered";  // cumulativ
 inline constexpr std::string_view kChannelDropped = "dropped";      // cumulative
 inline constexpr std::string_view kChannelLatencySum = "latency_sum";  // cumulative
 inline constexpr std::string_view kChannelArenaFill = "arena_fill";    // live/capacity
+inline constexpr std::string_view kChannelDeadLinks = "dead_links";    // live fault epoch
 
 /// Fixed-budget multi-channel sample store with deterministic power-of-two
 /// cycle-indexed downsampling.  Rows are (cycle, values[num_channels]).

@@ -310,7 +310,7 @@ SaturationPoint simulate_saturation(int n, double offered_load, u64 cycles, u64 
     in_flight += cycle_injections;
     depth_hist.observe(static_cast<double>(in_flight));
     probe.on_injected(cycle_injections);
-    probe.sample(cycle, arena, in_flight);
+    probe.sample(cycle, arena, in_flight, /*dead_links=*/0);
   }
   latency_hist.flush();
   depth_hist.flush();

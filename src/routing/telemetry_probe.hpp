@@ -42,7 +42,7 @@ class SaturationProbe {
     rows_ = rows;
     if (series_ != nullptr) {
       std::vector<std::string> channels;
-      channels.reserve(static_cast<std::size_t>(n) + 6);
+      channels.reserve(static_cast<std::size_t>(n) + 7);
       for (int s = 0; s < n; ++s) channels.push_back("stage" + std::to_string(s));
       channels.emplace_back(obs::kChannelInFlight);
       channels.emplace_back(obs::kChannelInjected);
@@ -50,6 +50,7 @@ class SaturationProbe {
       channels.emplace_back(obs::kChannelDropped);
       channels.emplace_back(obs::kChannelLatencySum);
       channels.emplace_back(obs::kChannelArenaFill);
+      channels.emplace_back(obs::kChannelDeadLinks);
       row_.resize(channels.size());
       series_->reset_channels(std::move(channels));
     }
@@ -90,9 +91,12 @@ class SaturationProbe {
 
   /// End-of-cycle sampling hook.  `in_flight` must equal the number of
   /// packets resident in the arena (both engines maintain exactly that
-  /// invariant at end of cycle).
+  /// invariant at end of cycle).  `dead_links` is the fabric's current dead
+  /// link count — constant for static fault sets, time-varying under a live
+  /// fault schedule (the sampled series makes the fault epoch visible), and
+  /// 0 on the pristine engine.
   void sample([[maybe_unused]] u64 cycle, [[maybe_unused]] const PacketArena& arena,
-              [[maybe_unused]] u64 in_flight) {
+              [[maybe_unused]] u64 in_flight, [[maybe_unused]] u64 dead_links) {
 #if BFLY_OBS_ENABLED
     if (active_ && series_->want(cycle)) {
       std::size_t c = 0;
@@ -112,6 +116,7 @@ class SaturationProbe {
       row_[c++] = arena.capacity() == 0
                       ? 0.0
                       : static_cast<double>(in_flight) / static_cast<double>(arena.capacity());
+      row_[c++] = static_cast<double>(dead_links);
       series_->record(cycle, row_);
     }
     if (frames_ != nullptr && frames_->want(cycle)) {

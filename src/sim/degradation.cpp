@@ -1,6 +1,8 @@
 #include "sim/degradation.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <string>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -10,6 +12,17 @@ namespace bfly {
 DegradationSweep degradation_sweep(int n, std::span<const double> rates, u64 seed,
                                    const DegradationOptions& options) {
   BFLY_REQUIRE(n >= 1 && n <= 30, "butterfly dimension must be in [1, 30]");
+  BFLY_REQUIRE(options.routing.misroute_budget >= 0, "misroute_budget must be non-negative");
+  BFLY_REQUIRE(options.routing.wrap_budget >= 0, "wrap_budget must be non-negative");
+  // Reject bad rates before any fault set is built, naming the offending
+  // index (the validate_sweep_point style): a NaN or out-of-range rate would
+  // otherwise surface as an opaque failure deep inside FaultSet.
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    const std::string where = "degradation rate " + std::to_string(i) + ": ";
+    BFLY_REQUIRE(std::isfinite(rates[i]), where + "rate must be finite");
+    BFLY_REQUIRE(rates[i] >= 0.0 && rates[i] <= 1.0,
+                 where + "rate is a probability (must be in [0, 1])");
+  }
   // Build every rate's fault set up front (serial, deterministic); the
   // per-rate queued simulations are independent and can then run as one
   // batched sweep on any driver.  The outcomes are bitwise identical to the

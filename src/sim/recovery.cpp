@@ -1,0 +1,224 @@
+#include "sim/recovery.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace bfly {
+
+namespace {
+
+/// Per-sample delivered rate (packets/cycle) from the cumulative delivered
+/// channel: rate[i] averages the deliveries between sample i-1 and sample i
+/// (rate[0] averages from cycle 0).  Downsampling-safe — the cumulative
+/// channel survives the series' stride doubling exactly.
+std::vector<double> delivered_rate(const obs::TimeSeries& ts, std::size_t delivered_ch) {
+  const std::vector<u64>& cycles = ts.cycles();
+  std::vector<double> rate(cycles.size(), 0.0);
+  for (std::size_t i = 0; i < cycles.size(); ++i) {
+    const double prev = i > 0 ? ts.value(i - 1, delivered_ch) : 0.0;
+    const u64 prev_cycle = i > 0 ? cycles[i - 1] : 0;
+    const u64 span = cycles[i] - prev_cycle + (i == 0 ? 1 : 0);
+    rate[i] = span > 0 ? (ts.value(i, delivered_ch) - prev) / static_cast<double>(span) : 0.0;
+  }
+  return rate;
+}
+
+double window_mean(std::span<const double> values, std::size_t begin, std::size_t end) {
+  double sum = 0.0;
+  for (std::size_t i = begin; i < end; ++i) sum += values[i];
+  return end > begin ? sum / static_cast<double>(end - begin) : 0.0;
+}
+
+}  // namespace
+
+RecoveryAnalysis analyze_recovery(const obs::TimeSeries& timeseries,
+                                  const FaultSchedule& schedule,
+                                  const RecoveryOptions& options) {
+  BFLY_REQUIRE(options.window >= 1, "recovery window must be at least 1 sample");
+  BFLY_REQUIRE(options.tolerance >= 0.0 && options.tolerance < 1.0,
+               "recovery tolerance must be in [0, 1)");
+  RecoveryAnalysis out;
+  const std::size_t delivered_ch = timeseries.channel_index(obs::kChannelDelivered);
+  const std::size_t dropped_ch = timeseries.channel_index(obs::kChannelDropped);
+  if (delivered_ch == obs::TimeSeries::npos || dropped_ch == obs::TimeSeries::npos ||
+      timeseries.num_samples() < 2 * options.window) {
+    return out;  // not applicable; all-zero analysis
+  }
+  out.applicable = true;
+  const std::vector<u64>& cycles = timeseries.cycles();
+  const std::vector<double> rate = delivered_rate(timeseries, delivered_ch);
+  const std::size_t w = options.window;
+
+  // Distinct fail cycles, in timeline order: simultaneous failures (e.g. a
+  // chip event's whole node block) are one disturbance.
+  std::vector<u64> epochs;
+  for (const FaultEvent& e : schedule.events()) {
+    if (e.action != FaultAction::kFail) continue;
+    if (epochs.empty() || epochs.back() != e.cycle) epochs.push_back(e.cycle);
+  }
+
+  for (const u64 fault_cycle : epochs) {
+    RecoveryEvent ev;
+    ev.fault_cycle = fault_cycle;
+    // First sample at or after the epoch.
+    const std::size_t at = static_cast<std::size_t>(
+        std::lower_bound(cycles.begin(), cycles.end(), fault_cycle) - cycles.begin());
+    // Pre-event reference: the w samples strictly before the epoch.  An
+    // epoch earlier than one full window has no measurable steady state —
+    // the event is reported, but cannot recover.
+    if (at >= w) {
+      ev.pre_throughput = window_mean(rate, at - w, at);
+      const double band = ev.pre_throughput * (1.0 - options.tolerance);
+      // Departure: the first sample index r >= at whose *trailing* w-sample
+      // mean leaves the band.  Right at the epoch the window is still full
+      // of pre-event samples, so without this phase a real collapse would be
+      // declared "recovered" before the dip is even visible in the mean.
+      std::size_t departed = rate.size();
+      for (std::size_t r = std::max(at, w - 1); r < rate.size(); ++r) {
+        if (window_mean(rate, r + 1 - w, r + 1) < band) {
+          departed = r;
+          break;
+        }
+      }
+      if (departed == rate.size()) {
+        // The disturbance never pulled the windowed mean out of the band:
+        // recovered instantly, time_to_recover_cycles = 0.
+        ev.recovered = true;
+        ev.recovered_cycle = fault_cycle;
+      } else {
+        // Re-entry: the first later sample whose trailing mean is back
+        // inside — the same rolling-window mean machinery as
+        // obs::steady_state_onset, anchored at the pre-event mean instead
+        // of the tail reference, and one-sided (overshoot is recovery).
+        for (std::size_t r = departed + 1; r < rate.size(); ++r) {
+          if (window_mean(rate, r + 1 - w, r + 1) >= band) {
+            ev.recovered = true;
+            ev.recovered_cycle = cycles[r];
+            ev.time_to_recover_cycles = cycles[r] - fault_cycle;
+            break;
+          }
+        }
+      }
+    }
+    // Transient loss: cumulative dropped delta from the last pre-event
+    // sample to the recovery sample (or the end of the series).
+    const std::size_t from = at > 0 ? at - 1 : 0;
+    const std::size_t to = ev.recovered
+                               ? static_cast<std::size_t>(
+                                     std::lower_bound(cycles.begin(), cycles.end(),
+                                                      ev.recovered_cycle) -
+                                     cycles.begin())
+                               : timeseries.num_samples() - 1;
+    const double lost =
+        timeseries.value(to, dropped_ch) - timeseries.value(from, dropped_ch);
+    ev.packets_lost = lost > 0.0 ? static_cast<u64>(lost) : 0;
+    if (ev.recovered) ++out.events_recovered;
+    out.packets_lost_total += ev.packets_lost;
+    out.events.push_back(ev);
+  }
+
+  // Residual degradation after everything settled: final-window mean over
+  // the first epoch's pre-event steady state.
+  for (const RecoveryEvent& ev : out.events) {
+    if (ev.pre_throughput > 0.0) {
+      out.residual_throughput =
+          window_mean(rate, rate.size() - w, rate.size()) / ev.pre_throughput;
+      break;
+    }
+  }
+  return out;
+}
+
+AvailabilitySweep availability_sweep(int n, std::span<const u64> mtbf,
+                                     std::span<const u64> mttr, u64 seed,
+                                     const AvailabilityOptions& options) {
+  BFLY_REQUIRE(n >= 1 && n <= 30, "butterfly dimension must be in [1, 30]");
+  BFLY_REQUIRE(mtbf.size() == mttr.size(),
+               "availability_sweep: mtbf and mttr spans must pair up");
+  for (std::size_t i = 0; i < mtbf.size(); ++i) {
+    const std::string where = "availability pair " + std::to_string(i) + ": ";
+    BFLY_REQUIRE(mtbf[i] >= 2, where + "mtbf must be >= 2 cycles");
+    BFLY_REQUIRE(mttr[i] >= 1, where + "mttr must be >= 1 cycle");
+  }
+  AvailabilitySweep sweep;
+  sweep.schedules.reserve(mtbf.size());
+  for (std::size_t i = 0; i < mtbf.size(); ++i) {
+    FaultSchedule s = FaultSchedule::random_links(
+        n, mtbf[i], mttr[i], options.sim_cycles, seed ^ (0x9e3779b97f4a7c15ULL * (i + 1)));
+    s.set_link_death_policy(options.link_death);
+    sweep.schedules.push_back(std::move(s));
+  }
+  sweep.sweep_points.resize(mtbf.size() + 1);
+  for (std::size_t i = 0; i < sweep.sweep_points.size(); ++i) {
+    SweepPoint& sp = sweep.sweep_points[i];
+    sp.n = n;
+    sp.offered_load = options.offered_load;
+    sp.cycles = options.sim_cycles;
+    sp.seed = seed;
+    sp.warmup_cycles = options.sim_warmup;
+    sp.queue_capacity = options.queue_capacity;
+    sp.telemetry_budget = options.telemetry_budget;
+    sp.routing = options.routing;
+    // Point 0 is the pristine baseline the availability ratio divides by.
+    if (i > 0) sp.schedule = &sweep.schedules[i - 1];
+  }
+  return sweep;
+}
+
+std::vector<AvailabilityPoint> availability_curve_from(int n, std::span<const u64> mtbf,
+                                                       std::span<const u64> mttr, u64 /*seed*/,
+                                                       const AvailabilityOptions& options,
+                                                       const AvailabilitySweep& sweep,
+                                                       std::span<const SweepOutcome> sims) {
+  BFLY_REQUIRE(n >= 1 && n <= 30, "butterfly dimension must be in [1, 30]");
+  BFLY_REQUIRE(sweep.schedules.size() == mtbf.size() && mtbf.size() == mttr.size(),
+               "availability_curve_from: sweep does not match the mtbf/mttr spans");
+  BFLY_REQUIRE(sims.size() == mtbf.size() + 1,
+               "availability_curve_from: outcome count does not match the sweep");
+  const u64 baseline_delivered = sims[0].point.delivered;
+  std::vector<AvailabilityPoint> curve;
+  curve.reserve(mtbf.size());
+  for (std::size_t i = 0; i < mtbf.size(); ++i) {
+    const SweepOutcome& sim = sims[i + 1];
+    AvailabilityPoint pt;
+    pt.mtbf = mtbf[i];
+    pt.mttr = mttr[i];
+    pt.fail_events = sim.live.fail_events;
+    pt.repair_events = sim.live.repair_events;
+    pt.availability = baseline_delivered > 0
+                          ? static_cast<double>(sim.point.delivered) /
+                                static_cast<double>(baseline_delivered)
+                          : 0.0;
+    pt.packets_killed = sim.tally.dropped[drop_index(DropReason::kKilledByFault)];
+    const RecoveryAnalysis rec =
+        analyze_recovery(sim.timeseries, sweep.schedules[i], options.recovery);
+    pt.events_total = rec.events.size();
+    pt.events_recovered = rec.events_recovered;
+    pt.packets_lost = rec.packets_lost_total;
+    u64 ttr_sum = 0;
+    for (const RecoveryEvent& ev : rec.events) {
+      if (ev.recovered) ttr_sum += ev.time_to_recover_cycles;
+    }
+    pt.avg_time_to_recover =
+        rec.events_recovered > 0
+            ? static_cast<double>(ttr_sum) / static_cast<double>(rec.events_recovered)
+            : 0.0;
+    obs::set(obs::get_gauge("fault.availability"), pt.availability);
+    curve.push_back(pt);
+  }
+  return curve;
+}
+
+std::vector<AvailabilityPoint> availability_curve(int n, std::span<const u64> mtbf,
+                                                  std::span<const u64> mttr, u64 seed,
+                                                  const AvailabilityOptions& options) {
+  BFLY_TRACE_SCOPE("fault.availability_curve");
+  const AvailabilitySweep sweep = availability_sweep(n, mtbf, mttr, seed, options);
+  const std::vector<SweepOutcome> sims = saturation_sweep(sweep.sweep_points);
+  return availability_curve_from(n, mtbf, mttr, seed, options, sweep, sims);
+}
+
+}  // namespace bfly

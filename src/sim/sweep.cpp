@@ -1,6 +1,7 @@
 #include "sim/sweep.hpp"
 
 #include <cmath>
+#include <optional>
 #include <string>
 
 #include "obs/metrics.hpp"
@@ -23,9 +24,16 @@ void validate_sweep_point(const SweepPoint& point, std::size_t index) {
                where + "telemetry_budget must be 0 (off) or >= 2 samples");
   BFLY_REQUIRE(point.flight_budget <= (u64{1} << 32),
                where + "flight_budget is a per-point trace cap, not a packet count");
+  BFLY_REQUIRE(point.routing.misroute_budget >= 0,
+               where + "misroute_budget must be non-negative");
+  BFLY_REQUIRE(point.routing.wrap_budget >= 0, where + "wrap_budget must be non-negative");
   if (point.faults != nullptr) {
     BFLY_REQUIRE(point.faults->dimension() == point.n,
                  where + "fault set dimension does not match n");
+  }
+  if (point.schedule != nullptr) {
+    BFLY_REQUIRE(point.schedule->dimension() == point.n,
+                 where + "fault schedule dimension does not match n");
   }
 }
 
@@ -65,17 +73,24 @@ std::vector<SweepOutcome> saturation_sweep(std::span<const SweepPoint> points,
                            obs::FlightRecorder flight = make_flight_recorder(p);
                            obs::FlightRecorder* flight_ptr =
                                flight.enabled() ? &flight : nullptr;
-                           if (p.faults == nullptr) {
+                           if (!sweep_point_is_faulty(p)) {
                              outcomes[i].point = simulate_saturation(
                                  p.n, p.offered_load, p.cycles, p.seed, p.warmup_cycles,
                                  p.queue_capacity, nullptr, ts_ptr, nullptr, flight_ptr);
                            } else {
+                             // A scheduled point without a static fault set
+                             // starts from the pristine base.
+                             std::optional<FaultSet> empty_base;
+                             if (p.faults == nullptr) empty_base.emplace(p.n);
+                             const FaultSet& base =
+                                 p.faults != nullptr ? *p.faults : *empty_base;
                              const FaultSaturationPoint fsp = simulate_saturation_faulty(
-                                 p.n, p.offered_load, p.cycles, p.seed, *p.faults, p.routing,
+                                 p.n, p.offered_load, p.cycles, p.seed, base, p.routing,
                                  p.warmup_cycles, p.queue_capacity, nullptr, ts_ptr, nullptr,
-                                 flight_ptr);
+                                 flight_ptr, p.schedule);
                              outcomes[i].point = fsp.point;
                              outcomes[i].tally = fsp.tally;
+                             outcomes[i].live = fsp.live;
                            }
                            if (!ts.empty()) outcomes[i].timeseries = std::move(ts);
                            if (!flight.empty()) outcomes[i].flight = std::move(flight);
@@ -99,7 +114,7 @@ void reset_sweep_gauges(std::span<const SweepPoint> points,
     return completed == nullptr || (*completed)[i] != 0;
   };
   for (std::size_t i = points.size(); i-- > 0;) {
-    if (points[i].faults == nullptr && is_completed(i)) {
+    if (!sweep_point_is_faulty(points[i]) && is_completed(i)) {
       obs::set(obs::get_gauge("routing.max_queue"),
                static_cast<double>(outcomes[i].point.max_queue));
       obs::set(obs::get_gauge("routing.throughput"), outcomes[i].point.throughput);
@@ -107,7 +122,7 @@ void reset_sweep_gauges(std::span<const SweepPoint> points,
     }
   }
   for (std::size_t i = points.size(); i-- > 0;) {
-    if (points[i].faults != nullptr && is_completed(i)) {
+    if (sweep_point_is_faulty(points[i]) && is_completed(i)) {
       obs::set(obs::get_gauge("fault.max_queue"),
                static_cast<double>(outcomes[i].point.max_queue));
       obs::set(obs::get_gauge("fault.throughput"), outcomes[i].point.throughput);

@@ -47,7 +47,19 @@ struct SweepPoint {
   u64 flight_budget = 0;
   const FaultSet* faults = nullptr;
   FaultRoutingOptions routing{};
+  /// Live fault timeline (fault/fault_schedule.hpp); nullptr (the default)
+  /// keeps the fault world static.  A non-null schedule routes the point
+  /// through the faulty engine even when `faults` is null (the base state is
+  /// then the empty FaultSet) and joins the checkpoint identity via its
+  /// content_hash().  Must outlive the sweep call.
+  const FaultSchedule* schedule = nullptr;
 };
+
+/// True when the point needs the faulty engine: a static fault set, a live
+/// schedule, or both.  Engine dispatch and gauge bookkeeping key off this.
+inline bool sweep_point_is_faulty(const SweepPoint& point) {
+  return point.faults != nullptr || point.schedule != nullptr;
+}
 
 /// The FlightRecorder a sweep point asks for: sampling seeded by the point's
 /// own seed, with the admission threshold derived from the expected packet
@@ -66,6 +78,8 @@ obs::FlightRecorder make_flight_recorder(const SweepPoint& point);
 struct SweepOutcome {
   SaturationPoint point;
   FaultTally tally;
+  /// Schedule-application counters; all zero unless the point carried one.
+  LiveFaultStats live;
   obs::TimeSeries timeseries;
   obs::FlightRecorder flight;
 };

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 #include <vector>
 
@@ -181,7 +182,7 @@ TEST(Oracle, PristineFabricReachesEverything) {
 // generous budget) unreachable implies dropped for a terminal reason.
 TEST(Oracle, RouterNeverBeatsTheOracle) {
   const FaultRoutingOptions generous{.misroute_budget = 32, .wrap_budget = 8};
-  for (const int n : {3, 4}) {
+  for (const int n : {3, 4, 5}) {
     const u64 rows = pow2(n);
     for (const double rate : {0.05, 0.15, 0.3}) {
       for (const u64 seed : {1ull, 2ull, 3ull}) {
@@ -373,6 +374,26 @@ TEST(FaultValidation, RejectsOutOfRangeDimension) {
   EXPECT_THROW(measure_link_loads_faulty(4, 100, 1, f), InvalidArgument);
   EXPECT_THROW(simulate_saturation_faulty(4, 0.5, 100, 1, f), InvalidArgument);
   EXPECT_THROW(route_packet(4, f, {}, 0, 1), InvalidArgument);
+}
+
+TEST(FaultValidation, DegradationRejectsBadBudgetsAndRates) {
+  DegradationOptions options;
+  options.routing.misroute_budget = -1;
+  EXPECT_THROW(degradation_sweep(4, std::vector<double>{0.1}, 1, options), InvalidArgument);
+  options.routing.misroute_budget = 8;
+  options.routing.wrap_budget = -2;
+  EXPECT_THROW(degradation_sweep(4, std::vector<double>{0.1}, 1, options), InvalidArgument);
+  options.routing.wrap_budget = 2;
+  // Bad rates are rejected up front with the offending index in the message.
+  const std::vector<double> nan_rate = {0.1, std::nan("")};
+  try {
+    degradation_sweep(4, nan_rate, 1, options);
+    FAIL() << "NaN rate accepted";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("rate 1"), std::string::npos) << e.what();
+  }
+  EXPECT_THROW(degradation_sweep(4, std::vector<double>{-0.1}, 1, options), InvalidArgument);
+  EXPECT_THROW(degradation_sweep(4, std::vector<double>{1.5}, 1, options), InvalidArgument);
 }
 
 // --- degradation curve ------------------------------------------------------

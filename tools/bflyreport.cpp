@@ -24,6 +24,13 @@
 //       (queue wait + transit + detour == latency), followed by the
 //       per-link / per-stage wait blame table.
 //
+//   bflyreport recovery <report.json>
+//       Live-fault recovery analytics from a report's artifact_stats: the
+//       per-event recovery table (fault cycle, pre-fault throughput,
+//       time-to-recover, transient packet loss) a scheduled bench run
+//       exports, the spare-chip failover counters, and the MTBF/MTTR
+//       availability curve.
+//
 //   bflyreport watch <telemetry.jsonl> [--once] [--interval-ms <n>]
 //       Tails the live-progress JSONL stream a resumable sweep appends
 //       ($BFLY_TELEMETRY_FILE / SweepRunOptions.telemetry_path) and renders
@@ -65,6 +72,7 @@ int usage() {
                "  bflyreport check --baseline <dir> [--thresholds <file>] [--reports <dir>]\n"
                "                   [--bench-dir <dir>]\n"
                "  bflyreport paths <report.json> [--top <k>]\n"
+               "  bflyreport recovery <report.json>\n"
                "  bflyreport watch <telemetry.jsonl> [--once] [--interval-ms <n>]\n");
   return 2;
 }
@@ -436,6 +444,72 @@ int run_paths(std::vector<std::string> args) {
   return 0;
 }
 
+// --- recovery ----------------------------------------------------------------
+
+int run_recovery(std::vector<std::string> args) {
+  if (args.size() != 1) return usage();
+  const obs::RunReport report = obs::RunReport::load(args[0]);
+  const json::Value* stats = report.doc.find("artifact_stats");
+  const json::Value* recovery = stats != nullptr ? stats->find("recovery") : nullptr;
+  const json::Value* live = stats != nullptr ? stats->find("live_fault") : nullptr;
+  const json::Value* availability = stats != nullptr ? stats->find("availability") : nullptr;
+  if (recovery == nullptr && live == nullptr && availability == nullptr) {
+    std::fprintf(stderr,
+                 "bflyreport: report '%s' has no recovery/live_fault/availability artifacts"
+                 " (record them by running a sweep point with a FaultSchedule attached)\n",
+                 args[0].c_str());
+    return 2;
+  }
+  std::cout << "# bflyreport recovery — " << report.name << "\n";
+
+  if (live != nullptr) {
+    std::cout << "\n## live fault counters\n\n| counter | value |\n|---|---:|\n";
+    for (const auto& [key, value] : live->members()) {
+      std::cout << "| " << key << " | " << obs::format_metric_value(value.as_double())
+                << " |\n";
+    }
+  }
+
+  if (recovery != nullptr) {
+    std::cout << "\n## recovery per fail epoch\n\n"
+              << "| fault cycle | pre throughput | recovered | recovered cycle |"
+                 " time to recover | packets lost |\n|---:|---:|---|---:|---:|---:|\n";
+    for (std::size_t i = 0; i < recovery->size(); ++i) {
+      const json::Value& ev = recovery->at(i);
+      std::cout << "| " << ev.at("fault_cycle").as_u64() << " | "
+                << obs::format_metric_value(ev.at("pre_throughput").as_double()) << " | "
+                << (ev.at("recovered").as_bool() ? "yes" : "NO") << " | "
+                << ev.at("recovered_cycle").as_u64() << " | "
+                << ev.at("time_to_recover_cycles").as_u64() << " | "
+                << ev.at("packets_lost").as_u64() << " |\n";
+    }
+    const json::Value* residual = stats->find("failover_residual_throughput");
+    if (residual != nullptr) {
+      std::cout << "\nresidual throughput after all repairs: "
+                << obs::format_metric_value(residual->as_double())
+                << " of the pre-fault steady state\n";
+    }
+  }
+
+  if (availability != nullptr) {
+    std::cout << "\n## availability curve\n\n"
+              << "| mtbf | mttr | fails | repairs | availability | recovered | avg ttr |"
+                 " lost | killed |\n|---:|---:|---:|---:|---:|---:|---:|---:|---:|\n";
+    for (std::size_t i = 0; i < availability->size(); ++i) {
+      const json::Value& pt = availability->at(i);
+      std::cout << "| " << pt.at("mtbf").as_u64() << " | " << pt.at("mttr").as_u64() << " | "
+                << pt.at("fail_events").as_u64() << " | " << pt.at("repair_events").as_u64()
+                << " | " << obs::format_metric_value(pt.at("availability").as_double())
+                << " | " << pt.at("events_recovered").as_u64() << "/"
+                << pt.at("events_total").as_u64() << " | "
+                << obs::format_metric_value(pt.at("avg_time_to_recover").as_double()) << " | "
+                << pt.at("packets_lost").as_u64() << " | " << pt.at("packets_killed").as_u64()
+                << " |\n";
+    }
+  }
+  return 0;
+}
+
 // --- watch -------------------------------------------------------------------
 
 /// Everything the watch renderer knows, folded record by record from the
@@ -673,6 +747,7 @@ int main(int argc, char** argv) {
     if (command == "trend") return run_trend(std::move(args));
     if (command == "check") return run_check(std::move(args));
     if (command == "paths") return run_paths(std::move(args));
+    if (command == "recovery") return run_recovery(std::move(args));
     if (command == "watch") return run_watch(std::move(args));
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bflyreport: %s\n", e.what());
