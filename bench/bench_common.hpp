@@ -21,8 +21,48 @@
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "util/fileio.hpp"
+#include "util/parallel.hpp"
 
 namespace bfly::bench {
+
+/// Resolves the worker-thread override for a bench binary and strips it from
+/// argv before google-benchmark sees the flags it doesn't know.  Accepted
+/// spellings: `--threads N`, `--threads=N`, and the $BFLY_THREADS environment
+/// variable (the flag wins when both are given).  Returns 0 when no override
+/// is present (callers pass that through to SweepRunOptions.threads, which
+/// means "auto").  A malformed value — "4x", "0", "-2", "" — is a usage
+/// error: the bench prints a diagnostic to stderr and exits with status 2,
+/// the same contract bflyreport uses, instead of silently falling back and
+/// reporting timings for a parallelism the user did not ask for.
+inline std::size_t threads_override(int* argc, char** argv) {
+  const auto reject = [](const std::string& source, const char* text) {
+    std::cerr << "error: " << source << " must be an integer in [1, 4096], got '"
+              << (text == nullptr ? "" : text) << "'\n";
+    std::exit(2);
+  };
+  std::size_t threads = 0;
+  if (const char* env = std::getenv("BFLY_THREADS")) {
+    if (!parse_thread_count(env, &threads)) reject("$BFLY_THREADS", env);
+  }
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    const char* value = nullptr;
+    if (arg == "--threads") {
+      if (i + 1 >= *argc) reject("--threads", "");
+      value = argv[++i];
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      value = argv[i] + std::string("--threads=").size();
+    } else {
+      argv[out++] = argv[i];
+      continue;
+    }
+    if (!parse_thread_count(value, &threads)) reject("--threads", value);
+  }
+  *argc = out;
+  argv[out] = nullptr;  // benchmark::Initialize expects a null-terminated argv
+  return threads;
+}
 
 /// Installs a process-wide metrics/trace registry for the duration of main().
 /// Construct first thing in main(); every instrumented library call after
@@ -106,6 +146,7 @@ class BenchSession {
   std::vector<SweepOutcome> resilient_sweep(const std::string& tag,
                                             std::span<const SweepPoint> points) {
     exec::SweepRunOptions opt;
+    opt.threads = threads;
     if (const char* dir = std::getenv("BFLY_CHECKPOINT_DIR")) {
       if (dir[0] != '\0') {
         opt.checkpoint_path = std::string(dir) + "/" + options_.name + "." + tag + ".ckpt";
@@ -159,6 +200,13 @@ class BenchSession {
     obs::write_report_line(line, registry_, options_);
     util::atomic_write_file(path, line.str());
   }
+
+  /// Worker-thread override applied to every resilient_sweep (0 = auto, i.e.
+  /// default_thread_count()).  Set from threads_override() in main() before
+  /// the first sweep.  Per-point outcomes are bitwise independent of this —
+  /// it only changes wall-clock — so benches record it in config as run
+  /// metadata, not as part of the result's identity.
+  std::size_t threads = 0;
 
  private:
   obs::Registry registry_;

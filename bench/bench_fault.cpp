@@ -351,7 +351,10 @@ BENCHMARK(BM_ExactReachability)->Arg(8)->Arg(10)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::size_t threads = bfly::bench::threads_override(&argc, argv);
   bfly::bench::BenchSession session("bench_fault");
+  session.threads = threads;
+  session.config("threads", static_cast<double>(threads));
   session.config("curve_n", kCurveN);
   session.config("curve_seed", static_cast<double>(kCurveSeed));
   session.config("census_packets", 500'000);

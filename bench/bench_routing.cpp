@@ -364,7 +364,10 @@ BENCHMARK(BM_SaturationSim)->Arg(6)->Arg(8)->Arg(10)->Unit(benchmark::kMilliseco
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::size_t threads = bfly::bench::threads_override(&argc, argv);
   bfly::bench::BenchSession session("bench_routing");
+  session.threads = threads;
+  session.config("threads", static_cast<double>(threads));
   session.config("saturation_n", 8);
   session.config("saturation_cycles", 4000);
   session.config("census_packets", 2'000'000);

@@ -31,21 +31,54 @@
 // Every artifact is written crash-safely (util::atomic_write_file: tmp +
 // fsync + rename), so readers never observe a torn file.
 //
-// Run:  ./quickstart [n]    (default n = 6)
+// Run:  ./quickstart [n] [--threads N]    (default n = 6, threads auto;
+// $BFLY_THREADS is honoured when the flag is absent)
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
+#include <string>
 #include <vector>
 
 #include "core/bfly.hpp"
 #include "util/fileio.hpp"
+#include "util/parallel.hpp"
 
 int main(int argc, char** argv) {
   using namespace bfly;
-  const int n = argc > 1 ? std::atoi(argv[1]) : 6;
+  // --threads N (or $BFLY_THREADS) bounds the sweep's worker threads; a
+  // malformed value is a usage error (exit 2), never a silent fallback.
+  std::size_t threads = 0;
+  if (const char* env = std::getenv("BFLY_THREADS")) {
+    if (!parse_thread_count(env, &threads)) {
+      std::fprintf(stderr, "error: $BFLY_THREADS must be an integer in [1, 4096], got '%s'\n", env);
+      return 2;
+    }
+  }
+  int n = 6;
+  bool saw_n = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* value = nullptr;
+    if (arg == "--threads") {
+      value = i + 1 < argc ? argv[++i] : "";
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      value = argv[i] + std::string("--threads=").size();
+    } else if (!saw_n) {
+      n = std::atoi(argv[i]);
+      saw_n = true;
+      continue;
+    } else {
+      std::fprintf(stderr, "usage: %s [n in 3..15] [--threads N]\n", argv[0]);
+      return 2;
+    }
+    if (!parse_thread_count(value, &threads)) {
+      std::fprintf(stderr, "error: --threads must be an integer in [1, 4096], got '%s'\n", value);
+      return 2;
+    }
+  }
   if (n < 3 || n > 15) {
-    std::fprintf(stderr, "usage: %s [n in 3..15]\n", argv[0]);
+    std::fprintf(stderr, "usage: %s [n in 3..15] [--threads N]\n", argv[0]);
     return 1;
   }
 
@@ -196,6 +229,7 @@ int main(int argc, char** argv) {
     sweep_points.push_back(p);
   }
   exec::SweepRunOptions sweep_options;
+  sweep_options.threads = threads;  // 0 = auto; outcomes are thread-invariant
   sweep_options.checkpoint_path = "quickstart.sweep.ckpt";
   const exec::SweepRun sweep = exec::run_sweep_resumable(sweep_points, sweep_options);
   std::printf("\nResilient sweep (checkpoint quickstart.sweep.ckpt): %s, %llu/%llu points"

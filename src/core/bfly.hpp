@@ -32,6 +32,7 @@
 #include "packaging/hierarchical.hpp"
 #include "packaging/partition.hpp"
 #include "routing/routing.hpp"
+#include "routing/sharded_sim.hpp"
 #include "sim/degradation.hpp"
 #include "sim/recovery.hpp"
 #include "sim/sweep.hpp"

@@ -117,6 +117,9 @@ std::string sweep_point_key(const SweepPoint& point) {
   h.update(point.queue_capacity);
   h.update(point.telemetry_budget);
   h.update(point.flight_budget);
+  // v5: the sharded engine's per-row-block RNG decomposition makes
+  // shard_count outcome-relevant, so it keys distinct records (0 = serial).
+  h.update(point.shard_count);
   h.update(static_cast<u64>(static_cast<i64>(point.routing.misroute_budget)));
   h.update(static_cast<u64>(static_cast<i64>(point.routing.wrap_budget)));
   if (point.faults == nullptr) {

@@ -4,7 +4,6 @@
 #include <atomic>
 #include <chrono>
 #include <mutex>
-#include <optional>
 #include <thread>
 
 #include "exec/checkpoint.hpp"
@@ -198,23 +197,10 @@ SweepRun run_sweep_resumable(std::span<const SweepPoint> points,
       obs::FlightRecorder* flight_ptr = flight.enabled() ? &flight : nullptr;
       try {
         if (options.before_point) options.before_point(i, attempt);
-        if (!sweep_point_is_faulty(p)) {
-          outcome.point = simulate_saturation(p.n, p.offered_load, p.cycles, p.seed,
-                                              p.warmup_cycles, p.queue_capacity, token, ts_ptr,
-                                              nullptr, flight_ptr);
-        } else {
-          // Mirror saturation_sweep's dispatch exactly: a scheduled point
-          // without a static fault set starts from the pristine base.
-          std::optional<FaultSet> empty_base;
-          if (p.faults == nullptr) empty_base.emplace(p.n);
-          const FaultSet& base = p.faults != nullptr ? *p.faults : *empty_base;
-          const FaultSaturationPoint fsp = simulate_saturation_faulty(
-              p.n, p.offered_load, p.cycles, p.seed, base, p.routing, p.warmup_cycles,
-              p.queue_capacity, token, ts_ptr, nullptr, flight_ptr, p.schedule);
-          outcome.point = fsp.point;
-          outcome.tally = fsp.tally;
-          outcome.live = fsp.live;
-        }
+        // Engine dispatch (serial pristine/faulty, sharded, schedule base
+        // state) lives in run_sweep_point — the same helper saturation_sweep
+        // uses, so the two layers can never drift apart.
+        outcome = run_sweep_point(p, token, ts_ptr, flight_ptr);
         // The token may have tripped mid-simulation, leaving a partial (or
         // even complete but indistinguishable) outcome: discard it — flight
         // traces included, so the journal never holds a torn trace.  The

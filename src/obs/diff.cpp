@@ -315,13 +315,44 @@ std::vector<RunReport> load_report_lines(const std::string& path, std::ostream* 
   return reports;
 }
 
+namespace {
+
+/// The config object minus the "threads" key: worker count is execution
+/// metadata (outcomes are thread-invariant), so it must not break
+/// comparability.  Everything else — shard_count included, since a sharded
+/// run is different bits — stays part of the identity.
+json::Value comparable_config(const json::Value& config) {
+  json::Value out = json::Value::object();
+  for (const auto& [key, value] : config.members()) {
+    if (key == "threads") continue;
+    out.set(key, value);
+  }
+  return out;
+}
+
+/// Short label for a numeric config key: "auto" for threads 0, the integer
+/// otherwise, "" when the report predates the key.
+std::string config_label(const RunReport& r, std::string_view key, bool zero_is_auto) {
+  const json::Value* config = r.doc.find("config");
+  const json::Value* v = config != nullptr ? config->find(key) : nullptr;
+  if (v == nullptr || !v->is_number()) return "";
+  const double d = v->as_double();
+  if (zero_is_auto && d == 0.0) return "auto";
+  std::ostringstream out;
+  out << static_cast<long long>(d);
+  return out.str();
+}
+
+}  // namespace
+
 ReportDiff diff_reports(const RunReport& a, const RunReport& b, const DiffOptions& options) {
   if (a.name != b.name) {
     throw InvalidArgument("diff: reports name different runs ('" + a.name + "' vs '" + b.name +
                           "')");
   }
   if (options.require_matching_config &&
-      a.doc.at("config").dump() != b.doc.at("config").dump()) {
+      comparable_config(a.doc.at("config")).dump() !=
+          comparable_config(b.doc.at("config")).dump()) {
     throw InvalidArgument("diff: run configs differ for '" + a.name +
                           "': " + a.doc.at("config").dump() + " vs " + b.doc.at("config").dump());
   }
@@ -332,6 +363,10 @@ ReportDiff diff_reports(const RunReport& a, const RunReport& b, const DiffOption
   diff.run_b = b.run_id;
   diff.git_a = a.git_describe;
   diff.git_b = b.git_describe;
+  diff.threads_a = config_label(a, "threads", /*zero_is_auto=*/true);
+  diff.threads_b = config_label(b, "threads", /*zero_is_auto=*/true);
+  diff.shard_count_a = config_label(a, "shard_count", /*zero_is_auto=*/false);
+  diff.shard_count_b = config_label(b, "shard_count", /*zero_is_auto=*/false);
 
   const FlatReport fa = flatten(a, options);
   const FlatReport fb = flatten(b, options);
@@ -542,7 +577,26 @@ std::string render_diff_markdown(const ReportDiff& diff, const Thresholds* thres
   std::ostringstream out;
   out << "# bflyreport diff — " << diff.name << "\n\n";
   out << "runs: `" << diff.run_a << "` (" << diff.git_a << ") → `" << diff.run_b << "` ("
-      << diff.git_b << ")\n\n";
+      << diff.git_b << ")\n";
+  // Parallelism metadata, when either side recorded it: threads is
+  // wall-clock-only context, shard_count names the engine variant.
+  if (!diff.threads_a.empty() || !diff.threads_b.empty() || !diff.shard_count_a.empty() ||
+      !diff.shard_count_b.empty()) {
+    const auto arrow = [](const std::string& x, const std::string& y) {
+      const std::string lhs = x.empty() ? "?" : x;
+      const std::string rhs = y.empty() ? "?" : y;
+      return lhs == rhs ? lhs : lhs + " → " + rhs;
+    };
+    out << "parallelism:";
+    if (!diff.threads_a.empty() || !diff.threads_b.empty()) {
+      out << " threads " << arrow(diff.threads_a, diff.threads_b);
+    }
+    if (!diff.shard_count_a.empty() || !diff.shard_count_b.empty()) {
+      out << " shard_count " << arrow(diff.shard_count_a, diff.shard_count_b);
+    }
+    out << "\n";
+  }
+  out << "\n";
   out << "| metric | before | after | delta | delta% |";
   if (thresholds != nullptr) out << " status |";
   out << "\n|---|---:|---:|---:|---:|";

@@ -52,10 +52,21 @@ class PacketArena {
 
   /// An empty arena over `links` FIFOs.  `initial_slots` preallocates packet
   /// capacity; the arena grows geometrically (amortized) beyond it.
+  ///
+  /// Both counts must fit the arena's 32-bit index width (kNil is the
+  /// sentinel): slot ids are u32, and link FIFOs chain through those slots,
+  /// so a dimension large enough to exceed them must fail loudly here rather
+  /// than wrap deep inside a run.  The checks run before any allocation — an
+  /// oversized request throws without first trying to reserve terabytes.
   explicit PacketArena(u64 links, bool with_budgets = false, bool with_flight = false,
                        std::size_t initial_slots = 4096)
-      : with_budgets_(with_budgets), with_flight_(with_flight), q_(links),
-        occupied_((links + 63) / 64, 0) {
+      : with_budgets_(with_budgets), with_flight_(with_flight) {
+    BFLY_REQUIRE(links < static_cast<u64>(kNil),
+                 "PacketArena: link count exceeds the 32-bit index width");
+    BFLY_REQUIRE(initial_slots < static_cast<std::size_t>(kNil),
+                 "PacketArena: initial slot count exceeds the 32-bit index width");
+    q_.resize(links);
+    occupied_.resize((links + 63) / 64, 0);
     grow(initial_slots);
   }
 

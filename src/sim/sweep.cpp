@@ -6,6 +6,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "routing/sharded_sim.hpp"
 #include "util/parallel.hpp"
 
 namespace bfly {
@@ -35,6 +36,9 @@ void validate_sweep_point(const SweepPoint& point, std::size_t index) {
     BFLY_REQUIRE(point.schedule->dimension() == point.n,
                  where + "fault schedule dimension does not match n");
   }
+  BFLY_REQUIRE(point.shard_count == 0 ||
+                   (is_pow2(point.shard_count) && point.shard_count <= pow2(point.n)),
+               where + "shard_count must be 0 (serial) or a power of two at most 2^n");
 }
 
 obs::FlightRecorder make_flight_recorder(const SweepPoint& point) {
@@ -43,6 +47,47 @@ obs::FlightRecorder make_flight_recorder(const SweepPoint& point) {
       point.offered_load * static_cast<double>(rows) * static_cast<double>(point.cycles);
   return obs::FlightRecorder(point.flight_budget, point.seed,
                              static_cast<u64>(expected), point.n, rows);
+}
+
+SweepOutcome run_sweep_point(const SweepPoint& p, const CancelToken* cancel,
+                             obs::TimeSeries* timeseries, obs::FlightRecorder* flight) {
+  SweepOutcome outcome;
+  // Sharded eligibility: the cycle-parallel engine carries neither probes
+  // nor live schedules yet, so any of those sends the point to the serial
+  // engines (documented fallback — the outcome then matches the
+  // shard_count == 0 point bitwise).
+  const bool sharded = p.shard_count > 0 && p.telemetry_budget == 0 &&
+                       p.flight_budget == 0 && p.schedule == nullptr;
+  if (sharded) {
+    ShardedOptions opt;
+    opt.shard_count = p.shard_count;
+    opt.warmup_cycles = p.warmup_cycles;
+    opt.queue_capacity = p.queue_capacity;
+    opt.routing = p.routing;
+    const ShardedSaturationPoint sp = simulate_saturation_sharded(
+        p.n, p.offered_load, p.cycles, p.seed, opt, p.faults, cancel);
+    outcome.point = sp.point;
+    outcome.tally = sp.tally;
+    return outcome;
+  }
+  if (!sweep_point_is_faulty(p)) {
+    outcome.point = simulate_saturation(p.n, p.offered_load, p.cycles, p.seed,
+                                        p.warmup_cycles, p.queue_capacity, cancel,
+                                        timeseries, nullptr, flight);
+    return outcome;
+  }
+  // A scheduled point without a static fault set starts from the pristine
+  // base.
+  std::optional<FaultSet> empty_base;
+  if (p.faults == nullptr) empty_base.emplace(p.n);
+  const FaultSet& base = p.faults != nullptr ? *p.faults : *empty_base;
+  const FaultSaturationPoint fsp = simulate_saturation_faulty(
+      p.n, p.offered_load, p.cycles, p.seed, base, p.routing, p.warmup_cycles,
+      p.queue_capacity, cancel, timeseries, nullptr, flight, p.schedule);
+  outcome.point = fsp.point;
+  outcome.tally = fsp.tally;
+  outcome.live = fsp.live;
+  return outcome;
 }
 
 std::vector<SweepOutcome> saturation_sweep(std::span<const SweepPoint> points,
@@ -73,25 +118,7 @@ std::vector<SweepOutcome> saturation_sweep(std::span<const SweepPoint> points,
                            obs::FlightRecorder flight = make_flight_recorder(p);
                            obs::FlightRecorder* flight_ptr =
                                flight.enabled() ? &flight : nullptr;
-                           if (!sweep_point_is_faulty(p)) {
-                             outcomes[i].point = simulate_saturation(
-                                 p.n, p.offered_load, p.cycles, p.seed, p.warmup_cycles,
-                                 p.queue_capacity, nullptr, ts_ptr, nullptr, flight_ptr);
-                           } else {
-                             // A scheduled point without a static fault set
-                             // starts from the pristine base.
-                             std::optional<FaultSet> empty_base;
-                             if (p.faults == nullptr) empty_base.emplace(p.n);
-                             const FaultSet& base =
-                                 p.faults != nullptr ? *p.faults : *empty_base;
-                             const FaultSaturationPoint fsp = simulate_saturation_faulty(
-                                 p.n, p.offered_load, p.cycles, p.seed, base, p.routing,
-                                 p.warmup_cycles, p.queue_capacity, nullptr, ts_ptr, nullptr,
-                                 flight_ptr, p.schedule);
-                             outcomes[i].point = fsp.point;
-                             outcomes[i].tally = fsp.tally;
-                             outcomes[i].live = fsp.live;
-                           }
+                           outcomes[i] = run_sweep_point(p, nullptr, ts_ptr, flight_ptr);
                            if (!ts.empty()) outcomes[i].timeseries = std::move(ts);
                            if (!flight.empty()) outcomes[i].flight = std::move(flight);
                          }

@@ -53,6 +53,17 @@ struct SweepPoint {
   /// then the empty FaultSet) and joins the checkpoint identity via its
   /// content_hash().  Must outlive the sweep call.
   const FaultSchedule* schedule = nullptr;
+  /// Power-of-two shard count for the cycle-parallel engine
+  /// (routing/sharded_sim.hpp); 0 (the default) keeps the serial engines.
+  /// A sharded point's outcome is a pure function of
+  /// (n, offered_load, cycles, seed, shard_count) — *different* bits than
+  /// the serial engines produce for the same parameters, so shard_count
+  /// joins the checkpoint identity (exec::sweep_point_key hashes it; v5
+  /// journal).  Points that also request telemetry, flight tracing, or a
+  /// live schedule fall back to the serial engines (the probes are not
+  /// wired into the sharded engine yet): their outcomes equal the
+  /// shard_count == 0 outcome bitwise, under a distinct checkpoint key.
+  u64 shard_count = 0;
 };
 
 /// True when the point needs the faulty engine: a static fault set, a live
@@ -91,6 +102,17 @@ struct SweepOutcome {
 /// all-zero outcome.  Called by saturation_sweep and exec::run_sweep_resumable
 /// on every point up front.
 void validate_sweep_point(const SweepPoint& point, std::size_t index);
+
+/// Runs one (already validated) sweep point through the right engine — the
+/// single dispatch point shared by saturation_sweep and
+/// exec::run_sweep_resumable, so engine-eligibility rules (sharded vs
+/// serial, pristine vs faulty, schedule base-state) live in exactly one
+/// place.  `timeseries` / `flight` may be null; a non-null `cancel` is
+/// threaded into the engine.  The timeseries/flight sinks are installed
+/// into the returned outcome by the *caller* (which owns their lifetime and
+/// the cancellation-discard policy).
+SweepOutcome run_sweep_point(const SweepPoint& point, const CancelToken* cancel,
+                             obs::TimeSeries* timeseries, obs::FlightRecorder* flight);
 
 /// Runs every point (in parallel, `threads` = max concurrency, 0 = default)
 /// and returns outcomes indexed like `points`.

@@ -9,6 +9,19 @@ std::size_t default_thread_count() {
   return hc == 0 ? 1 : static_cast<std::size_t>(hc);
 }
 
+bool parse_thread_count(const char* text, std::size_t* out) {
+  if (text == nullptr || *text == '\0') return false;
+  std::size_t value = 0;
+  for (const char* p = text; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') return false;
+    value = value * 10 + static_cast<std::size_t>(*p - '0');
+    if (value > 4096) return false;  // also bounds the accumulator (no overflow)
+  }
+  if (value == 0) return false;
+  *out = value;
+  return true;
+}
+
 void parallel_for_chunked(std::size_t begin, std::size_t end, std::size_t threads,
                           const std::function<void(std::size_t, std::size_t, std::size_t)>& body,
                           const CancelToken* cancel) {

@@ -19,8 +19,18 @@
 
 namespace bfly {
 
-/// Number of worker threads to use by default (at least 1).
+/// Number of worker threads to use by default (at least 1).  Callers that
+/// accept a user override (--threads / $BFLY_THREADS) validate it through
+/// parse_thread_count and pass the result down as an explicit `threads`
+/// argument; the default is consulted only when no override is given.
 std::size_t default_thread_count();
+
+/// Strict full-string parse of a thread-count override ("--threads" flag or
+/// the $BFLY_THREADS variable): accepts a plain positive decimal integer in
+/// [1, 4096] and nothing else — "4x", "", "0", "-2", and "1e3" are all
+/// rejected (returns false, *out untouched) so callers can exit with a
+/// usage error instead of silently truncating like atoi would.
+bool parse_thread_count(const char* text, std::size_t* out);
 
 /// Statically partitions [begin, end) into `threads` contiguous chunks and
 /// runs `body(chunk_begin, chunk_end, chunk_index)` on each, in parallel on

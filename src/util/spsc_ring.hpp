@@ -1,0 +1,79 @@
+// Bounded single-producer / single-consumer ring buffer: the cross-shard
+// hand-off lane of the sharded saturation engine (routing/sharded_sim.hpp).
+//
+// One shard (the producer) pushes the packets that leave its row block during
+// a cycle's advance phase; the partner shard (the consumer) drains them at the
+// cycle barrier.  The phases are already separated by the thread pool's
+// fork-join barrier, but the ring keeps its own acquire/release discipline so
+// it is also correct — and TSan-clean — when producer and consumer genuinely
+// overlap (the two-thread stress test in tests/test_sharded_sim.cpp runs it
+// that way on purpose).
+//
+// Design: power-of-two capacity, monotonically increasing u64 head/tail
+// counters (indices are taken mod capacity via a mask, so the counters never
+// wrap in any realistic run), each counter on its own cache line to keep the
+// producer and consumer from false-sharing.  No allocation after
+// construction: try_push fails on a full ring instead of growing, which is
+// exactly the contract the sharded engine wants — its rings are sized so a
+// cycle can never overflow them, and a failed push is a logic error there.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "util/bits.hpp"
+#include "util/check.hpp"
+
+namespace bfly::util {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// A ring holding up to `capacity` items (must be a power of two).
+  explicit SpscRing(std::size_t capacity) : mask_(capacity - 1), slots_(capacity) {
+    BFLY_REQUIRE(capacity > 0 && is_pow2(capacity),
+                 "SpscRing capacity must be a power of two");
+  }
+
+  // The atomics pin each instance in place; store rings in containers that
+  // never relocate elements (std::deque + emplace_back).
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// True when the ring holds no items.  Exact only on the consumer side (or
+  /// when no producer is active), like any SPSC size probe.
+  bool empty() const {
+    return head_.load(std::memory_order_acquire) == tail_.load(std::memory_order_acquire);
+  }
+
+  /// Producer side: appends `item`; false (item untouched) when full.
+  bool try_push(const T& item) {
+    const u64 tail = tail_.load(std::memory_order_relaxed);
+    const u64 head = head_.load(std::memory_order_acquire);
+    if (tail - head > mask_) return false;
+    slots_[static_cast<std::size_t>(tail) & mask_] = item;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: pops the oldest item into *out; false when empty.
+  bool try_pop(T* out) {
+    const u64 head = head_.load(std::memory_order_relaxed);
+    const u64 tail = tail_.load(std::memory_order_acquire);
+    if (head == tail) return false;
+    *out = slots_[static_cast<std::size_t>(head) & mask_];
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+ private:
+  const std::size_t mask_;
+  std::vector<T> slots_;
+  alignas(64) std::atomic<u64> head_{0};  ///< next slot the consumer reads
+  alignas(64) std::atomic<u64> tail_{0};  ///< next slot the producer writes
+};
+
+}  // namespace bfly::util

@@ -300,6 +300,37 @@ TEST(DiffReportsTest, RefusesMismatchedConfigsUnlessDisabled) {
   EXPECT_NO_THROW(diff_reports(a, b, relaxed));
 }
 
+TEST(DiffReportsTest, ThreadsConfigIsRunMetadataNotIdentity) {
+  // "threads" only changes wall-clock, never outcomes, so two runs differing
+  // only there must diff cleanly — and the diff surfaces both values.
+  const RunReport a =
+      RunReport::parse(report_text(1, 1, 1, "[2, 3, 5, 0]", "10", R"({"n": 6, "threads": 0})"));
+  const RunReport b =
+      RunReport::parse(report_text(1, 1, 1, "[2, 3, 5, 0]", "10", R"({"n": 6, "threads": 4})"));
+  ReportDiff diff;
+  ASSERT_NO_THROW(diff = diff_reports(a, b));
+  EXPECT_EQ(diff.threads_a, "auto");  // 0 = auto (default_thread_count)
+  EXPECT_EQ(diff.threads_b, "4");
+  EXPECT_EQ(diff.shard_count_a, "");  // key absent: predates the field
+  const std::string md = render_diff_markdown(diff);
+  EXPECT_NE(md.find("threads auto → 4"), std::string::npos);
+}
+
+TEST(DiffReportsTest, ShardCountConfigStaysPartOfTheIdentity) {
+  // A sharded run produces different bits than a serial one, so a
+  // shard_count difference is a real config mismatch and must refuse.
+  const RunReport a = RunReport::parse(
+      report_text(1, 1, 1, "[2, 3, 5, 0]", "10", R"({"n": 6, "shard_count": 8})"));
+  const RunReport b = RunReport::parse(
+      report_text(1, 1, 1, "[2, 3, 5, 0]", "10", R"({"n": 6, "shard_count": 4})"));
+  EXPECT_THROW(diff_reports(a, b), InvalidArgument);
+  // Equal shard counts are comparable and get labelled.
+  const ReportDiff diff = diff_reports(a, a);
+  EXPECT_EQ(diff.shard_count_a, "8");
+  EXPECT_EQ(diff.shard_count_b, "8");
+  EXPECT_NE(render_diff_markdown(diff).find("shard_count 8"), std::string::npos);
+}
+
 TEST(DiffReportsTest, ReportsKeysPresentOnOneSideOnly) {
   std::string text_b = report_text(1, 1, 1);
   text_b.replace(text_b.find("\"area\": 4096"), 12, "\"area2\": 4096");
