@@ -28,12 +28,9 @@ const char* to_string(SweepStatus status) {
   return "unknown";
 }
 
-namespace {
-
-/// Backoff before attempt `attempt + 1`, given 1-based `attempt` just failed:
-/// min(cap, base * factor^(attempt-1)) scaled by jitter in [0.5, 1.5) drawn
-/// from (jitter_seed, point index, attempt) — deterministic across runs.
-double backoff_ms(const RetryPolicy& retry, std::size_t index, int attempt) {
+double retry_backoff_ms(const RetryPolicy& retry, std::size_t index, int attempt) {
+  BFLY_REQUIRE(retry.backoff_base_ms >= 0.0 && retry.backoff_base_ms <= retry.backoff_cap_ms,
+               "retry policy requires 0 <= backoff_base_ms <= backoff_cap_ms");
   double delay = retry.backoff_base_ms;
   for (int i = 1; i < attempt; ++i) {
     delay *= retry.backoff_factor;
@@ -43,8 +40,12 @@ double backoff_ms(const RetryPolicy& retry, std::size_t index, int attempt) {
   SplitMix64 sm(retry.jitter_seed ^ (0x9e3779b97f4a7c15ULL * (index + 1)) ^
                 static_cast<u64>(attempt));
   const double jitter = 0.5 + static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
-  return delay * jitter;
+  // The jitter spreads concurrent retries apart; the clamp keeps the promise
+  // that no delay ever leaves [base, cap].
+  return std::clamp(delay * jitter, retry.backoff_base_ms, retry.backoff_cap_ms);
 }
+
+namespace {
 
 /// Sleeps ~`ms` in <= 10 ms slices, polling the token between slices: a
 /// backoff must never delay cancellation by more than one slice.  Returns
@@ -219,7 +220,7 @@ SweepRun run_sweep_resumable(std::span<const SweepPoint> points,
         }
         retries.fetch_add(1, std::memory_order_relaxed);
         obs::add(retries_ctr, 1);
-        if (!interruptible_sleep_ms(backoff_ms(options.retry, i, attempt), token)) return;
+        if (!interruptible_sleep_ms(retry_backoff_ms(options.retry, i, attempt), token)) return;
         continue;
       }
       if (!ts.empty()) outcome.timeseries = std::move(ts);

@@ -67,6 +67,18 @@ struct RetryPolicy {
   u64 jitter_seed = 0;
 };
 
+/// The supervisor's backoff schedule, exposed so callers (and tests) can
+/// reason about exactly what a retrying run will sleep: the delay before the
+/// retry that follows 1-based `attempt`'s failure of point `index` is
+/// min(cap, base * factor^(attempt-1)) scaled by a jitter factor in
+/// [0.5, 1.5) drawn deterministically from (jitter_seed, index, attempt),
+/// with the final value clamped into [backoff_base_ms, backoff_cap_ms] — the
+/// jitter spreads retries apart but can never undercut the configured floor
+/// or overshoot the cap.  A pure function of its arguments: two runs of the
+/// same grid with the same policy back off identically.
+/// Requires 0 <= backoff_base_ms <= backoff_cap_ms.
+double retry_backoff_ms(const RetryPolicy& retry, std::size_t index, int attempt);
+
 struct SweepRunOptions {
   std::size_t threads = 0;  ///< max concurrency, 0 = default (as saturation_sweep)
 

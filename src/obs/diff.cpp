@@ -295,6 +295,8 @@ std::vector<RunReport> load_report_lines(const std::string& path, std::ostream* 
   std::string line;
   std::size_t line_no = 0;
   std::size_t skipped = 0;
+  std::size_t first_bad_line = 0;
+  std::string first_bad_error;
   while (std::getline(in, line)) {
     ++line_no;
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
@@ -302,14 +304,22 @@ std::vector<RunReport> load_report_lines(const std::string& path, std::ostream* 
       reports.push_back(RunReport::parse(line));
     } catch (const std::exception& e) {
       // The torn line a crash leaves at the tail of a JSONL trajectory (or
-      // any stray corruption): warn and keep going — one bad line must not
-      // take every good run with it.
+      // any stray corruption): count it and keep going — one bad line must
+      // not take every good run with it.
       ++skipped;
-      if (warnings != nullptr) {
-        *warnings << "warning: " << path << ":" << line_no << ": skipping unparsable report ("
-                  << e.what() << ")\n";
+      if (first_bad_line == 0) {
+        first_bad_line = line_no;
+        first_bad_error = e.what();
       }
     }
+  }
+  // One summary line per file, however many lines were torn: a journal a
+  // crash loop (or a truncated copy) filled with garbage must not flood the
+  // caller's log with one warning per line.
+  if (skipped > 0 && warnings != nullptr) {
+    *warnings << "warning: " << path << ": skipped " << skipped << " torn line"
+              << (skipped == 1 ? "" : "s") << " (first at line " << first_bad_line << ": "
+              << first_bad_error << ")\n";
   }
   if (num_skipped != nullptr) *num_skipped = skipped;
   return reports;

@@ -67,9 +67,12 @@ struct RunReport {
 
 /// Loads a JSONL trajectory (one report per line) tolerantly: blank lines
 /// are ignored, and lines that fail to parse — the torn tail a crash leaves
-/// behind, or stray corruption — are skipped with a warning on `warnings`
-/// (when non-null) naming the 1-based line number.  `num_skipped` (when
-/// non-null) receives the skip count.  Throws InvalidArgument only when the
+/// behind, or stray corruption — are skipped.  Skips are reported on
+/// `warnings` (when non-null) as exactly ONE summary line per file
+/// ("skipped N torn lines", naming the first offending 1-based line number
+/// and its parse error), so a journal full of garbage cannot flood the log
+/// with per-line noise.  `num_skipped` (when non-null) receives the exact
+/// skip count.  Throws InvalidArgument only when the
 /// file cannot be opened; an all-corrupt file simply returns an empty vector
 /// and lets the caller decide (bflyreport exits nonzero only when *nothing*
 /// parses).

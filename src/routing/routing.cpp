@@ -30,7 +30,7 @@ i64 butterfly_distance(int n, u64 r1, int s1, u64 r2, int s2) {
 }
 
 LoadCensus measure_link_loads(int n, u64 packets, u64 seed, std::size_t threads,
-                              bool keep_link_loads) {
+                              bool keep_link_loads, const CancelToken* cancel) {
   // n bounds the link-index space (n * 2^n * 2 dense ids): reject out-of-range
   // dimensions here instead of letting the shifts below overflow silently.
   BFLY_REQUIRE(n >= 1 && n <= 30, "butterfly dimension must be in [1, 30]");
@@ -56,6 +56,9 @@ LoadCensus measure_link_loads(int n, u64 packets, u64 seed, std::size_t threads,
         std::vector<u64>& loads = partial[tid];
         u64 routed = 0;
         for (std::size_t chunk = lo; chunk < hi; ++chunk) {
+          // One poll per chunk (~64K packets): a tripped deadline abandons the
+          // remaining chunks, leaving a partial census the caller discards.
+          if (CancelToken::cancelled(cancel)) break;
           Xoshiro256 rng(seed ^ (0x9e3779b97f4a7c15ULL * (chunk + 1)));
           const u64 begin = static_cast<u64>(chunk) * kChunkPackets;
           const u64 end = std::min(packets, begin + kChunkPackets);
@@ -71,7 +74,8 @@ LoadCensus measure_link_loads(int n, u64 packets, u64 seed, std::size_t threads,
           routed += end - begin;
         }
         obs::add(packet_counter, routed);
-      });
+      },
+      cancel);
 
   LoadCensus census;
   census.packets = packets;

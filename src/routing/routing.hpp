@@ -57,9 +57,18 @@ struct LoadCensus {
 /// `keep_link_loads` the merged per-link totals are returned in
 /// LoadCensus::link_loads (for congestion heatmaps) instead of being
 /// discarded after the summary statistics.
+///
+/// A non-null `cancel` is polled once per 2^16-packet work chunk (and by the
+/// pool before each unstarted range), so a deadline or explicit cancel stops
+/// the census within one chunk per in-flight worker.  A cancelled census
+/// returns with only the packets routed before the trip counted — a partial
+/// result the caller must discard (the serving layer answers
+/// deadline_exceeded instead of using it).  A run that completes without the
+/// token tripping is bitwise identical to one with cancel == nullptr.
 LoadCensus measure_link_loads(int n, u64 packets, u64 seed,
                               std::size_t threads = 0 /* 0 = default */,
-                              bool keep_link_loads = false);
+                              bool keep_link_loads = false,
+                              const CancelToken* cancel = nullptr);
 
 /// Average shortest-path distance between uniformly random node pairs
 /// (arbitrary stages): the Theta(log R) quantity in Theorem 2.1.  Samples are

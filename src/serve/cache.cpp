@@ -1,0 +1,188 @@
+#include "serve/cache.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <utility>
+
+#include "obs/json.hpp"
+#include "util/check.hpp"
+#include "util/fileio.hpp"
+
+namespace bfly::serve {
+
+ServeCache::ServeCache(std::string journal_path) : journal_path_(std::move(journal_path)) {
+  if (journal_path_.empty()) return;
+  std::ifstream in(journal_path_);
+  if (!in.is_open()) return;  // first run: journal does not exist yet
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    // Torn-line tolerance, the checkpoint-journal contract: a kill -9 during
+    // append leaves at most one unparseable tail line — skip and count, never
+    // abort a restart over it.
+    try {
+      const json::Value doc = json::Value::parse(line);
+      const json::Value* v = doc.find("v");
+      const json::Value* key = doc.find("key");
+      const json::Value* result = doc.find("result");
+      if (v == nullptr || !v->is_number() ||
+          static_cast<int>(v->as_double()) != kCacheJournalVersion || key == nullptr ||
+          !key->is_string() || result == nullptr || !result->is_string()) {
+        ++loaded_lines_skipped_;
+        continue;
+      }
+      auto entry = std::make_shared<Entry>();
+      entry->ready = true;
+      entry->payload = result->as_string();
+      entries_[key->as_string()] = std::move(entry);  // last record wins
+    } catch (const InvalidArgument&) {
+      ++loaded_lines_skipped_;
+    }
+  }
+  loaded_entries_ = entries_.size();
+}
+
+Admission ServeCache::lookup_or_begin(const std::string& key,
+                                      std::chrono::steady_clock::time_point deadline,
+                                      std::string* payload_out,
+                                      const CancelToken** token_out, WaitCallback on_done) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    Entry& entry = *it->second;
+    if (entry.ready) {
+      *payload_out = entry.payload;
+      return Admission::kHit;
+    }
+    // In flight: park the joiner and make sure the shared compute lives at
+    // least as long as this request wants it to.
+    entry.token.extend_deadline_until(deadline);
+    entry.waiters.push_back(Waiter{deadline, std::move(on_done)});
+    return Admission::kJoined;
+  }
+  auto entry = std::make_shared<Entry>();
+  entry->token.extend_deadline_until(deadline);  // arms the fresh token
+  *token_out = &entry->token;
+  entries_.emplace(key, std::move(entry));
+  return Admission::kOwner;
+}
+
+std::string ServeCache::encode_record(const std::string& key,
+                                      const std::string& payload) const {
+  std::string line = "{\"v\":";
+  line += std::to_string(kCacheJournalVersion);
+  line += ",\"key\":\"";
+  line += json::escape(key);
+  line += "\",\"result\":\"";
+  line += json::escape(payload);
+  line += "\"}";
+  return line;
+}
+
+void ServeCache::publish(const std::string& key, const std::string& payload) {
+  // Durability BEFORE visibility: once any client can observe this payload
+  // (directly or via a parked joiner), it is already fsynced — so "the
+  // client saw a completed response" implies "a restart re-serves it
+  // bit-identically".  journal_mu_ keeps appends whole without stalling
+  // lookups behind the fsync.
+  if (!journal_path_.empty()) {
+    std::lock_guard<std::mutex> jlock(journal_mu_);
+    util::append_line_durable(journal_path_, encode_record(key, payload));
+  }
+  std::vector<Waiter> waiters;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    BFLY_CHECK(it != entries_.end() && !it->second->ready,
+               "publish without a pending entry");
+    Entry& entry = *it->second;
+    entry.ready = true;
+    entry.payload = payload;
+    waiters.swap(entry.waiters);
+  }
+  for (Waiter& w : waiters) w.on_done(WaitResult::kReady, ErrorCode::kInternal, payload);
+}
+
+void ServeCache::fail(const std::string& key, ErrorCode code, const std::string& error) {
+  std::vector<Waiter> waiters;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    BFLY_CHECK(it != entries_.end() && !it->second->ready, "fail without a pending entry");
+    waiters.swap(it->second->waiters);
+    entries_.erase(it);  // later identical requests compute afresh
+  }
+  for (Waiter& w : waiters) w.on_done(WaitResult::kFailed, code, error);
+}
+
+std::size_t ServeCache::cancel_pending() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t signalled = 0;
+  for (auto& [key, entry] : entries_) {
+    if (entry->ready) continue;
+    entry->token.request_cancel();
+    ++signalled;
+  }
+  return signalled;
+}
+
+std::size_t ServeCache::expire_waiters(std::chrono::steady_clock::time_point now) {
+  std::vector<WaitCallback> expired;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [key, entry] : entries_) {
+      if (entry->ready) continue;
+      auto& waiters = entry->waiters;
+      for (std::size_t i = 0; i < waiters.size();) {
+        if (waiters[i].deadline <= now) {
+          expired.push_back(std::move(waiters[i].on_done));
+          waiters[i] = std::move(waiters.back());
+          waiters.pop_back();
+        } else {
+          ++i;
+        }
+      }
+    }
+  }
+  static const std::string kEmpty;
+  for (WaitCallback& cb : expired) {
+    cb(WaitResult::kExpired, ErrorCode::kDeadlineExceeded, kEmpty);
+  }
+  return expired.size();
+}
+
+std::chrono::steady_clock::time_point ServeCache::next_waiter_deadline() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto earliest = std::chrono::steady_clock::time_point::max();
+  for (const auto& [key, entry] : entries_) {
+    if (entry->ready) continue;
+    for (const Waiter& w : entry->waiters) earliest = std::min(earliest, w.deadline);
+  }
+  return earliest;
+}
+
+void ServeCache::compact() const {
+  if (journal_path_.empty()) return;
+  std::string contents;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [key, entry] : entries_) {
+      if (!entry->ready) continue;
+      contents += encode_record(key, entry->payload);
+      contents += '\n';
+    }
+  }
+  std::lock_guard<std::mutex> jlock(journal_mu_);
+  util::atomic_write_file(journal_path_, contents);
+}
+
+std::size_t ServeCache::ready_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t count = 0;
+  for (const auto& [key, entry] : entries_) {
+    if (entry->ready) ++count;
+  }
+  return count;
+}
+
+}  // namespace bfly::serve

@@ -1,0 +1,160 @@
+// Single-flight memoizing result cache for the serving layer, with a durable
+// JSONL journal for crash recovery.
+//
+// The cache stores *serialized result text* keyed by the request content
+// hash (serve::request_key).  Because every compute operation is a pure
+// function of its key, a stored payload is valid forever; serving it is
+// byte-identical to recomputing (the bitwise-determinism contract every
+// engine in this repo carries is what makes that safe).
+//
+// Single-flight: the first requester of a missing key becomes the *owner*
+// and computes; concurrent requesters for the same key become *joiners* and
+// are parked (asynchronously — no thread blocks) until the owner publishes
+// or fails.  A joiner only ever EXTENDS the shared compute's deadline
+// (CancelToken::extend_deadline_until), so an early-deadline owner cannot
+// starve a patient joiner; a joiner whose own deadline passes first is
+// expired individually by the server's reaper via expire_waiters without
+// disturbing the compute.
+//
+// Durability: publish() appends the record to the journal — fsynced,
+// at-most-one-torn-tail (util::append_line_durable) — BEFORE the payload
+// becomes visible, so every response a client ever saw is already on disk.
+// After kill -9, the constructor reloads the journal (torn-line tolerant,
+// last record wins, one summary count — never a warning per line) and the
+// daemon re-serves previously completed requests bit-identically.  compact()
+// rewrites the journal atomically (one record per live key, sorted) on
+// graceful drain.
+//
+// Journal record (one line):  {"v": 1, "key": "<16 hex>", "result": "<text>"}
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "util/bits.hpp"
+#include "util/cancel.hpp"
+
+namespace bfly::serve {
+
+/// Journal format version; bump on incompatible record changes (old-version
+/// records are skipped on load, like exec checkpoints).
+inline constexpr int kCacheJournalVersion = 1;
+
+/// How a lookup resolved for an asynchronous joiner.
+enum class WaitResult {
+  kReady,    ///< owner published; payload attached
+  kFailed,   ///< owner's compute threw or was cancelled; error attached
+  kExpired,  ///< this joiner's own deadline passed while parked
+};
+
+/// Fired exactly once per parked joiner, from the owner's thread (publish /
+/// fail) or the reaper (expire_waiters).  `payload_or_error` is the result
+/// text for kReady, the owner's error message for kFailed, empty for
+/// kExpired.  `code` is the owner's failure code for kFailed (so a joiner
+/// behind a deadline-cancelled compute answers deadline_exceeded, not a
+/// generic internal error), kDeadlineExceeded for kExpired, unused for
+/// kReady.
+using WaitCallback =
+    std::function<void(WaitResult, ErrorCode code, const std::string& payload_or_error)>;
+
+/// lookup_or_begin's verdict.
+enum class Admission {
+  kHit,     ///< payload already cached; returned synchronously
+  kOwner,   ///< caller must compute, then publish() or fail()
+  kJoined,  ///< a compute is in flight; the callback was parked
+};
+
+class ServeCache {
+ public:
+  /// `journal_path` empty = memory-only (no persistence).  Otherwise loads
+  /// the journal if present; unreadable/torn lines are counted, not fatal.
+  explicit ServeCache(std::string journal_path);
+
+  ServeCache(const ServeCache&) = delete;
+  ServeCache& operator=(const ServeCache&) = delete;
+
+  /// The single-flight gate.  Thread-safe; never blocks on a compute.
+  ///  - kHit: *payload_out is the cached text.
+  ///  - kOwner: a pending entry now exists; *token_out (owned by the entry,
+  ///    valid until publish/fail for this key) is armed with `deadline` and
+  ///    must be threaded into the compute.  The caller MUST eventually call
+  ///    publish() or fail() exactly once.
+  ///  - kJoined: `on_done` was parked on the in-flight entry and the entry's
+  ///    token deadline extended to cover `deadline`.
+  Admission lookup_or_begin(const std::string& key,
+                            std::chrono::steady_clock::time_point deadline,
+                            std::string* payload_out, const CancelToken** token_out,
+                            WaitCallback on_done);
+
+  /// Owner completion: journals the record durably, then makes the payload
+  /// visible and fires every parked joiner with kReady.  The durability
+  /// ordering (journal append BEFORE visibility) is the crash-recovery
+  /// contract: completed responses are always replayable.
+  void publish(const std::string& key, const std::string& payload);
+
+  /// Owner failure (engine threw, or deadline cancelled the compute): drops
+  /// the pending entry — a later identical request computes afresh — and
+  /// fires every still-parked joiner with kFailed, `code`, and `error`.
+  void fail(const std::string& key, ErrorCode code, const std::string& error);
+
+  /// Requests cancellation on every in-flight compute's token (graceful
+  /// drain past its budget).  The owners observe the trip at their engines'
+  /// poll points and then call fail(); this only raises the flag.  Returns
+  /// the number of pending entries signalled.
+  std::size_t cancel_pending();
+
+  /// Fires kExpired for every parked joiner whose deadline is <= now.
+  /// Called periodically by the server's reaper thread; returns the number
+  /// of joiners expired.
+  std::size_t expire_waiters(std::chrono::steady_clock::time_point now);
+
+  /// Earliest parked-joiner deadline, or time_point::max() when none — the
+  /// reaper's next wake hint.
+  std::chrono::steady_clock::time_point next_waiter_deadline() const;
+
+  /// Atomically rewrites the journal to one record per ready key (sorted by
+  /// key, so the compacted file is deterministic).  No-op when memory-only.
+  void compact() const;
+
+  /// Ready (published) entries.
+  std::size_t ready_entries() const;
+  /// Entries restored from the journal by the constructor.
+  std::size_t loaded_entries() const { return loaded_entries_; }
+  /// Torn / corrupt / wrong-version journal lines skipped on load.
+  std::size_t loaded_lines_skipped() const { return loaded_lines_skipped_; }
+
+ private:
+  struct Waiter {
+    std::chrono::steady_clock::time_point deadline;
+    WaitCallback on_done;
+  };
+  struct Entry {
+    bool ready = false;
+    std::string payload;          // valid when ready
+    CancelToken token;            // the shared compute's token (owner entries)
+    std::vector<Waiter> waiters;  // parked joiners (pending entries)
+  };
+
+  std::string encode_record(const std::string& key, const std::string& payload) const;
+
+  const std::string journal_path_;
+  std::size_t loaded_entries_ = 0;
+  std::size_t loaded_lines_skipped_ = 0;
+
+  mutable std::mutex mu_;
+  // std::map: deterministic iteration order for compact().
+  std::map<std::string, std::shared_ptr<Entry>> entries_;
+
+  // Serializes journal appends and orders them before visibility; separate
+  // from mu_ so an fsync never stalls unrelated cache lookups.
+  mutable std::mutex journal_mu_;
+};
+
+}  // namespace bfly::serve

@@ -1,0 +1,276 @@
+#include "serve/daemon.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace bfly::serve {
+
+namespace {
+
+std::string errno_string(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+/// write(2) until done; false on any error (peer gone).
+bool write_all(int fd, const char* data, std::size_t size) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t rc = ::write(fd, data + written, size - written);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(rc);
+  }
+  return true;
+}
+
+}  // namespace
+
+Daemon::Daemon(DaemonOptions options) : options_(std::move(options)), server_(options_.server) {
+  BFLY_REQUIRE(!options_.unix_socket_path.empty() || options_.tcp_port >= 0,
+               "either unix_socket_path or tcp_port must be configured");
+  BFLY_REQUIRE(pipe(wake_pipe_) == 0, errno_string("pipe"));
+
+  if (!options_.unix_socket_path.empty()) {
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    BFLY_REQUIRE(listen_fd_ >= 0, errno_string("socket(AF_UNIX)"));
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    BFLY_REQUIRE(options_.unix_socket_path.size() < sizeof(addr.sun_path),
+                 "unix socket path too long");
+    std::strncpy(addr.sun_path, options_.unix_socket_path.c_str(), sizeof(addr.sun_path) - 1);
+    ::unlink(options_.unix_socket_path.c_str());  // stale socket from a crash
+    BFLY_REQUIRE(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0,
+                 errno_string("bind(unix)"));
+  } else {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    BFLY_REQUIRE(listen_fd_ >= 0, errno_string("socket(AF_INET)"));
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // localhost only, by design
+    addr.sin_port = htons(static_cast<std::uint16_t>(options_.tcp_port));
+    BFLY_REQUIRE(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0,
+                 errno_string("bind(tcp)"));
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    BFLY_REQUIRE(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0,
+                 errno_string("getsockname"));
+    port_ = static_cast<int>(ntohs(bound.sin_port));
+  }
+  BFLY_REQUIRE(::listen(listen_fd_, 128) == 0, errno_string("listen"));
+}
+
+Daemon::~Daemon() {
+  shutdown();
+  // run() may never have been called: close what it would have closed.
+  for (std::thread& t : conn_threads_) {
+    if (t.joinable()) t.join();
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
+  if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
+  if (!options_.unix_socket_path.empty()) ::unlink(options_.unix_socket_path.c_str());
+}
+
+void Daemon::shutdown() {
+  if (shutdown_requested_.exchange(true)) return;
+  // Async-signal-safe: one write(2), nothing else.  run()'s poll() wakes on
+  // the pipe and does the actual teardown on a normal thread.
+  const char byte = 'q';
+  [[maybe_unused]] const ssize_t rc = ::write(wake_pipe_[1], &byte, 1);
+}
+
+void Daemon::write_line(const std::shared_ptr<Connection>& conn, const std::string& line) {
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  if (conn->dead.load(std::memory_order_relaxed)) return;
+  if (!write_all(conn->fd, line.data(), line.size()) || !write_all(conn->fd, "\n", 1)) {
+    conn->dead.store(true, std::memory_order_relaxed);
+  }
+}
+
+void Daemon::serve_connection(const std::shared_ptr<Connection>& conn) {
+  std::string buffer;
+  char chunk[4096];
+  while (!conn->dead.load(std::memory_order_relaxed)) {
+    const ssize_t rc = ::read(conn->fd, chunk, sizeof(chunk));
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc <= 0) break;  // EOF or error (including shutdown(SHUT_RDWR) from run())
+    buffer.append(chunk, static_cast<std::size_t>(rc));
+
+    std::size_t start = 0;
+    for (std::size_t nl = buffer.find('\n', start); nl != std::string::npos;
+         nl = buffer.find('\n', start)) {
+      std::string frame = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (frame.empty()) continue;  // blank lines are keepalive noise, not frames
+      // The callback outlives this loop iteration (parked joiners, queued
+      // jobs); it holds the connection alive via the shared_ptr.
+      server_.submit_frame(
+          frame, [conn](std::string line) { write_line(conn, line); });
+    }
+    buffer.erase(0, start);
+
+    if (buffer.size() > options_.max_frame_bytes) {
+      // A frame this long with no newline is not a client we keep serving.
+      write_line(conn, build_response_error("", ErrorCode::kInvalidRequest,
+                                            "frame exceeds max_frame_bytes"));
+      break;
+    }
+  }
+  conn->dead.store(true, std::memory_order_relaxed);
+  ::shutdown(conn->fd, SHUT_RDWR);
+}
+
+LedgerSnapshot Daemon::run() {
+  while (!shutdown_requested_.load(std::memory_order_relaxed)) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0) break;  // shutdown()
+    if ((fds[0].revents & POLLIN) == 0) continue;
+
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      std::size_t live = 0;
+      for (const auto& c : conns_) {
+        if (!c->dead.load(std::memory_order_relaxed)) ++live;
+      }
+      if (live >= options_.max_connections) {
+        // Connection-level shedding (distinct from the request ledger: no
+        // frame was ever accepted on this socket).
+        const std::string line = build_response_error(
+            "", ErrorCode::kOverloaded, "connection limit reached", 100);
+        write_all(fd, line.data(), line.size());
+        write_all(fd, "\n", 1);
+        ::close(fd);
+        continue;
+      }
+      auto conn = std::make_shared<Connection>();
+      conn->fd = fd;
+      conns_.push_back(conn);
+      conn_threads_.emplace_back([this, conn] { serve_connection(conn); });
+    }
+  }
+
+  // Stop accepting (listener stays bound so late connectors get a refused /
+  // reset rather than a hang), unblock every connection reader, then drain:
+  // queued and in-flight requests finish or cancel within the budget and
+  // their responses flush through the still-open write sides.
+  const LedgerSnapshot ledger = server_.drain(options_.drain_budget_ms);
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (const auto& conn : conns_) ::shutdown(conn->fd, SHUT_RDWR);
+  }
+  for (std::thread& t : conn_threads_) {
+    if (t.joinable()) t.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (const auto& conn : conns_) ::close(conn->fd);
+    conns_.clear();
+  }
+  conn_threads_.clear();
+  return ledger;
+}
+
+Client Client::connect_unix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  BFLY_REQUIRE(fd >= 0, errno_string("socket(AF_UNIX)"));
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  BFLY_REQUIRE(path.size() < sizeof(addr.sun_path), "unix socket path too long");
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string message = errno_string("connect(unix)");
+    ::close(fd);
+    BFLY_REQUIRE(false, message);
+  }
+  return Client(fd);
+}
+
+Client Client::connect_tcp(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  BFLY_REQUIRE(fd >= 0, errno_string("socket(AF_INET)"));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string message = errno_string("connect(tcp)");
+    ::close(fd);
+    BFLY_REQUIRE(false, message);
+  }
+  return Client(fd);
+}
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    buffer_ = std::move(other.buffer_);
+  }
+  return *this;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Client::send(const std::string& frame) {
+  BFLY_REQUIRE(fd_ >= 0, "client socket is closed");
+  BFLY_REQUIRE(write_all(fd_, frame.data(), frame.size()) && write_all(fd_, "\n", 1),
+               errno_string("write"));
+}
+
+bool Client::read_line(std::string* line) {
+  BFLY_REQUIRE(fd_ >= 0, "client socket is closed");
+  while (true) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      line->assign(buffer_, 0, nl);
+      buffer_.erase(0, nl + 1);
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t rc = ::read(fd_, chunk, sizeof(chunk));
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc <= 0) return false;  // EOF: daemon gone
+    buffer_.append(chunk, static_cast<std::size_t>(rc));
+  }
+}
+
+std::string Client::call(const std::string& frame) {
+  send(frame);
+  std::string line;
+  BFLY_REQUIRE(read_line(&line), "connection closed before a response arrived");
+  return line;
+}
+
+}  // namespace bfly::serve

@@ -1,0 +1,132 @@
+// Socket transport for the bfly request server: a JSONL-over-stream-socket
+// listener (Unix-domain by default, optionally TCP on 127.0.0.1) and the
+// matching blocking client.
+//
+// Transport model:
+//  * One stream connection carries any number of newline-delimited request
+//    frames; responses come back one per line, each carrying the request's
+//    "id" — responses are NOT ordered across pipelined requests (a cache hit
+//    overtakes a cold compute), so clients must correlate by id.
+//  * One reader thread per connection (bounded by max_connections; excess
+//    connections are told "overloaded" and closed before reading a frame).
+//    Responses may fire from any server thread; a per-connection write mutex
+//    keeps response lines whole.
+//  * A frame longer than max_frame_bytes without a newline answers
+//    invalid_request and closes the connection (a client that hostile gets
+//    no more service on that socket).
+//  * shutdown() (signal-safe trigger: one byte down a self-pipe) stops the
+//    accept loop, closes every connection's read side, drains the server
+//    (finishing or cancelling in-flight work within the drain budget), and
+//    returns from run() — the bflyd SIGTERM path.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/server.hpp"
+
+namespace bfly::serve {
+
+struct DaemonOptions {
+  /// AF_UNIX listening socket path; takes precedence over tcp_port when
+  /// non-empty.  An existing socket file at the path is replaced.
+  std::string unix_socket_path;
+  /// AF_INET port on 127.0.0.1; 0 = kernel-assigned (resolved port is
+  /// available from Daemon::port() — how tests avoid port collisions).
+  /// Ignored when unix_socket_path is set; -1 and no socket path is an
+  /// error.
+  int tcp_port = -1;
+  /// Concurrent connections served; connection N+1 is answered with one
+  /// "overloaded" line and closed.
+  std::size_t max_connections = 128;
+  /// Longest accepted request line (defense against an unbounded buffer).
+  std::size_t max_frame_bytes = std::size_t{1} << 20;
+  /// Drain budget handed to Server::drain on shutdown.
+  u64 drain_budget_ms = 5'000;
+  ServerOptions server;
+};
+
+class Daemon {
+ public:
+  /// Binds and listens (throws InvalidArgument on socket failure); the
+  /// server starts immediately, the accept loop starts with run().
+  explicit Daemon(DaemonOptions options);
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Accept loop; blocks until shutdown() (from a signal handler path or
+  /// another thread), then drains and returns the final ledger.
+  LedgerSnapshot run();
+
+  /// Signal-safe shutdown trigger (write(2) on a pipe; callable from a
+  /// handler).  Idempotent.
+  void shutdown();
+
+  /// The resolved TCP port (after binding port 0), or -1 for Unix sockets.
+  int port() const { return port_; }
+  const std::string& socket_path() const { return options_.unix_socket_path; }
+  Server& server() { return server_; }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::mutex write_mu;
+    std::atomic<bool> dead{false};
+  };
+
+  void serve_connection(const std::shared_ptr<Connection>& conn);
+  /// Locked, whole-line write of `line` + '\n'; marks the connection dead on
+  /// error (the response is then dropped — the peer is gone).
+  static void write_line(const std::shared_ptr<Connection>& conn, const std::string& line);
+
+  DaemonOptions options_;
+  Server server_;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};  // self-pipe: shutdown() -> poll() wakeup
+  int port_ = -1;
+  std::atomic<bool> shutdown_requested_{false};
+
+  std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+  std::vector<std::thread> conn_threads_;
+};
+
+/// Blocking JSONL client for tests, tools, and bench_serve.
+class Client {
+ public:
+  static Client connect_unix(const std::string& path);
+  static Client connect_tcp(int port);
+  ~Client();
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends one frame line (newline appended).  Throws InvalidArgument on a
+  /// closed/failed socket.
+  void send(const std::string& frame);
+  /// Reads one response line (without the newline).  Returns false on EOF —
+  /// the daemon died or closed the connection (how the kill -9 test observes
+  /// in-flight requests vanishing).
+  bool read_line(std::string* line);
+  /// send + read_line for the single-outstanding-request case; throws on
+  /// EOF.
+  std::string call(const std::string& frame);
+
+  void close();
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+  int fd_ = -1;
+  std::string buffer_;  // bytes read past the last returned line
+};
+
+}  // namespace bfly::serve

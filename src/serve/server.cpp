@@ -1,0 +1,441 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace bfly::serve {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double us_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::micro>(b - a).count();
+}
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      cache_(options_.cache_path),
+      c_accepted_(obs::get_counter("serve.accepted")),
+      c_completed_(obs::get_counter("serve.completed")),
+      c_cancelled_(obs::get_counter("serve.cancelled")),
+      c_shed_(obs::get_counter("serve.shed")),
+      c_failed_(obs::get_counter("serve.failed")),
+      c_hits_(obs::get_counter("serve.cache_hits")),
+      c_misses_(obs::get_counter("serve.cache_misses")),
+      c_coalesced_(obs::get_counter("serve.coalesced")),
+      g_queue_len_(obs::get_gauge("serve.queue_len")),
+      h_latency_us_(obs::get_histogram(
+          "serve.latency_us", obs::Histogram::exponential_bounds(10.0, 2.0, 24))) {
+  BFLY_REQUIRE(options_.max_inflight >= 1, "max_inflight must be >= 1");
+  BFLY_REQUIRE(options_.queue_depth >= 1, "queue_depth must be >= 1");
+  BFLY_REQUIRE(options_.default_deadline_ms > 0, "default_deadline_ms must be > 0");
+  BFLY_REQUIRE(options_.max_deadline_ms >= options_.default_deadline_ms,
+               "max_deadline_ms must cover default_deadline_ms");
+  dispatchers_.reserve(options_.max_inflight);
+  for (std::size_t i = 0; i < options_.max_inflight; ++i) {
+    dispatchers_.emplace_back([this] { dispatcher_loop(); });
+  }
+  reaper_ = std::thread([this] { reaper_loop(); });
+}
+
+Server::~Server() { drain(0); }
+
+Server::Bucket Server::bucket_for(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kDeadlineExceeded: return Bucket::kCancelled;
+    case ErrorCode::kOverloaded:
+    case ErrorCode::kShuttingDown: return Bucket::kShed;
+    case ErrorCode::kInvalidRequest:
+    case ErrorCode::kInternal: return Bucket::kFailed;
+  }
+  return Bucket::kFailed;
+}
+
+void Server::finish(const ResponseCallback& respond, Bucket bucket,
+                    Clock::time_point enqueued, std::string line) {
+  switch (bucket) {
+    case Bucket::kCompleted:
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      obs::add(c_completed_);
+      break;
+    case Bucket::kCancelled:
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      obs::add(c_cancelled_);
+      break;
+    case Bucket::kShed:
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      obs::add(c_shed_);
+      break;
+    case Bucket::kFailed:
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      obs::add(c_failed_);
+      break;
+  }
+  obs::observe(h_latency_us_, us_between(enqueued, Clock::now()));
+  respond(std::move(line));
+}
+
+void Server::finish_error(const Job& job, ErrorCode code, std::string_view message,
+                          u64 retry_after_ms) {
+  finish(job.respond, bucket_for(code), job.enqueued,
+         build_response_error(job.request.id, code, message, retry_after_ms));
+}
+
+u64 Server::retry_hint_ms(std::size_t queue_len) const {
+  // Occupancy x observed service time: roughly when a queue slot should
+  // free up if the caller waits its turn out.  A hint, not a reservation.
+  const double ema_us = service_ema_us_.load(std::memory_order_relaxed);
+  const double slots = static_cast<double>(options_.max_inflight);
+  const double hint_ms =
+      (static_cast<double>(queue_len) / slots + 1.0) * ema_us / 1000.0;
+  return static_cast<u64>(std::clamp(hint_ms, 1.0, 60'000.0));
+}
+
+Clock::time_point Server::deadline_for(const Request& request, Clock::time_point now) const {
+  const u64 ms = request.deadline_ms == 0
+                     ? options_.default_deadline_ms
+                     : std::min(request.deadline_ms, options_.max_deadline_ms);
+  return now + std::chrono::milliseconds(ms);
+}
+
+void Server::submit_frame(const std::string& frame, ResponseCallback respond) {
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  obs::add(c_accepted_);
+  const Clock::time_point now = Clock::now();
+
+  // Hostile input boundary: everything up to a validated Request can fail,
+  // and all of it answers a structured invalid_request.  The id is fished
+  // out first on a best-effort basis so even a bad frame's error can be
+  // correlated by the client.
+  std::string id;
+  Request request;
+  try {
+    const json::Value doc = json::Value::parse(frame);
+    if (doc.is_object()) {
+      if (const json::Value* v = doc.find("id"); v != nullptr && v->is_string()) {
+        id = v->as_string();
+      }
+    }
+    request = parse_request(doc);
+  } catch (const InvalidArgument& e) {
+    finish(respond, Bucket::kFailed, now,
+           build_response_error(id, ErrorCode::kInvalidRequest, e.what()));
+    return;
+  }
+
+  // Control ops: answered inline, admission-exempt (they are how drained or
+  // overloaded servers stay observable).
+  if (request.op == Op::kPing) {
+    finish(respond, Bucket::kCompleted, now,
+           build_response_ok(request.id, "", false, "{\"pong\":true}"));
+    return;
+  }
+  if (request.op == Op::kStats) {
+    finish(respond, Bucket::kCompleted, now,
+           build_response_ok(request.id, "", false, stats_json().dump()));
+    return;
+  }
+
+  Job job;
+  job.enqueued = now;
+  job.deadline = deadline_for(request, now);
+  job.request = std::move(request);
+  job.respond = std::move(respond);
+
+  ErrorCode shed_code = ErrorCode::kInternal;
+  u64 hint = 0;
+  {
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    if (stopping_) {
+      shed_code = ErrorCode::kShuttingDown;
+    } else if (queue_.size() >= options_.queue_depth) {
+      // Deterministic load shedding: admission depends only on queue
+      // occupancy, so at a given queue state every request sees the same
+      // verdict — no random early drop, no priority inversion.
+      shed_code = ErrorCode::kOverloaded;
+      hint = retry_hint_ms(queue_.size());
+    } else {
+      queue_.push_back(std::move(job));
+      obs::set(g_queue_len_, static_cast<double>(queue_.size()));
+      lock.unlock();
+      queue_cv_.notify_one();
+      return;
+    }
+  }
+  if (shed_code == ErrorCode::kShuttingDown) {
+    finish_error(job, shed_code, "server is draining");
+  } else {
+    finish_error(job, shed_code, "admission queue is full", hint);
+  }
+}
+
+void Server::dispatcher_loop() {
+  while (true) {
+    Job job;
+    bool shed_job = false;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return !queue_.empty() || quit_; });
+      if (queue_.empty()) break;  // quit_ with nothing left to do
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++executing_;
+      shed_job = drain_expired_;
+      obs::set(g_queue_len_, static_cast<double>(queue_.size()));
+    }
+    process(std::move(job), shed_job);
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      --executing_;
+    }
+    queue_cv_.notify_all();  // drain() waits on executing_ == 0
+  }
+}
+
+void Server::process(Job job, bool shed_job) {
+  if (shed_job) {
+    finish_error(job, ErrorCode::kShuttingDown, "server drain budget exhausted");
+    return;
+  }
+  if (Clock::now() >= job.deadline) {
+    // Expired while queued: answered, never computed — an expired request
+    // costs a dispatcher nothing beyond this check.
+    finish_error(job, ErrorCode::kDeadlineExceeded, "deadline expired while queued");
+    return;
+  }
+
+  const std::string key = request_key(job.request);
+  if (job.request.no_cache) {
+    CancelToken token;
+    token.extend_deadline_until(job.deadline);
+    owner_compute(std::move(job), key, &token, /*store=*/false);
+    return;
+  }
+
+  // The joiner resolution path.  Captures copies (the Job dies when this
+  // dispatcher moves on); fired exactly once by publish / fail / the reaper.
+  const ResponseCallback respond = job.respond;
+  const std::string request_id = job.request.id;
+  const Clock::time_point enqueued = job.enqueued;
+  WaitCallback on_done = [this, respond, request_id, key, enqueued](
+                             WaitResult result, ErrorCode code, const std::string& body) {
+    switch (result) {
+      case WaitResult::kReady:
+        finish(respond, Bucket::kCompleted, enqueued,
+               build_response_ok(request_id, key, /*cached=*/true, body));
+        break;
+      case WaitResult::kFailed:
+        finish(respond, bucket_for(code), enqueued,
+               build_response_error(request_id, code, body));
+        break;
+      case WaitResult::kExpired:
+        finish(respond, Bucket::kCancelled, enqueued,
+               build_response_error(request_id, ErrorCode::kDeadlineExceeded,
+                                    "deadline expired awaiting a coalesced compute"));
+        break;
+    }
+  };
+
+  std::string payload;
+  const CancelToken* token = nullptr;
+  switch (cache_.lookup_or_begin(key, job.deadline, &payload, &token, std::move(on_done))) {
+    case Admission::kHit:
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      obs::add(c_hits_);
+      finish(respond, Bucket::kCompleted, enqueued,
+             build_response_ok(request_id, key, /*cached=*/true, payload));
+      break;
+    case Admission::kJoined:
+      coalesced_.fetch_add(1, std::memory_order_relaxed);
+      obs::add(c_coalesced_);
+      break;  // parked; on_done owns the response
+    case Admission::kOwner:
+      cache_misses_.fetch_add(1, std::memory_order_relaxed);
+      obs::add(c_misses_);
+      owner_compute(std::move(job), key, token, /*store=*/true);
+      break;
+  }
+}
+
+void Server::owner_compute(Job job, const std::string& key, const CancelToken* token,
+                           bool store) {
+  const Clock::time_point t0 = Clock::now();
+  try {
+    const json::Value result = execute_request(job.request, token, options_.engine_threads);
+    if (CancelToken::cancelled(token)) {
+      // The engines return partial results when the token trips mid-run;
+      // "completed normally" and "stopped early" are indistinguishable here,
+      // so a tripped token always discards (determinism over salvage).
+      if (store) {
+        cache_.fail(key, ErrorCode::kDeadlineExceeded, "deadline expired during compute");
+      }
+      finish_error(job, ErrorCode::kDeadlineExceeded, "deadline expired during compute");
+      return;
+    }
+    const std::string text = result.dump();
+    if (store) cache_.publish(key, text);
+    const double us = us_between(t0, Clock::now());
+    const double prev = service_ema_us_.load(std::memory_order_relaxed);
+    service_ema_us_.store(prev + 0.2 * (us - prev), std::memory_order_relaxed);
+    finish(job.respond, Bucket::kCompleted, job.enqueued,
+           build_response_ok(job.request.id, key, /*cached=*/false, text));
+  } catch (const InvalidArgument& e) {
+    if (store) cache_.fail(key, ErrorCode::kInvalidRequest, e.what());
+    finish_error(job, ErrorCode::kInvalidRequest, e.what());
+  } catch (const std::exception& e) {
+    if (store) cache_.fail(key, ErrorCode::kInternal, e.what());
+    finish_error(job, ErrorCode::kInternal, e.what());
+  }
+}
+
+std::size_t Server::expire_queued(Clock::time_point now) {
+  std::vector<Job> expired;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    for (std::size_t i = 0; i < queue_.size();) {
+      if (queue_[i].deadline <= now) {
+        expired.push_back(std::move(queue_[i]));
+        queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+    if (!expired.empty()) {
+      obs::set(g_queue_len_, static_cast<double>(queue_.size()));
+    }
+  }
+  for (const Job& job : expired) {
+    finish_error(job, ErrorCode::kDeadlineExceeded, "deadline expired while queued");
+  }
+  return expired.size();
+}
+
+void Server::reaper_loop() {
+  // Fixed short tick: deadline expiry for queued jobs and parked joiners
+  // lands within ~one tick of the deadline, independent of dispatcher
+  // availability — the "expired requests never stall behind a busy queue"
+  // liveness bound (engine-side cancellation is the token's job).
+  constexpr auto kTick = std::chrono::milliseconds(5);
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(reaper_mu_);
+      if (reaper_quit_) break;
+      reaper_cv_.wait_for(lock, kTick);
+      if (reaper_quit_) break;
+    }
+    const Clock::time_point now = Clock::now();
+    expire_queued(now);
+    cache_.expire_waiters(now);
+  }
+}
+
+LedgerSnapshot Server::drain(u64 budget_ms) {
+  // One drain at a time (e.g. an explicit drain racing the destructor's).
+  std::lock_guard<std::mutex> drain_lock(drain_mu_);
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (drained_) return ledger();
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+
+  const Clock::time_point budget_end = Clock::now() + std::chrono::milliseconds(budget_ms);
+  bool expired = false;
+  {
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    queue_cv_.wait_until(lock, budget_end,
+                         [this] { return queue_.empty() && executing_ == 0; });
+    if (!queue_.empty() || executing_ != 0) {
+      drain_expired_ = true;  // dispatchers shed whatever they pop next
+      expired = true;
+    }
+  }
+  if (expired) {
+    // Raise the flag on every in-flight compute; the engines observe it at
+    // their poll points and the owners answer deadline_exceeded.
+    cache_.cancel_pending();
+    queue_cv_.notify_all();
+  }
+  {
+    // Second wait is unbounded but finite: the queue only sheds now, and
+    // cancelled engines return within one poll batch (computes that never
+    // poll are bounded by the parse-time parameter caps).
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    queue_cv_.wait(lock, [this] { return queue_.empty() && executing_ == 0; });
+    quit_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& t : dispatchers_) t.join();
+  dispatchers_.clear();
+
+  // Reaper last: parked joiners may still need expiry while owners wind
+  // down.  By this point every pending entry has resolved (each had exactly
+  // one owner, and all owners finished above), so no waiter can be left.
+  {
+    std::lock_guard<std::mutex> lock(reaper_mu_);
+    reaper_quit_ = true;
+  }
+  reaper_cv_.notify_all();
+  if (reaper_.joinable()) reaper_.join();
+
+  cache_.compact();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    drained_ = true;
+  }
+
+  const LedgerSnapshot snapshot = ledger();
+  BFLY_CHECK(snapshot.conserved(),
+             "request ledger not conserved after drain: accepted != "
+             "completed + cancelled + shed + failed");
+  return snapshot;
+}
+
+LedgerSnapshot Server::ledger() const {
+  LedgerSnapshot s;
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.cancelled = cancelled_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  s.coalesced = coalesced_.load(std::memory_order_relaxed);
+  return s;
+}
+
+json::Value Server::stats_json() const {
+  const LedgerSnapshot s = ledger();
+  std::size_t queue_len = 0;
+  std::size_t executing = 0;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_len = queue_.size();
+    executing = executing_;
+  }
+  json::Value doc = json::Value::object();
+  doc.set("uptime_ms", json::Value::number(us_between(started_, Clock::now()) / 1000.0));
+  doc.set("accepted", json::Value::number(s.accepted));
+  doc.set("completed", json::Value::number(s.completed));
+  doc.set("cancelled", json::Value::number(s.cancelled));
+  doc.set("shed", json::Value::number(s.shed));
+  doc.set("failed", json::Value::number(s.failed));
+  doc.set("cache_hits", json::Value::number(s.cache_hits));
+  doc.set("cache_misses", json::Value::number(s.cache_misses));
+  doc.set("coalesced", json::Value::number(s.coalesced));
+  doc.set("queue_len", json::Value::number(static_cast<u64>(queue_len)));
+  doc.set("executing", json::Value::number(static_cast<u64>(executing)));
+  doc.set("queue_depth", json::Value::number(static_cast<u64>(options_.queue_depth)));
+  doc.set("max_inflight", json::Value::number(static_cast<u64>(options_.max_inflight)));
+  doc.set("default_deadline_ms", json::Value::number(options_.default_deadline_ms));
+  doc.set("cache_ready", json::Value::number(static_cast<u64>(cache_.ready_entries())));
+  doc.set("cache_loaded", json::Value::number(static_cast<u64>(cache_.loaded_entries())));
+  doc.set("cache_lines_skipped",
+          json::Value::number(static_cast<u64>(cache_.loaded_lines_skipped())));
+  return doc;
+}
+
+}  // namespace bfly::serve

@@ -1,0 +1,209 @@
+// The bfly request server: bounded admission, deadline-governed dispatch,
+// single-flight memoization, and an exactly-conserved request ledger.
+//
+// Transport-free core of the bflyd daemon (serve/daemon.hpp wraps it in a
+// socket listener; tests and bench_serve drive it in-process).  Every frame
+// submitted is answered exactly once, and every answer lands in exactly one
+// ledger bucket:
+//
+//     accepted == completed + cancelled + shed + failed
+//
+//   completed  success responses (cold computes, cache hits, control ops)
+//   cancelled  deadline_exceeded (expired queued, mid-compute, or parked)
+//   shed       overloaded (queue full) and shutting_down (drain)
+//   failed     invalid_request (malformed / out-of-range) and internal
+//
+// The identity is exact — it holds after drain() by construction, and
+// Server verifies it with BFLY_CHECK.  The same counts are mirrored into
+// the obs registry (serve.* counters, serve.latency_us histogram) when one
+// is installed; the Server's own atomics are the source of truth, so the
+// ledger works with no registry at all.
+//
+// Robustness model:
+//  * Admission is bounded (queue_depth): past it, requests are shed
+//    deterministically with a structured "overloaded" error carrying a
+//    retry_after_ms hint (occupancy x observed service time) — never
+//    queued-and-forgotten.
+//  * Every compute carries a deadline (its own, or the server default) on an
+//    exec::CancelToken; the engines poll, so an expired request stops within
+//    one poll batch and answers deadline_exceeded.  A reaper thread expires
+//    requests still waiting in the queue or parked on a coalesced compute,
+//    so expiry never waits for a dispatcher.
+//  * Identical concurrent requests coalesce (serve/cache.hpp): one compute,
+//    many responses, each joiner extending (never shortening) the shared
+//    deadline.
+//  * drain() stops admission, finishes or cancels everything within a
+//    budget, fires every outstanding callback, compacts the cache journal,
+//    and leaves the ledger conserved.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "serve/cache.hpp"
+#include "serve/protocol.hpp"
+
+namespace bfly::serve {
+
+struct ServerOptions {
+  /// Dispatcher threads = maximum concurrently *executing* computes.  Each
+  /// compute may additionally fan out onto the shared ThreadPool
+  /// (engine_threads).
+  std::size_t max_inflight = 4;
+  /// Bounded admission queue depth; compute requests beyond it are shed.
+  std::size_t queue_depth = 256;
+  /// Deadline applied to requests that carry none.  Must be > 0.
+  u64 default_deadline_ms = 10'000;
+  /// Hard ceiling on client-requested deadlines (larger values are clamped,
+  /// not rejected — a long deadline is a preference, not a contract).
+  u64 max_deadline_ms = 300'000;
+  /// Cache journal path; empty = memory-only (no crash recovery).
+  std::string cache_path;
+  /// Engine parallelism per compute (0 = pool default).
+  std::size_t engine_threads = 0;
+};
+
+/// Point-in-time ledger counts (monotonic; read with relaxed atomics).
+struct LedgerSnapshot {
+  u64 accepted = 0;
+  u64 completed = 0;
+  u64 cancelled = 0;
+  u64 shed = 0;
+  u64 failed = 0;
+  u64 cache_hits = 0;   ///< answered from a ready cache entry
+  u64 cache_misses = 0; ///< became the owner of a cold compute
+  u64 coalesced = 0;    ///< parked behind an identical in-flight compute
+
+  /// The conservation identity.  Transiently false while requests are in
+  /// flight (accepted leads its terminal bucket); exact once idle/drained.
+  bool conserved() const { return accepted == completed + cancelled + shed + failed; }
+};
+
+/// Fires exactly once per submitted frame, from an arbitrary thread (the
+/// submitter's for inline answers, a dispatcher's or the reaper's
+/// otherwise), with one complete JSONL response line (no trailing newline).
+using ResponseCallback = std::function<void(std::string line)>;
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  /// Drains with a zero budget if drain() was never called (cancels
+  /// everything in flight; all callbacks still fire).
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Submits one raw frame (hostile input welcome: non-JSON, wrong types,
+  /// unknown ops all answer invalid_request).  The callback is retained
+  /// until the request reaches a terminal state; it must not re-enter the
+  /// Server (post, don't recurse) and must not throw.
+  void submit_frame(const std::string& frame, ResponseCallback respond);
+
+  /// Graceful drain: closes admission (new frames answer shutting_down),
+  /// lets queued + in-flight work finish for up to `budget_ms`, then cancels
+  /// the remainder (in-flight computes via their tokens, still-queued jobs
+  /// with shutting_down), joins all threads, fires every outstanding
+  /// callback, verifies ledger conservation, and compacts the cache journal.
+  /// Idempotent; returns the final ledger.
+  LedgerSnapshot drain(u64 budget_ms);
+
+  LedgerSnapshot ledger() const;
+  /// The "stats" op's result document: ledger, queue/cache occupancy, and
+  /// configuration.  Volatile server state — never cached.
+  json::Value stats_json() const;
+
+  const ServerOptions& options() const { return options_; }
+  const ServeCache& cache() const { return cache_; }
+
+ private:
+  struct Job {
+    Request request;
+    std::chrono::steady_clock::time_point enqueued;
+    std::chrono::steady_clock::time_point deadline;
+    ResponseCallback respond;
+  };
+
+  enum class Bucket { kCompleted, kCancelled, kShed, kFailed };
+  static Bucket bucket_for(ErrorCode code);
+
+  void finish(const ResponseCallback& respond, Bucket bucket,
+              std::chrono::steady_clock::time_point enqueued, std::string line);
+  void finish_error(const Job& job, ErrorCode code, std::string_view message,
+                    u64 retry_after_ms = 0);
+  u64 retry_hint_ms(std::size_t queue_len) const;
+  std::chrono::steady_clock::time_point deadline_for(const Request& request,
+                                                     std::chrono::steady_clock::time_point now)
+      const;
+
+  void dispatcher_loop();
+  void reaper_loop();
+  /// One popped job: expiry check, then the cache gate, then the compute.
+  /// `shed_job` = the drain budget expired while this job was queued.
+  void process(Job job, bool shed_job);
+  void owner_compute(Job job, const std::string& key, const CancelToken* token,
+                     bool store);
+  /// Removes queued jobs past their deadline and answers them; returns the
+  /// number expired.  Called by the reaper so expiry latency never depends
+  /// on dispatcher availability.
+  std::size_t expire_queued(std::chrono::steady_clock::time_point now);
+
+  const ServerOptions options_;
+  ServeCache cache_;
+
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Job> queue_;
+  bool stopping_ = false;       // admission closed (drain started)
+  bool drain_expired_ = false;  // drain budget exhausted: shed instead of compute
+  bool quit_ = false;           // dispatchers may exit when the queue is empty
+  std::size_t executing_ = 0;   // jobs popped and not yet terminal
+
+  std::mutex drain_mu_;  // serializes drain() callers (user drain vs dtor)
+  std::mutex reaper_mu_;
+  std::condition_variable reaper_cv_;
+  bool reaper_quit_ = false;
+
+  std::vector<std::thread> dispatchers_;
+  std::thread reaper_;
+  bool drained_ = false;
+
+  // Ledger (source of truth; obs mirrors below may be null).
+  std::atomic<u64> accepted_{0};
+  std::atomic<u64> completed_{0};
+  std::atomic<u64> cancelled_{0};
+  std::atomic<u64> shed_{0};
+  std::atomic<u64> failed_{0};
+  std::atomic<u64> cache_hits_{0};
+  std::atomic<u64> cache_misses_{0};
+  std::atomic<u64> coalesced_{0};
+
+  /// EMA of compute service time, feeding the overload retry hint.  Only
+  /// a hint: updated racily (relaxed), read racily, deliberately.
+  std::atomic<double> service_ema_us_{1000.0};
+
+  const std::chrono::steady_clock::time_point started_ = std::chrono::steady_clock::now();
+
+  obs::Counter* c_accepted_;
+  obs::Counter* c_completed_;
+  obs::Counter* c_cancelled_;
+  obs::Counter* c_shed_;
+  obs::Counter* c_failed_;
+  obs::Counter* c_hits_;
+  obs::Counter* c_misses_;
+  obs::Counter* c_coalesced_;
+  obs::Gauge* g_queue_len_;
+  obs::Histogram* h_latency_us_;
+};
+
+}  // namespace bfly::serve

@@ -50,6 +50,30 @@ class CancelToken {
   /// Removes any armed deadline (an explicit request_cancel still sticks).
   void clear_deadline() { deadline_ns_.store(0, std::memory_order_relaxed); }
 
+  /// Arms the deadline at absolute steady-clock time `when`, but only ever
+  /// *later*: an armed deadline earlier than `when` moves out to it, a later
+  /// one is kept, and an unarmed token is simply armed.  This is the
+  /// coalescing primitive the serving layer's single-flight cache uses — a
+  /// request joining an in-flight computation may extend its deadline so the
+  /// shared work survives long enough for the most patient waiter, and no
+  /// joiner can ever shorten another's budget.  Safe from any thread (CAS-max
+  /// loop); callers that mean "no deadline at all" must not call this.
+  void extend_deadline_until(std::chrono::steady_clock::time_point when) {
+    const std::int64_t ns = when.time_since_epoch().count();
+    std::int64_t cur = deadline_ns_.load(std::memory_order_relaxed);
+    while (cur == 0 || cur < ns) {
+      if (deadline_ns_.compare_exchange_weak(cur, ns, std::memory_order_relaxed)) break;
+    }
+  }
+
+  /// The armed deadline as a steady-clock time point; meaningful only when
+  /// has_deadline().
+  bool has_deadline() const { return deadline_ns_.load(std::memory_order_relaxed) != 0; }
+  std::chrono::steady_clock::time_point deadline() const {
+    return std::chrono::steady_clock::time_point(
+        std::chrono::steady_clock::duration(deadline_ns_.load(std::memory_order_relaxed)));
+  }
+
   /// True iff request_cancel() was called (deadline not considered).
   bool cancel_requested() const { return cancel_requested_.load(std::memory_order_relaxed); }
 

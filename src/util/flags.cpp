@@ -1,0 +1,23 @@
+#include "util/flags.hpp"
+
+namespace bfly::util {
+
+bool parse_bounded_u64(const char* text, u64 min_value, u64 max_value, u64* out) {
+  if (text == nullptr || *text == '\0') return false;
+  u64 value = 0;
+  for (const char* p = text; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') return false;
+    const u64 digit = static_cast<u64>(*p - '0');
+    // Reject before the multiply/add can wrap: value * 10 + digit > max is a
+    // bounds failure whether or not it also overflows u64.
+    if (value > max_value / 10 || (value == max_value / 10 && digit > max_value % 10)) {
+      return false;
+    }
+    value = value * 10 + digit;
+  }
+  if (value < min_value || value > max_value) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace bfly::util

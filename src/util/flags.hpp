@@ -1,0 +1,24 @@
+// Strict command-line flag value parsing for the tools and bench binaries.
+//
+// Every numeric flag in the project follows one contract: the value must be a
+// plain bounded decimal integer parsed against the *whole* string — "4x",
+// "1e3", "-2", "" and out-of-range values are usage errors the binary reports
+// with exit status 2, never silently truncated the way atoi/strtoul would.
+// parse_bounded_u64 is that contract in one place; parse_thread_count
+// (util/parallel.hpp) and the bflyd/bflyreport flag handlers all delegate to
+// it with their own bounds.
+#pragma once
+
+#include "util/bits.hpp"
+
+namespace bfly::util {
+
+/// Strict full-string parse of a bounded unsigned decimal flag value:
+/// accepts a plain decimal integer in [min_value, max_value] and nothing
+/// else.  Leading '+', signs, whitespace, exponents, hex, and any trailing
+/// garbage are all rejected (returns false, *out untouched), as is any value
+/// outside the bounds — the accumulator is overflow-guarded, so
+/// "99999999999999999999999" is rejected rather than wrapped.
+bool parse_bounded_u64(const char* text, u64 min_value, u64 max_value, u64* out);
+
+}  // namespace bfly::util

@@ -1,5 +1,6 @@
 #include "util/parallel.hpp"
 
+#include "util/flags.hpp"
 #include "util/thread_pool.hpp"
 
 namespace bfly {
@@ -10,15 +11,9 @@ std::size_t default_thread_count() {
 }
 
 bool parse_thread_count(const char* text, std::size_t* out) {
-  if (text == nullptr || *text == '\0') return false;
-  std::size_t value = 0;
-  for (const char* p = text; *p != '\0'; ++p) {
-    if (*p < '0' || *p > '9') return false;
-    value = value * 10 + static_cast<std::size_t>(*p - '0');
-    if (value > 4096) return false;  // also bounds the accumulator (no overflow)
-  }
-  if (value == 0) return false;
-  *out = value;
+  u64 value = 0;
+  if (!util::parse_bounded_u64(text, 1, 4096, &value)) return false;
+  *out = static_cast<std::size_t>(value);
   return true;
 }
 

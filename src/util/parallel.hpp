@@ -29,7 +29,9 @@ std::size_t default_thread_count();
 /// the $BFLY_THREADS variable): accepts a plain positive decimal integer in
 /// [1, 4096] and nothing else — "4x", "", "0", "-2", and "1e3" are all
 /// rejected (returns false, *out untouched) so callers can exit with a
-/// usage error instead of silently truncating like atoi would.
+/// usage error instead of silently truncating like atoi would.  The bounds
+/// discipline is util::parse_bounded_u64 (util/flags.hpp), which bflyd's
+/// --port/--max-inflight/--queue-depth/--default-deadline-ms flags share.
 bool parse_thread_count(const char* text, std::size_t* out);
 
 /// Statically partitions [begin, end) into `threads` contiguous chunks and

@@ -3,6 +3,7 @@
 // cases the analytics path depends on.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -209,9 +210,31 @@ TEST(LoadReportLinesTest, SkipsTornAndCorruptLinesWithWarnings) {
   const std::vector<RunReport> reports = load_report_lines(path, &warnings, &skipped);
   ASSERT_EQ(reports.size(), 2u);
   EXPECT_EQ(skipped, 2u);
-  EXPECT_NE(warnings.str().find(":3:"), std::string::npos) << warnings.str();
-  EXPECT_NE(warnings.str().find(":5:"), std::string::npos) << warnings.str();
+  // One summary warning for the whole file, naming the count and the first
+  // offending line — never one line per skip.
+  EXPECT_NE(warnings.str().find("skipped 2 torn lines"), std::string::npos) << warnings.str();
+  EXPECT_NE(warnings.str().find("first at line 3"), std::string::npos) << warnings.str();
   EXPECT_EQ(metric_value(reports[1], "counters.routing.delivered"), 2.0);
+  std::remove(path.c_str());
+}
+
+TEST(LoadReportLinesTest, ManyTornLinesEmitOneSummaryWarning) {
+  const std::string path = ::testing::TempDir() + "bfly_flooded.jsonl";
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << report_text(1, 1, 1) << "\n";
+    for (int i = 0; i < 500; ++i) out << "{\"torn\": " << i << "\n";  // all unparsable
+  }
+  std::ostringstream warnings;
+  std::size_t skipped = 0;
+  const std::vector<RunReport> reports = load_report_lines(path, &warnings, &skipped);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(skipped, 500u);
+  // A corrupt journal must not flood the log: exactly one warning line.
+  const std::string text = warnings.str();
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 1) << text;
+  EXPECT_NE(text.find("skipped 500 torn lines"), std::string::npos) << text;
+  EXPECT_NE(text.find("first at line 2"), std::string::npos) << text;
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,263 @@
+// End-to-end tests of the real bflyd process over its socket transports.
+//
+// These tests fork/exec the actual daemon binary (BFLYD_PATH, injected by
+// CMake as $<TARGET_FILE:bflyd>), speak the JSONL protocol through
+// serve::Client, and exercise the full robustness story the in-process suite
+// cannot: process startup/readiness, SIGTERM graceful drain with a clean
+// exit code, and — the headline — kill -9 mid-burst followed by a restart
+// that re-serves every previously completed response bit-identically from
+// the recovered journal.
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.hpp"
+#include "serve/daemon.hpp"
+#include "serve/protocol.hpp"
+
+#ifndef BFLYD_PATH
+#error "BFLYD_PATH must be defined to the bflyd binary path"
+#endif
+
+namespace bfly::serve {
+namespace {
+
+using json::Value;
+
+std::string temp_file(const std::string& name, const std::string& ext) {
+  return testing::TempDir() + "bflyd_" + name + "_" + std::to_string(::getpid()) + ext;
+}
+
+// A spawned bflyd process.  The constructor blocks until the daemon prints
+// its readiness line ("bflyd listening ...") on stdout, so a connect after
+// construction never races the bind.
+class DaemonProcess {
+ public:
+  explicit DaemonProcess(std::vector<std::string> args) { start(std::move(args)); }
+
+  // gtest ASSERTs need a void function; the ctor delegates here.
+  void start(std::vector<std::string> args) {
+    int out_pipe[2];
+    ASSERT_EQ(::pipe(out_pipe), 0);
+    pid_ = ::fork();
+    ASSERT_GE(pid_, 0);
+    if (pid_ == 0) {
+      ::dup2(out_pipe[1], STDOUT_FILENO);
+      ::close(out_pipe[0]);
+      ::close(out_pipe[1]);
+      std::vector<char*> argv;
+      static const std::string binary = BFLYD_PATH;
+      argv.push_back(const_cast<char*>(binary.c_str()));
+      for (const std::string& a : args) argv.push_back(const_cast<char*>(a.c_str()));
+      argv.push_back(nullptr);
+      ::execv(argv[0], argv.data());
+      ::_exit(127);  // exec failed
+    }
+    ::close(out_pipe[1]);
+    stdout_ = ::fdopen(out_pipe[0], "r");
+    ASSERT_NE(stdout_, nullptr);
+
+    char line[512];
+    ASSERT_NE(std::fgets(line, sizeof(line), stdout_), nullptr)
+        << "daemon exited before printing its readiness line";
+    ready_line_ = line;
+    ASSERT_NE(ready_line_.find("bflyd listening"), std::string::npos) << ready_line_;
+  }
+
+  ~DaemonProcess() {
+    if (pid_ > 0) {
+      ::kill(pid_, SIGKILL);
+      int status = 0;
+      ::waitpid(pid_, &status, 0);
+    }
+    if (stdout_ != nullptr) std::fclose(stdout_);
+  }
+
+  /// The TCP port out of "bflyd listening tcp 127.0.0.1:<port>".
+  int tcp_port() const {
+    const std::size_t colon = ready_line_.rfind(':');
+    EXPECT_NE(colon, std::string::npos) << ready_line_;
+    return std::stoi(ready_line_.substr(colon + 1));
+  }
+
+  void kill_hard() {
+    ASSERT_EQ(::kill(pid_, SIGKILL), 0);
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid_, &status, 0), pid_);
+    EXPECT_TRUE(WIFSIGNALED(status));
+    EXPECT_EQ(WTERMSIG(status), SIGKILL);
+    pid_ = -1;
+  }
+
+  int terminate_and_wait() {
+    if (pid_ <= 0) return -1;
+    if (::kill(pid_, SIGTERM) != 0) return -1;
+    int status = 0;
+    if (::waitpid(pid_, &status, 0) != pid_) return -1;
+    pid_ = -1;
+    if (!WIFEXITED(status)) return -1;
+    return WEXITSTATUS(status);
+  }
+
+ private:
+  pid_t pid_ = -1;
+  FILE* stdout_ = nullptr;
+  std::string ready_line_;
+};
+
+/// Normalizes "cached":false -> "cached":true so a cold response can be
+/// compared byte-for-byte against its replay.
+std::string as_cached(std::string line) {
+  const std::size_t pos = line.find("\"cached\":false");
+  if (pos != std::string::npos) line.replace(pos, 14, "\"cached\":true");
+  return line;
+}
+
+TEST(BflydDaemon, ServesMixedBurstOverUnixSocketAndDrainsOnSigterm) {
+  const std::string socket_path = temp_file("mixed", ".sock");
+  DaemonProcess daemon({"--socket", socket_path, "--max-inflight", "2"});
+
+  Client client = Client::connect_unix(socket_path);
+  // Control op.
+  EXPECT_TRUE(Value::parse(client.call(R"({"op":"ping","id":"1"})")).at("ok").as_bool());
+
+  // Cold compute, then a bit-identical cache hit.
+  const std::string frame = R"({"op":"layout","id":"2","n":6})";
+  const std::string cold = client.call(frame);
+  const std::string warm = client.call(frame);
+  EXPECT_FALSE(Value::parse(cold).at("cached").as_bool());
+  EXPECT_TRUE(Value::parse(warm).at("cached").as_bool());
+  EXPECT_EQ(as_cached(cold), warm);
+
+  // Hostile frame: structured invalid_request, connection stays usable.
+  const Value bad = Value::parse(client.call("this is not json"));
+  EXPECT_FALSE(bad.at("ok").as_bool());
+  EXPECT_EQ(bad.at("error").at("code").as_string(), "invalid_request");
+
+  // Deadline-doomed sweep: structured deadline_exceeded.
+  const Value doomed = Value::parse(client.call(
+      R"({"op":"sweep","id":"3","n":10,"offered_load":0.9,"cycles":4000000,"seed":7,)"
+      R"("deadline_ms":50})"));
+  EXPECT_FALSE(doomed.at("ok").as_bool());
+  EXPECT_EQ(doomed.at("error").at("code").as_string(), "deadline_exceeded");
+
+  // The stats op carries the exact ledger.  The snapshot is rendered while
+  // the stats request itself is still in flight, so it is the one request
+  // accepted but not yet in a terminal bucket.
+  const Value stats = Value::parse(client.call(R"({"op":"stats","id":"4"})"));
+  ASSERT_TRUE(stats.at("ok").as_bool());
+  const Value& ledger = stats.at("result");
+  EXPECT_EQ(ledger.at("accepted").as_u64(), 6u);
+  EXPECT_EQ(ledger.at("completed").as_u64(), 3u);  // ping, cold, warm
+  EXPECT_EQ(ledger.at("failed").as_u64(), 1u);     // the hostile frame
+  EXPECT_EQ(ledger.at("cancelled").as_u64(), 1u);  // the doomed sweep
+  EXPECT_EQ(ledger.at("shed").as_u64(), 0u);
+
+  // SIGTERM: graceful drain, exit 0, connection closes cleanly (EOF).
+  EXPECT_EQ(daemon.terminate_and_wait(), 0);
+  std::string leftover;
+  EXPECT_FALSE(client.read_line(&leftover));
+}
+
+TEST(BflydDaemon, KillNineMidBurstThenRestartReplaysCompletedResponsesBitIdentically) {
+  const std::string socket_path = temp_file("crash", ".sock");
+  const std::string cache_path = temp_file("crash_cache", ".jsonl");
+  std::remove(cache_path.c_str());
+
+  // Requests whose responses we will demand back, byte for byte.
+  const std::vector<std::string> frames = {
+      R"({"op":"layout","id":"a","n":5})",
+      R"({"op":"layout","id":"b","n":6,"layers":4})",
+      R"({"op":"packaging","id":"c","n":6})",
+      R"({"op":"census","id":"d","n":6,"packets":50000,"seed":3})",
+      R"({"op":"sweep","id":"e","n":6,"offered_load":0.6,"cycles":20000,"seed":5})",
+  };
+
+  std::vector<std::string> first_responses;
+  {
+    DaemonProcess daemon({"--socket", socket_path, "--cache", cache_path});
+    Client client = Client::connect_unix(socket_path);
+    for (const std::string& frame : frames) {
+      first_responses.push_back(client.call(frame));
+      ASSERT_TRUE(Value::parse(first_responses.back()).at("ok").as_bool())
+          << first_responses.back();
+    }
+    // Make the kill land mid-burst: more work in flight, responses unread.
+    client.send(R"({"op":"census","id":"x","n":8,"packets":20000000,"seed":9})");
+    client.send(R"({"op":"census","id":"y","n":8,"packets":20000000,"seed":10})");
+    daemon.kill_hard();
+    // The client observes the crash as EOF, not a protocol error.
+    std::string line;
+    while (client.read_line(&line)) {
+    }
+  }
+
+  // Restart over the same journal: every response a client already saw must
+  // replay bit-identically, served from the recovered cache.
+  {
+    DaemonProcess daemon({"--socket", socket_path, "--cache", cache_path});
+    Client client = Client::connect_unix(socket_path);
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+      const std::string replay = client.call(frames[i]);
+      const Value doc = Value::parse(replay);
+      ASSERT_TRUE(doc.at("ok").as_bool()) << replay;
+      EXPECT_TRUE(doc.at("cached").as_bool()) << "expected a journal hit: " << replay;
+      EXPECT_EQ(as_cached(first_responses[i]), replay);
+    }
+    EXPECT_EQ(daemon.terminate_and_wait(), 0);
+  }
+  std::remove(cache_path.c_str());
+}
+
+TEST(BflydDaemon, ServesOverLocalhostTcp) {
+  DaemonProcess daemon({"--port", "0"});
+  Client client = Client::connect_tcp(daemon.tcp_port());
+  const Value pong = Value::parse(client.call(R"({"op":"ping","id":"t"})"));
+  EXPECT_TRUE(pong.at("ok").as_bool());
+  EXPECT_TRUE(pong.at("result").at("pong").as_bool());
+  EXPECT_EQ(daemon.terminate_and_wait(), 0);
+}
+
+TEST(BflydDaemon, MalformedFlagsExitTwoWithUsage) {
+  // Satellite contract at the daemon boundary: strict bounded flag parsing —
+  // malformed values are exit 2 + usage, never a silent default.
+  const std::vector<std::vector<std::string>> bad_args = {
+      {"--queue-depth", "banana"},
+      {"--queue-depth", "0"},
+      {"--queue-depth", "12trailing"},
+      {"--port", "65536"},
+      {"--max-inflight"},
+      {"--unknown-flag"},
+  };
+  for (const auto& args : bad_args) {
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      // Quiet the usage text; the exit code is the contract under test.
+      std::freopen("/dev/null", "w", stderr);
+      std::vector<char*> argv;
+      static const std::string binary = BFLYD_PATH;
+      argv.push_back(const_cast<char*>(binary.c_str()));
+      for (const std::string& a : args) argv.push_back(const_cast<char*>(a.c_str()));
+      argv.push_back(nullptr);
+      ::execv(argv[0], argv.data());
+      ::_exit(127);
+    }
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 2) << "args: " << args[0];
+  }
+}
+
+}  // namespace
+}  // namespace bfly::serve

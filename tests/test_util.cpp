@@ -1,13 +1,16 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "util/bits.hpp"
+#include "util/cancel.hpp"
 #include "util/check.hpp"
+#include "util/flags.hpp"
 #include "util/parallel.hpp"
 #include "util/prng.hpp"
 
@@ -211,6 +214,71 @@ TEST(Parallel, ElementwiseCoversAllIndices) {
   std::vector<std::atomic<int>> seen(n);
   parallel_for(0, n, [&](std::size_t i) { seen[i]++; });
   for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(seen[i].load(), 1) << i;
+}
+
+TEST(Flags, ParseBoundedU64AcceptsInRangeIntegers) {
+  u64 v = 99;
+  EXPECT_TRUE(util::parse_bounded_u64("0", 0, 10, &v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(util::parse_bounded_u64("65535", 1, 65535, &v));
+  EXPECT_EQ(v, 65535u);
+  EXPECT_TRUE(util::parse_bounded_u64("007", 1, 10, &v));  // leading zeros are fine
+  EXPECT_EQ(v, 7u);
+  const u64 max = ~u64{0};
+  EXPECT_TRUE(util::parse_bounded_u64("18446744073709551615", 0, max, &v));
+  EXPECT_EQ(v, max);
+}
+
+TEST(Flags, ParseBoundedU64RejectsGarbageAndOutOfRange) {
+  u64 v = 42;
+  for (const char* bad : {"", "4x", "x4", "-2", "+2", " 7", "7 ", "1e3", "0x10", "1.5"}) {
+    EXPECT_FALSE(util::parse_bounded_u64(bad, 0, 1000, &v)) << bad;
+    EXPECT_EQ(v, 42u) << "out must stay untouched for '" << bad << "'";
+  }
+  EXPECT_FALSE(util::parse_bounded_u64(nullptr, 0, 1000, &v));
+  EXPECT_FALSE(util::parse_bounded_u64("0", 1, 1000, &v));      // below min
+  EXPECT_FALSE(util::parse_bounded_u64("1001", 1, 1000, &v));   // above max
+  // Far past u64: must be rejected by the overflow guard, not wrapped into
+  // an in-range value.
+  EXPECT_FALSE(util::parse_bounded_u64("99999999999999999999999", 0, 1000, &v));
+  EXPECT_FALSE(util::parse_bounded_u64("18446744073709551616", 0, ~u64{0}, &v));
+  EXPECT_EQ(v, 42u);
+}
+
+TEST(Flags, ParseThreadCountDelegatesToBoundedParser) {
+  std::size_t t = 0;
+  EXPECT_TRUE(parse_thread_count("4096", &t));
+  EXPECT_EQ(t, 4096u);
+  EXPECT_FALSE(parse_thread_count("0", &t));
+  EXPECT_FALSE(parse_thread_count("4097", &t));
+  EXPECT_FALSE(parse_thread_count("8f", &t));
+}
+
+TEST(Cancel, ExtendDeadlineOnlyMovesLater) {
+  using clock = std::chrono::steady_clock;
+  CancelToken token;
+  const auto near = clock::now() + std::chrono::milliseconds(50);
+  const auto far = clock::now() + std::chrono::hours(1);
+  token.extend_deadline_until(near);
+  ASSERT_TRUE(token.has_deadline());
+  EXPECT_EQ(token.deadline(), near);
+  // Extending to a later instant moves the deadline out...
+  token.extend_deadline_until(far);
+  EXPECT_EQ(token.deadline(), far);
+  // ...but a shorter joiner can never pull it back in.
+  token.extend_deadline_until(near);
+  EXPECT_EQ(token.deadline(), far);
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(Cancel, ExtendDeadlineArmsUnarmedToken) {
+  using clock = std::chrono::steady_clock;
+  CancelToken token;
+  EXPECT_FALSE(token.has_deadline());
+  token.extend_deadline_until(clock::now() - std::chrono::milliseconds(1));
+  EXPECT_TRUE(token.has_deadline());
+  EXPECT_TRUE(token.expired());
+  EXPECT_TRUE(token.cancelled());
 }
 
 }  // namespace

@@ -1,0 +1,210 @@
+// bflyd: the bfly request daemon.
+//
+// Serves layout / packaging / census / sweep requests over a JSONL socket
+// protocol (serve/protocol.hpp) with per-request deadlines, bounded
+// admission, single-flight memoization, and a crash-recoverable result
+// cache.  SIGTERM / SIGINT drain gracefully: admission closes, in-flight
+// work finishes or cancels within the drain budget, the cache journal is
+// compacted, and the process exits 0 with the final ledger on stderr.
+//
+// Startup prints exactly one line to stdout:
+//
+//   bflyd listening unix <path>
+//   bflyd listening tcp 127.0.0.1:<port>
+//
+// (tests parse the resolved port out of this line), after a cache-recovery
+// summary on stderr when a journal was loaded.
+//
+// Exit codes: 0 clean shutdown, 2 usage error (matching the bench/tool
+// convention).
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "serve/daemon.hpp"
+#include "util/flags.hpp"
+
+namespace {
+
+bfly::serve::Daemon* g_daemon = nullptr;
+
+extern "C" void handle_shutdown_signal(int) {
+  // Async-signal-safe: Daemon::shutdown is one write(2) on a self-pipe.
+  if (g_daemon != nullptr) g_daemon->shutdown();
+}
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--socket PATH | --port N] [options]\n"
+      "\n"
+      "transport (default: --socket /tmp/bflyd.sock):\n"
+      "  --socket PATH            listen on a Unix-domain socket\n"
+      "  --port N                 listen on 127.0.0.1:N (0 = kernel-assigned)\n"
+      "\n"
+      "serving options:\n"
+      "  --max-inflight N         dispatcher threads            [1, 256]    (default 4)\n"
+      "  --queue-depth N          bounded admission queue       [1, 65536]  (default 256)\n"
+      "  --default-deadline-ms N  deadline when a request has none [1, 3600000] (default 10000)\n"
+      "  --max-deadline-ms N      ceiling on requested deadlines   [1, 86400000] (default 300000)\n"
+      "  --engine-threads N       per-compute pool parallelism  [1, 4096]   (0 = auto)\n"
+      "  --cache FILE             persist results to a JSONL journal (crash-recoverable)\n"
+      "  --drain-ms N             graceful-drain budget on SIGTERM [0, 600000] (default 5000)\n"
+      "  --max-connections N      concurrent connections        [1, 4096]   (default 128)\n",
+      argv0);
+  return 2;
+}
+
+// Strict bounded flag parsing (util/flags.hpp): anything malformed — not a
+// value, trailing junk, out of range — is exit 2 + usage, never a silent
+// default or clamp.
+bool parse_flag_u64(int argc, char** argv, int* i, const char* name, bfly::u64 min_value,
+                    bfly::u64 max_value, bfly::u64* out, bool* matched) {
+  if (std::strcmp(argv[*i], name) != 0) {
+    *matched = false;
+    return true;
+  }
+  *matched = true;
+  if (*i + 1 >= argc) {
+    std::fprintf(stderr, "%s: %s requires a value\n", argv[0], name);
+    return false;
+  }
+  ++*i;
+  if (!bfly::util::parse_bounded_u64(argv[*i], min_value, max_value, out)) {
+    std::fprintf(stderr, "%s: invalid %s value \"%s\" (expected integer in [%llu, %llu])\n",
+                 argv[0], name, argv[*i], static_cast<unsigned long long>(min_value),
+                 static_cast<unsigned long long>(max_value));
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using bfly::u64;
+  bfly::serve::DaemonOptions options;
+  options.unix_socket_path = "/tmp/bflyd.sock";
+
+  for (int i = 1; i < argc; ++i) {
+    bool matched = false;
+    if (std::strcmp(argv[i], "--socket") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: --socket requires a path\n", argv[0]);
+        return usage(argv[0]);
+      }
+      options.unix_socket_path = argv[++i];
+      options.tcp_port = -1;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--cache") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: --cache requires a path\n", argv[0]);
+        return usage(argv[0]);
+      }
+      options.server.cache_path = argv[++i];
+      continue;
+    }
+    u64 value = 0;
+    if (!parse_flag_u64(argc, argv, &i, "--port", 0, 65535, &value, &matched)) {
+      return usage(argv[0]);
+    }
+    if (matched) {
+      options.tcp_port = static_cast<int>(value);
+      options.unix_socket_path.clear();
+      continue;
+    }
+    if (!parse_flag_u64(argc, argv, &i, "--max-inflight", 1, 256, &value, &matched)) {
+      return usage(argv[0]);
+    }
+    if (matched) {
+      options.server.max_inflight = static_cast<std::size_t>(value);
+      continue;
+    }
+    if (!parse_flag_u64(argc, argv, &i, "--queue-depth", 1, 65536, &value, &matched)) {
+      return usage(argv[0]);
+    }
+    if (matched) {
+      options.server.queue_depth = static_cast<std::size_t>(value);
+      continue;
+    }
+    if (!parse_flag_u64(argc, argv, &i, "--default-deadline-ms", 1, 3'600'000, &value,
+                        &matched)) {
+      return usage(argv[0]);
+    }
+    if (matched) {
+      options.server.default_deadline_ms = value;
+      continue;
+    }
+    if (!parse_flag_u64(argc, argv, &i, "--max-deadline-ms", 1, 86'400'000, &value, &matched)) {
+      return usage(argv[0]);
+    }
+    if (matched) {
+      options.server.max_deadline_ms = value;
+      continue;
+    }
+    if (!parse_flag_u64(argc, argv, &i, "--engine-threads", 0, 4096, &value, &matched)) {
+      return usage(argv[0]);
+    }
+    if (matched) {
+      options.server.engine_threads = static_cast<std::size_t>(value);
+      continue;
+    }
+    if (!parse_flag_u64(argc, argv, &i, "--drain-ms", 0, 600'000, &value, &matched)) {
+      return usage(argv[0]);
+    }
+    if (matched) {
+      options.drain_budget_ms = value;
+      continue;
+    }
+    if (!parse_flag_u64(argc, argv, &i, "--max-connections", 1, 4096, &value, &matched)) {
+      return usage(argv[0]);
+    }
+    if (matched) {
+      options.max_connections = static_cast<std::size_t>(value);
+      continue;
+    }
+    std::fprintf(stderr, "%s: unknown argument \"%s\"\n", argv[0], argv[i]);
+    return usage(argv[0]);
+  }
+
+  try {
+    bfly::serve::Daemon daemon(options);
+    g_daemon = &daemon;
+    std::signal(SIGTERM, handle_shutdown_signal);
+    std::signal(SIGINT, handle_shutdown_signal);
+    std::signal(SIGPIPE, SIG_IGN);  // peer-gone writes surface as EPIPE, not death
+
+    const bfly::serve::ServeCache& cache = daemon.server().cache();
+    if (!options.server.cache_path.empty()) {
+      std::fprintf(stderr, "bflyd: cache loaded %zu entries from %s (skipped %zu torn lines)\n",
+                   cache.loaded_entries(), options.server.cache_path.c_str(),
+                   cache.loaded_lines_skipped());
+    }
+    if (!options.unix_socket_path.empty()) {
+      std::printf("bflyd listening unix %s\n", options.unix_socket_path.c_str());
+    } else {
+      std::printf("bflyd listening tcp 127.0.0.1:%d\n", daemon.port());
+    }
+    std::fflush(stdout);
+
+    const bfly::serve::LedgerSnapshot ledger = daemon.run();
+    g_daemon = nullptr;
+    std::fprintf(stderr,
+                 "bflyd: drained; accepted=%llu completed=%llu cancelled=%llu shed=%llu "
+                 "failed=%llu cache_hits=%llu coalesced=%llu\n",
+                 static_cast<unsigned long long>(ledger.accepted),
+                 static_cast<unsigned long long>(ledger.completed),
+                 static_cast<unsigned long long>(ledger.cancelled),
+                 static_cast<unsigned long long>(ledger.shed),
+                 static_cast<unsigned long long>(ledger.failed),
+                 static_cast<unsigned long long>(ledger.cache_hits),
+                 static_cast<unsigned long long>(ledger.coalesced));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bflyd: fatal: %s\n", e.what());
+    return 1;
+  }
+}
