@@ -10,12 +10,18 @@
 
 namespace bfly::serve {
 
-ServeCache::ServeCache(std::string journal_path) : journal_path_(std::move(journal_path)) {
+ServeCache::ServeCache(std::string journal_path, CacheLimits limits)
+    : journal_path_(std::move(journal_path)), limits_(limits) {
+  BFLY_REQUIRE(limits_.max_entries >= 1, "cache max_entries must be >= 1");
+  BFLY_REQUIRE(limits_.max_payload_bytes >= 1, "cache max_payload_bytes must be >= 1");
+  BFLY_REQUIRE(limits_.journal_compact_bytes >= 1,
+               "cache journal_compact_bytes must be >= 1");
   if (journal_path_.empty()) return;
   std::ifstream in(journal_path_);
   if (!in.is_open()) return;  // first run: journal does not exist yet
   std::string line;
   while (std::getline(in, line)) {
+    journal_bytes_ += line.size() + 1;
     if (line.empty()) continue;
     // Torn-line tolerance, the checkpoint-journal contract: a kill -9 during
     // append leaves at most one unparseable tail line — skip and count, never
@@ -31,10 +37,21 @@ ServeCache::ServeCache(std::string journal_path) : journal_path_(std::move(journ
         ++loaded_lines_skipped_;
         continue;
       }
-      auto entry = std::make_shared<Entry>();
-      entry->ready = true;
-      entry->payload = result->as_string();
-      entries_[key->as_string()] = std::move(entry);  // last record wins
+      const std::string k = key->as_string();
+      auto [it, inserted] = entries_.emplace(k, nullptr);
+      if (inserted) it->second = std::make_shared<Entry>();
+      if (it->second->ready) {
+        // Last record wins: replace the payload and refresh recency.
+        ready_bytes_ -= it->second->payload.size();
+        lru_.splice(lru_.end(), lru_, it->second->lru_it);
+        it->second->payload = result->as_string();
+        ready_bytes_ += it->second->payload.size();
+      } else {
+        make_ready_locked(k, it->second.get(), result->as_string());
+      }
+      // Append order is the recency order the crash left behind: an
+      // over-limit journal loads LRU-truncated, never over budget.
+      evict_over_limits_locked(k);
     } catch (const InvalidArgument&) {
       ++loaded_lines_skipped_;
     }
@@ -52,6 +69,7 @@ Admission ServeCache::lookup_or_begin(const std::string& key,
     Entry& entry = *it->second;
     if (entry.ready) {
       *payload_out = entry.payload;
+      lru_.splice(lru_.end(), lru_, entry.lru_it);  // touched: now hottest
       return Admission::kHit;
     }
     // In flight: park the joiner and make sure the shared compute lives at
@@ -79,15 +97,43 @@ std::string ServeCache::encode_record(const std::string& key,
   return line;
 }
 
+void ServeCache::make_ready_locked(const std::string& key, Entry* entry,
+                                   const std::string& payload) {
+  entry->ready = true;
+  entry->payload = payload;
+  entry->lru_it = lru_.insert(lru_.end(), key);
+  ++ready_count_;
+  ready_bytes_ += payload.size();
+}
+
+void ServeCache::evict_over_limits_locked(const std::string& protect_key) {
+  while ((ready_count_ > limits_.max_entries || ready_bytes_ > limits_.max_payload_bytes) &&
+         !lru_.empty()) {
+    const std::string& coldest = lru_.front();
+    if (coldest == protect_key) break;  // never evict the entry being served
+    auto it = entries_.find(coldest);
+    BFLY_CHECK(it != entries_.end() && it->second->ready, "LRU key without a ready entry");
+    ready_bytes_ -= it->second->payload.size();
+    --ready_count_;
+    ++evicted_;
+    entries_.erase(it);
+    lru_.pop_front();
+  }
+}
+
 void ServeCache::publish(const std::string& key, const std::string& payload) {
   // Durability BEFORE visibility: once any client can observe this payload
   // (directly or via a parked joiner), it is already fsynced — so "the
   // client saw a completed response" implies "a restart re-serves it
   // bit-identically".  journal_mu_ keeps appends whole without stalling
   // lookups behind the fsync.
+  bool want_compaction = false;
   if (!journal_path_.empty()) {
+    const std::string record = encode_record(key, payload);
     std::lock_guard<std::mutex> jlock(journal_mu_);
-    util::append_line_durable(journal_path_, encode_record(key, payload));
+    util::append_line_durable(journal_path_, record);
+    journal_bytes_ += record.size() + 1;
+    want_compaction = journal_bytes_ > limits_.journal_compact_bytes;
   }
   std::vector<Waiter> waiters;
   {
@@ -95,12 +141,16 @@ void ServeCache::publish(const std::string& key, const std::string& payload) {
     auto it = entries_.find(key);
     BFLY_CHECK(it != entries_.end() && !it->second->ready,
                "publish without a pending entry");
-    Entry& entry = *it->second;
-    entry.ready = true;
-    entry.payload = payload;
-    waiters.swap(entry.waiters);
+    make_ready_locked(key, it->second.get(), payload);
+    waiters.swap(it->second->waiters);
+    evict_over_limits_locked(key);
   }
   for (Waiter& w : waiters) w.on_done(WaitResult::kReady, ErrorCode::kInternal, payload);
+  // The journal accumulates superseded + evicted records between
+  // compactions; crossing the threshold rewrites it down to live entries so
+  // disk stays bounded alongside RSS (racing publishers may compact twice —
+  // harmless, the second rewrite is already minimal).
+  if (want_compaction) compact();
 }
 
 void ServeCache::fail(const std::string& key, ErrorCode code, const std::string& error) {
@@ -174,15 +224,22 @@ void ServeCache::compact() const {
   }
   std::lock_guard<std::mutex> jlock(journal_mu_);
   util::atomic_write_file(journal_path_, contents);
+  journal_bytes_ = contents.size();
 }
 
 std::size_t ServeCache::ready_entries() const {
   std::lock_guard<std::mutex> lock(mu_);
-  std::size_t count = 0;
-  for (const auto& [key, entry] : entries_) {
-    if (entry->ready) ++count;
-  }
-  return count;
+  return ready_count_;
+}
+
+std::size_t ServeCache::ready_payload_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ready_bytes_;
+}
+
+std::size_t ServeCache::evicted_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evicted_;
 }
 
 }  // namespace bfly::serve

@@ -25,12 +25,22 @@
 // rewrites the journal atomically (one record per live key, sorted) on
 // graceful drain.
 //
+// Bounded memory and disk: the cache is an LRU over ready entries, capped
+// both by entry count and by total payload bytes (CacheLimits) — a client
+// iterating seeds cannot grow daemon RSS without bound; the coldest entries
+// are dropped and recompute on their next request (still bit-identical, by
+// determinism).  The journal is append-only between compactions, so it
+// accumulates superseded and evicted records; when its size crosses
+// journal_compact_bytes, publish() compacts it in place (atomic rewrite of
+// live entries only), bounding disk alongside RSS instead of only on drain.
+//
 // Journal record (one line):  {"v": 1, "key": "<16 hex>", "result": "<text>"}
 #pragma once
 
 #include <chrono>
 #include <cstddef>
 #include <functional>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -46,6 +56,22 @@ namespace bfly::serve {
 /// Journal format version; bump on incompatible record changes (old-version
 /// records are skipped on load, like exec checkpoints).
 inline constexpr int kCacheJournalVersion = 1;
+
+/// Retention bounds for the cache and its journal.  Evicting a ready entry
+/// is always safe (the next identical request recomputes the same bytes);
+/// pending entries are never evicted.
+struct CacheLimits {
+  /// Ready entries retained; the least-recently-used beyond this is evicted.
+  std::size_t max_entries = 65'536;
+  /// Total retained payload bytes; LRU eviction keeps the sum at or under
+  /// this (except that the single most-recently-published entry is always
+  /// kept, even if it alone exceeds the cap).
+  std::size_t max_payload_bytes = std::size_t{256} << 20;  // 256 MiB
+  /// Journal size (bytes) that triggers an automatic compaction on the next
+  /// publish.  Appends accumulate superseded + evicted records between
+  /// compactions; this bounds disk growth under unbounded unique traffic.
+  std::size_t journal_compact_bytes = std::size_t{512} << 20;  // 512 MiB
+};
 
 /// How a lookup resolved for an asynchronous joiner.
 enum class WaitResult {
@@ -75,7 +101,9 @@ class ServeCache {
  public:
   /// `journal_path` empty = memory-only (no persistence).  Otherwise loads
   /// the journal if present; unreadable/torn lines are counted, not fatal.
-  explicit ServeCache(std::string journal_path);
+  /// A journal larger than the limits loads LRU-truncated (file order is
+  /// the recency order a crash left behind).
+  explicit ServeCache(std::string journal_path, CacheLimits limits = CacheLimits{});
 
   ServeCache(const ServeCache&) = delete;
   ServeCache& operator=(const ServeCache&) = delete;
@@ -125,10 +153,15 @@ class ServeCache {
 
   /// Ready (published) entries.
   std::size_t ready_entries() const;
-  /// Entries restored from the journal by the constructor.
+  /// Total payload bytes across ready entries.
+  std::size_t ready_payload_bytes() const;
+  /// Ready entries dropped by LRU eviction since construction.
+  std::size_t evicted_entries() const;
+  /// Entries restored from the journal by the constructor (post-eviction).
   std::size_t loaded_entries() const { return loaded_entries_; }
   /// Torn / corrupt / wrong-version journal lines skipped on load.
   std::size_t loaded_lines_skipped() const { return loaded_lines_skipped_; }
+  const CacheLimits& limits() const { return limits_; }
 
  private:
   struct Waiter {
@@ -140,21 +173,37 @@ class ServeCache {
     std::string payload;          // valid when ready
     CancelToken token;            // the shared compute's token (owner entries)
     std::vector<Waiter> waiters;  // parked joiners (pending entries)
+    std::list<std::string>::iterator lru_it;  // position in lru_ (ready only)
   };
 
   std::string encode_record(const std::string& key, const std::string& payload) const;
+  /// Marks `entry` ready with `payload` at the hot end of the LRU.  Caller
+  /// holds mu_ and follows up with evict_over_limits_locked, which drops
+  /// cold ready entries until both limits hold (`protect_key` is never
+  /// evicted, so the newest entry survives even if it alone busts the byte
+  /// cap).
+  void make_ready_locked(const std::string& key, Entry* entry, const std::string& payload);
+  void evict_over_limits_locked(const std::string& protect_key);
 
   const std::string journal_path_;
+  const CacheLimits limits_;
   std::size_t loaded_entries_ = 0;
   std::size_t loaded_lines_skipped_ = 0;
 
   mutable std::mutex mu_;
   // std::map: deterministic iteration order for compact().
   std::map<std::string, std::shared_ptr<Entry>> entries_;
+  // Ready keys, coldest first; Entry::lru_it points into this list.
+  std::list<std::string> lru_;
+  std::size_t ready_count_ = 0;
+  std::size_t ready_bytes_ = 0;
+  std::size_t evicted_ = 0;
 
   // Serializes journal appends and orders them before visibility; separate
   // from mu_ so an fsync never stalls unrelated cache lookups.
   mutable std::mutex journal_mu_;
+  // Journal size in bytes since the last compaction; guarded by journal_mu_.
+  mutable std::size_t journal_bytes_ = 0;
 };
 
 }  // namespace bfly::serve

@@ -21,11 +21,20 @@ std::string errno_string(const char* what) {
   return std::string(what) + ": " + std::strerror(errno);
 }
 
-/// write(2) until done; false on any error (peer gone).
+/// send(2) until done; false on any error (peer gone).  MSG_NOSIGNAL makes a
+/// peer-gone write surface as EPIPE instead of SIGPIPE, so the Daemon library
+/// is safe in any host process — not just bflyd, which happens to install
+/// SIG_IGN — and in-process embedders (tests, future tools) are never killed
+/// by a client that disconnected before its response line was written.
 bool write_all(int fd, const char* data, std::size_t size) {
+#ifdef MSG_NOSIGNAL
+  constexpr int kSendFlags = MSG_NOSIGNAL;
+#else
+  constexpr int kSendFlags = 0;
+#endif
   std::size_t written = 0;
   while (written < size) {
-    const ssize_t rc = ::write(fd, data + written, size - written);
+    const ssize_t rc = ::send(fd, data + written, size - written, kSendFlags);
     if (rc < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -75,10 +84,9 @@ Daemon::Daemon(DaemonOptions options) : options_(std::move(options)), server_(op
 
 Daemon::~Daemon() {
   shutdown();
-  // run() may never have been called: close what it would have closed.
-  for (std::thread& t : conn_threads_) {
-    if (t.joinable()) t.join();
-  }
+  // run() may never have been called (or exited early): close what its
+  // teardown would have closed.
+  teardown_connections();
   if (listen_fd_ >= 0) ::close(listen_fd_);
   if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
   if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
@@ -95,9 +103,14 @@ void Daemon::shutdown() {
 
 void Daemon::write_line(const std::shared_ptr<Connection>& conn, const std::string& line) {
   std::lock_guard<std::mutex> lock(conn->write_mu);
-  if (conn->dead.load(std::memory_order_relaxed)) return;
+  if (conn->dead.load(std::memory_order_relaxed) || conn->fd < 0) return;
   if (!write_all(conn->fd, line.data(), line.size()) || !write_all(conn->fd, "\n", 1)) {
     conn->dead.store(true, std::memory_order_relaxed);
+    // Wake the reader (likely blocked in read) so the connection reaps
+    // promptly instead of lingering until the peer times out.  The fd is
+    // still valid here: close happens only after the reader is joined, and
+    // fd teardown takes write_mu.
+    ::shutdown(conn->fd, SHUT_RDWR);
   }
 }
 
@@ -131,7 +144,56 @@ void Daemon::serve_connection(const std::shared_ptr<Connection>& conn) {
     }
   }
   conn->dead.store(true, std::memory_order_relaxed);
+  // Fail any writer still blocked on this socket, then hand the fd to the
+  // reaper: `done` (release, paired with the reap's acquire load) is the
+  // signal that this thread is exiting and the fd may be joined + closed.
   ::shutdown(conn->fd, SHUT_RDWR);
+  conn->done.store(true, std::memory_order_release);
+}
+
+void Daemon::reap_finished_connections_locked() {
+  for (std::size_t i = 0; i < conns_.size();) {
+    const std::shared_ptr<Connection>& conn = conns_[i];
+    if (!conn->done.load(std::memory_order_acquire)) {
+      ++i;
+      continue;
+    }
+    if (conn->reader.joinable()) conn->reader.join();
+    {
+      // write_mu: a parked joiner's response may still be in write_line (it
+      // sees `dead` and returns, but must never race the close itself).
+      std::lock_guard<std::mutex> wlock(conn->write_mu);
+      if (conn->fd >= 0) {
+        ::close(conn->fd);
+        conn->fd = -1;
+      }
+    }
+    conns_[i] = conns_.back();
+    conns_.pop_back();
+  }
+}
+
+void Daemon::teardown_connections() {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  for (const std::shared_ptr<Connection>& conn : conns_) {
+    // Safe even if the reader is mid-exit: the fd stays valid until the join
+    // below, and a double shutdown is harmless.
+    if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+  }
+  for (const std::shared_ptr<Connection>& conn : conns_) {
+    if (conn->reader.joinable()) conn->reader.join();
+    std::lock_guard<std::mutex> wlock(conn->write_mu);
+    if (conn->fd >= 0) {
+      ::close(conn->fd);
+      conn->fd = -1;
+    }
+  }
+  conns_.clear();
+}
+
+std::size_t Daemon::tracked_connections() const {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  return conns_.size();
 }
 
 LedgerSnapshot Daemon::run() {
@@ -150,11 +212,12 @@ LedgerSnapshot Daemon::run() {
 
     {
       std::lock_guard<std::mutex> lock(conns_mu_);
-      std::size_t live = 0;
-      for (const auto& c : conns_) {
-        if (!c->dead.load(std::memory_order_relaxed)) ++live;
-      }
-      if (live >= options_.max_connections) {
+      // Reap before counting: finished connections release their fd and
+      // thread here, so a long-lived daemon serving short-lived clients
+      // stays at O(live connections) — never EMFILE, never an unbounded
+      // thread list.  Joins are cheap: `done` means the reader is returning.
+      reap_finished_connections_locked();
+      if (conns_.size() >= options_.max_connections) {
         // Connection-level shedding (distinct from the request ledger: no
         // frame was ever accepted on this socket).
         const std::string line = build_response_error(
@@ -167,28 +230,17 @@ LedgerSnapshot Daemon::run() {
       auto conn = std::make_shared<Connection>();
       conn->fd = fd;
       conns_.push_back(conn);
-      conn_threads_.emplace_back([this, conn] { serve_connection(conn); });
+      conn->reader = std::thread([this, conn] { serve_connection(conn); });
     }
   }
 
   // Stop accepting (listener stays bound so late connectors get a refused /
-  // reset rather than a hang), unblock every connection reader, then drain:
-  // queued and in-flight requests finish or cancel within the budget and
-  // their responses flush through the still-open write sides.
+  // reset rather than a hang), then drain: queued and in-flight requests
+  // finish or cancel within the budget and their responses flush through the
+  // still-open write sides.  Only then are the connections unblocked, joined,
+  // and closed.
   const LedgerSnapshot ledger = server_.drain(options_.drain_budget_ms);
-  {
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    for (const auto& conn : conns_) ::shutdown(conn->fd, SHUT_RDWR);
-  }
-  for (std::thread& t : conn_threads_) {
-    if (t.joinable()) t.join();
-  }
-  {
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    for (const auto& conn : conns_) ::close(conn->fd);
-    conns_.clear();
-  }
-  conn_threads_.clear();
+  teardown_connections();
   return ledger;
 }
 

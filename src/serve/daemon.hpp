@@ -10,7 +10,11 @@
 //  * One reader thread per connection (bounded by max_connections; excess
 //    connections are told "overloaded" and closed before reading a frame).
 //    Responses may fire from any server thread; a per-connection write mutex
-//    keeps response lines whole.
+//    keeps response lines whole.  When a connection's reader exits (EOF,
+//    error, oversized frame) the accept loop reaps it — joins the thread and
+//    closes the fd — before admitting the next client, so a long-lived
+//    daemon serving short-lived connections never accumulates dead fds or
+//    threads (no EMFILE after N clients).
 //  * A frame longer than max_frame_bytes without a newline answers
 //    invalid_request and closes the connection (a client that hostile gets
 //    no more service on that socket).
@@ -74,17 +78,32 @@ class Daemon {
   const std::string& socket_path() const { return options_.unix_socket_path; }
   Server& server() { return server_; }
 
+  /// Connections currently tracked (live readers plus any finished ones the
+  /// accept loop has not reaped yet).  Bounded by max_connections plus the
+  /// handful that finished since the last accept — how the tests prove dead
+  /// connections do not accumulate.
+  std::size_t tracked_connections() const;
+
  private:
   struct Connection {
-    int fd = -1;
-    std::mutex write_mu;
+    int fd = -1;          // closed exactly once, after `reader` is joined
+    std::mutex write_mu;  // also guards fd teardown against in-flight writes
     std::atomic<bool> dead{false};
+    std::atomic<bool> done{false};  // reader exited; safe to join + close
+    std::thread reader;
   };
 
   void serve_connection(const std::shared_ptr<Connection>& conn);
   /// Locked, whole-line write of `line` + '\n'; marks the connection dead on
-  /// error (the response is then dropped — the peer is gone).
+  /// error (the response is then dropped — the peer is gone) and wakes the
+  /// blocked reader so the connection reaps promptly.
   static void write_line(const std::shared_ptr<Connection>& conn, const std::string& line);
+  /// Joins and closes every connection whose reader has exited, dropping it
+  /// from conns_.  Caller holds conns_mu_.
+  void reap_finished_connections_locked();
+  /// Unblocks, joins, and closes every tracked connection (run() teardown and
+  /// the destructor's never-ran-run() path).
+  void teardown_connections();
 
   DaemonOptions options_;
   Server server_;
@@ -93,9 +112,8 @@ class Daemon {
   int port_ = -1;
   std::atomic<bool> shutdown_requested_{false};
 
-  std::mutex conns_mu_;
+  mutable std::mutex conns_mu_;
   std::vector<std::shared_ptr<Connection>> conns_;
-  std::vector<std::thread> conn_threads_;
 };
 
 /// Blocking JSONL client for tests, tools, and bench_serve.

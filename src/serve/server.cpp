@@ -17,7 +17,7 @@ double us_between(Clock::time_point a, Clock::time_point b) {
 
 Server::Server(ServerOptions options)
     : options_(std::move(options)),
-      cache_(options_.cache_path),
+      cache_(options_.cache_path, options_.cache_limits),
       c_accepted_(obs::get_counter("serve.accepted")),
       c_completed_(obs::get_counter("serve.completed")),
       c_cancelled_(obs::get_counter("serve.cancelled")),
@@ -280,6 +280,14 @@ void Server::owner_compute(Job job, const std::string& key, const CancelToken* t
     const double us = us_between(t0, Clock::now());
     const double prev = service_ema_us_.load(std::memory_order_relaxed);
     service_ema_us_.store(prev + 0.2 * (us - prev), std::memory_order_relaxed);
+    if (Clock::now() >= job.deadline) {
+      // Joiners may have extended the shared token past this owner's own
+      // deadline, so the compute legitimately outlived it.  The result is
+      // published above for the joiners (and the cache), but the owner's own
+      // contract stands: an expired request answers deadline_exceeded.
+      finish_error(job, ErrorCode::kDeadlineExceeded, "deadline expired during compute");
+      return;
+    }
     finish(job.respond, Bucket::kCompleted, job.enqueued,
            build_response_ok(job.request.id, key, /*cached=*/false, text));
   } catch (const InvalidArgument& e) {
@@ -432,6 +440,9 @@ json::Value Server::stats_json() const {
   doc.set("max_inflight", json::Value::number(static_cast<u64>(options_.max_inflight)));
   doc.set("default_deadline_ms", json::Value::number(options_.default_deadline_ms));
   doc.set("cache_ready", json::Value::number(static_cast<u64>(cache_.ready_entries())));
+  doc.set("cache_bytes",
+          json::Value::number(static_cast<u64>(cache_.ready_payload_bytes())));
+  doc.set("cache_evicted", json::Value::number(static_cast<u64>(cache_.evicted_entries())));
   doc.set("cache_loaded", json::Value::number(static_cast<u64>(cache_.loaded_entries())));
   doc.set("cache_lines_skipped",
           json::Value::number(static_cast<u64>(cache_.loaded_lines_skipped())));

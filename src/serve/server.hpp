@@ -69,6 +69,9 @@ struct ServerOptions {
   u64 max_deadline_ms = 300'000;
   /// Cache journal path; empty = memory-only (no crash recovery).
   std::string cache_path;
+  /// Memoization retention bounds: LRU entry/byte caps and the journal size
+  /// that triggers automatic compaction (see serve/cache.hpp).
+  CacheLimits cache_limits;
   /// Engine parallelism per compute (0 = pool default).
   std::size_t engine_threads = 0;
 };

@@ -320,6 +320,104 @@ TEST(ServeCache, ExpireWaitersFiresOnlyOverdueJoiners) {
   EXPECT_EQ(cache.expire_waiters(now + std::chrono::hours(2)), 0u);
 }
 
+TEST(ServeCache, EvictsLeastRecentlyUsedBeyondEntryCap) {
+  CacheLimits limits;
+  limits.max_entries = 2;
+  ServeCache cache("", limits);
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  std::string payload;
+  const CancelToken* token = nullptr;
+
+  const auto put = [&](const std::string& key, const std::string& value) {
+    ASSERT_EQ(cache.lookup_or_begin(key, deadline, &payload, &token, noop_wait()),
+              Admission::kOwner);
+    cache.publish(key, value);
+  };
+  put("k1", "v1");
+  put("k2", "v2");
+  EXPECT_EQ(cache.evicted_entries(), 0u);
+
+  // Touch k1 so k2 is the coldest, then overflow: k2 must go, k1 must stay.
+  ASSERT_EQ(cache.lookup_or_begin("k1", deadline, &payload, &token, noop_wait()),
+            Admission::kHit);
+  put("k3", "v3");
+  EXPECT_EQ(cache.ready_entries(), 2u);
+  EXPECT_EQ(cache.evicted_entries(), 1u);
+  EXPECT_EQ(cache.lookup_or_begin("k1", deadline, &payload, &token, noop_wait()),
+            Admission::kHit);
+  EXPECT_EQ(payload, "v1");
+  EXPECT_EQ(cache.lookup_or_begin("k3", deadline, &payload, &token, noop_wait()),
+            Admission::kHit);
+  // The evicted key computes afresh — and bit-identically, by determinism.
+  EXPECT_EQ(cache.lookup_or_begin("k2", deadline, &payload, &token, noop_wait()),
+            Admission::kOwner);
+  cache.publish("k2", "v2");
+}
+
+TEST(ServeCache, EvictsByPayloadBytesButNeverTheNewestEntry) {
+  CacheLimits limits;
+  limits.max_payload_bytes = 10;
+  ServeCache cache("", limits);
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  std::string payload;
+  const CancelToken* token = nullptr;
+
+  ASSERT_EQ(cache.lookup_or_begin("a", deadline, &payload, &token, noop_wait()),
+            Admission::kOwner);
+  cache.publish("a", "12345678");  // 8 bytes: fits
+  ASSERT_EQ(cache.lookup_or_begin("b", deadline, &payload, &token, noop_wait()),
+            Admission::kOwner);
+  cache.publish("b", "1234");  // 12 bytes total: evicts a
+  EXPECT_EQ(cache.ready_entries(), 1u);
+  EXPECT_EQ(cache.ready_payload_bytes(), 4u);
+  EXPECT_EQ(cache.lookup_or_begin("a", deadline, &payload, &token, noop_wait()),
+            Admission::kOwner);
+  cache.publish("a", std::string(64, 'x'));  // alone over the cap: still kept
+  EXPECT_EQ(cache.ready_entries(), 1u);
+  EXPECT_EQ(cache.ready_payload_bytes(), 64u);
+}
+
+TEST(ServeCache, JournalStaysBoundedUnderUniqueKeyTraffic) {
+  // The unbounded-memory regression scenario: a client iterating unique keys
+  // forever.  RSS is bounded by the LRU caps and the journal by the
+  // compaction threshold — publish() compacts once appends cross it.
+  const std::string path = temp_path("bounded_journal");
+  std::remove(path.c_str());
+  CacheLimits limits;
+  limits.max_entries = 4;
+  limits.journal_compact_bytes = 512;
+  {
+    ServeCache cache(path, limits);
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    std::string payload;
+    const CancelToken* token = nullptr;
+    for (int i = 0; i < 200; ++i) {
+      const std::string key = "key-" + std::to_string(i);
+      ASSERT_EQ(cache.lookup_or_begin(key, deadline, &payload, &token, noop_wait()),
+                Admission::kOwner);
+      cache.publish(key, R"({"value":)" + std::to_string(i) + "}");
+    }
+    EXPECT_EQ(cache.ready_entries(), 4u);
+    EXPECT_EQ(cache.evicted_entries(), 196u);
+    std::ifstream in(path, std::ios::ate | std::ios::binary);
+    ASSERT_TRUE(in.is_open());
+    // Bounded: at most the threshold plus the few records appended since the
+    // last compaction crossed it — nowhere near 200 records.
+    EXPECT_LT(static_cast<std::size_t>(in.tellg()), limits.journal_compact_bytes + 256);
+  }
+  // A reload honours the caps too and serves only the retained entries.
+  ServeCache reloaded(path, limits);
+  EXPECT_LE(reloaded.loaded_entries(), 4u);
+  EXPECT_GE(reloaded.loaded_entries(), 1u);
+  std::string payload;
+  const CancelToken* token = nullptr;
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  EXPECT_EQ(reloaded.lookup_or_begin("key-199", deadline, &payload, &token, noop_wait()),
+            Admission::kHit);
+  EXPECT_EQ(payload, R"({"value":199})");
+  std::remove(path.c_str());
+}
+
 TEST(ServeCache, JournalSurvivesTornTailAndReplaysBitIdentically) {
   const std::string path = temp_path("journal");
   const std::string payload_a = R"({"result":"alpha","value":1.5})";
@@ -486,6 +584,47 @@ TEST(ServeServer, DeadlineExpiredRequestsGetStructuredErrors) {
   EXPECT_EQ(ledger.cancelled, 2u);
   EXPECT_EQ(ledger.completed, 1u);  // the ping
   EXPECT_TRUE(ledger.conserved());
+}
+
+TEST(ServeServer, OwnerPastItsOwnDeadlineAnswersExpiredWhileJoinersGetTheResult) {
+  // A patient joiner extends the shared compute's token past the owner's own
+  // deadline, so the compute legitimately outlives the owner.  The joiner
+  // gets the published result; the owner must still answer deadline_exceeded
+  // — its own contract is not overridden by whoever rode along.
+  Server server(small_server(2, 16));
+  ResponseBin bin;
+  // The compute must reliably outlive the owner's 100 ms budget (also under
+  // sanitizers), and the joiner's budget must reliably cover the compute.
+  const std::string params =
+      R"("n":8,"offered_load":0.9,"cycles":100000,"seed":77)";
+  server.submit_frame(
+      R"({"op":"sweep","id":"own",)" + params + R"(,"deadline_ms":100})", bin.callback());
+  server.submit_frame(
+      R"({"op":"sweep","id":"join",)" + params + R"(,"deadline_ms":120000})",
+      bin.callback());
+
+  const auto lines = bin.wait_for(2);
+  std::string owner_code;
+  bool joiner_ok = false;
+  for (const std::string& line : lines) {
+    const Value doc = Value::parse(line);
+    if (doc.at("id").as_string() == "own") {
+      EXPECT_FALSE(doc.at("ok").as_bool()) << line;
+      owner_code = doc.at("error").at("code").as_string();
+    } else {
+      joiner_ok = doc.at("ok").as_bool();
+      EXPECT_TRUE(joiner_ok) << line;
+    }
+  }
+  // Whether the owner expired queued, mid-compute (token tripped before the
+  // joiner extended), or post-compute (the fixed path), the answer is the
+  // same structured error.
+  EXPECT_EQ(owner_code, "deadline_exceeded");
+
+  const LedgerSnapshot ledger = server.drain(120'000);
+  EXPECT_TRUE(ledger.conserved());
+  EXPECT_EQ(ledger.cancelled, 1u);
+  EXPECT_EQ(ledger.completed, 1u);
 }
 
 TEST(ServeServer, BoundedQueueShedsDeterministically) {

@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -227,6 +228,41 @@ TEST(BflydDaemon, ServesOverLocalhostTcp) {
   EXPECT_EQ(daemon.terminate_and_wait(), 0);
 }
 
+TEST(BflydDaemon, ReapsShortLivedConnectionsInsteadOfLeakingFds) {
+  // The long-lived-service regression: a reader thread and its fd must be
+  // reclaimed when a connection closes, not parked until shutdown.  Before
+  // the reap existed, every short-lived client left a dead fd + thread
+  // behind and the daemon hit EMFILE after ~1000 clients; here 64 sequential
+  // clients must leave the tracked-connection set near empty.  In-process
+  // (not fork/exec) so the internal connection table is observable.
+  DaemonOptions options;
+  options.unix_socket_path = testing::TempDir() + "bflyd_reap_" +
+                             std::to_string(::getpid()) + ".sock";
+  options.server.max_inflight = 2;
+  Daemon daemon(options);
+  std::thread runner([&] { daemon.run(); });
+
+  constexpr std::size_t kClients = 64;
+  for (std::size_t i = 0; i < kClients; ++i) {
+    Client client = Client::connect_unix(options.unix_socket_path);
+    const Value pong = Value::parse(client.call(R"({"op":"ping","id":"r"})"));
+    EXPECT_TRUE(pong.at("ok").as_bool());
+    // client's destructor closes the socket: the reader sees EOF and the
+    // next accept reaps it.
+  }
+  // Every accept reaps all previously finished connections, so the table
+  // never accumulates dead ones — only the most recent clients can still be
+  // in flight between their close and the next accept.
+  EXPECT_LE(daemon.tracked_connections(), 8u);
+
+  daemon.shutdown();
+  runner.join();
+  EXPECT_EQ(daemon.tracked_connections(), 0u);
+  const LedgerSnapshot ledger = daemon.server().ledger();
+  EXPECT_EQ(ledger.accepted, kClients);
+  EXPECT_EQ(ledger.completed, kClients);
+}
+
 TEST(BflydDaemon, MalformedFlagsExitTwoWithUsage) {
   // Satellite contract at the daemon boundary: strict bounded flag parsing —
   // malformed values are exit 2 + usage, never a silent default.
@@ -236,6 +272,9 @@ TEST(BflydDaemon, MalformedFlagsExitTwoWithUsage) {
       {"--queue-depth", "12trailing"},
       {"--port", "65536"},
       {"--max-inflight"},
+      {"--cache-max-entries", "0"},
+      {"--cache-max-mb", "-5"},
+      {"--cache-compact-mb", "many"},
       {"--unknown-flag"},
   };
   for (const auto& args : bad_args) {

@@ -51,6 +51,10 @@ int usage(const char* argv0) {
       "  --max-deadline-ms N      ceiling on requested deadlines   [1, 86400000] (default 300000)\n"
       "  --engine-threads N       per-compute pool parallelism  [1, 4096]   (0 = auto)\n"
       "  --cache FILE             persist results to a JSONL journal (crash-recoverable)\n"
+      "  --cache-max-entries N    LRU cap on cached results     [1, 16777216] (default 65536)\n"
+      "  --cache-max-mb N         LRU cap on cached bytes (MiB) [1, 1048576] (default 256)\n"
+      "  --cache-compact-mb N     journal size (MiB) that triggers compaction\n"
+      "                                                         [1, 1048576] (default 512)\n"
       "  --drain-ms N             graceful-drain budget on SIGTERM [0, 600000] (default 5000)\n"
       "  --max-connections N      concurrent connections        [1, 4096]   (default 128)\n",
       argv0);
@@ -150,6 +154,30 @@ int main(int argc, char** argv) {
     }
     if (matched) {
       options.server.engine_threads = static_cast<std::size_t>(value);
+      continue;
+    }
+    if (!parse_flag_u64(argc, argv, &i, "--cache-max-entries", 1, 16'777'216, &value,
+                        &matched)) {
+      return usage(argv[0]);
+    }
+    if (matched) {
+      options.server.cache_limits.max_entries = static_cast<std::size_t>(value);
+      continue;
+    }
+    if (!parse_flag_u64(argc, argv, &i, "--cache-max-mb", 1, 1'048'576, &value, &matched)) {
+      return usage(argv[0]);
+    }
+    if (matched) {
+      options.server.cache_limits.max_payload_bytes = static_cast<std::size_t>(value) << 20;
+      continue;
+    }
+    if (!parse_flag_u64(argc, argv, &i, "--cache-compact-mb", 1, 1'048'576, &value,
+                        &matched)) {
+      return usage(argv[0]);
+    }
+    if (matched) {
+      options.server.cache_limits.journal_compact_bytes = static_cast<std::size_t>(value)
+                                                          << 20;
       continue;
     }
     if (!parse_flag_u64(argc, argv, &i, "--drain-ms", 0, 600'000, &value, &matched)) {
